@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the computational substrate: PRG
+//! expansion, F₂ rank, the exact engine walk, and Bron–Kerbosch on the
+//! Appendix B active subgraph.
+
+use bcc_congest::FnProtocol;
+use bcc_core::{exact_comparison, ProductInput};
+use bcc_f2::{gauss, BitMatrix, BitVec};
+use bcc_graphs::clique::max_clique;
+use bcc_graphs::digraph::UGraph;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_prg_expand(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("prg_expand");
+    for &(k, m) in &[(128usize, 1024usize), (256, 4096)] {
+        let mat = BitMatrix::random(&mut rng, k, m - k);
+        let seed = BitVec::random(&mut rng, k);
+        group.bench_function(format!("k{k}_m{m}"), |b| {
+            b.iter(|| mat.left_mul_vec(std::hint::black_box(&seed)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("f2_rank");
+    for &n in &[64usize, 256] {
+        group.bench_function(format!("{n}x{n}"), |b| {
+            b.iter_batched(
+                || BitMatrix::random(&mut rng, n, n),
+                |m| gauss::rank(std::hint::black_box(&m)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_walk(c: &mut Criterion) {
+    let proto = FnProtocol::new(4, 6, 8, |_, input, tr| {
+        (input & (0x15 ^ tr.as_u64())).count_ones() % 2 == 1
+    });
+    let a = ProductInput::uniform(4, 6);
+    let b = ProductInput::uniform(4, 6);
+    c.bench_function("engine_walk_4proc_8turns", |bch| {
+        bch.iter(|| exact_comparison(&proto, std::hint::black_box(&a), &b))
+    });
+}
+
+fn bench_max_clique(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    // The Appendix B active-subgraph shape: density 1/4 with a planted
+    // 40-clique in 200 vertices.
+    let mut g = UGraph::random(&mut rng, 200, 0.25);
+    let planted: Vec<usize> = (0..40).map(|i| i * 5).collect();
+    for &u in &planted {
+        for &v in &planted {
+            if u != v {
+                g.set_edge(u, v, true);
+            }
+        }
+    }
+    c.bench_function("bron_kerbosch_active_subgraph", |b| {
+        b.iter(|| max_clique(std::hint::black_box(&g)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prg_expand,
+    bench_rank,
+    bench_engine_walk,
+    bench_max_clique
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E4 — Lemma 1.8: planting a random size-`k` all-ones pattern moves any
+//! Boolean function by `O(k/√n)` on average over the pattern.
+//!
+//! Exact over all `binomial(n,k)` patterns; the table shows the linear
+//! growth in `k` (the hybrid argument's `k` steps of Lemma 1.10) and the
+//! `1/√n` decay.
+
+use bcc_bench::{banner, check, f, print_table};
+use bcc_planted::bounds;
+use bcc_planted::lemmas::lemma_1_8_exact;
+use bcc_stats::boolfn::Family;
+
+fn main() {
+    banner(
+        "E4: clique-pattern statistical inequality",
+        "Lemma 1.8",
+        "E_C ||f(U) - f(U^C)|| <= O(k/sqrt(n)), exact over all size-k subsets",
+    );
+    let mut rows = Vec::new();
+    for &n in &[9u32, 13, 17] {
+        for &k in &[1usize, 2, 3] {
+            let bound = bounds::lemma_1_8(n as usize, k);
+            for fam in [
+                Family::Majority,
+                Family::ShiftedThreshold,
+                Family::Random(bcc_bench::SEED),
+            ] {
+                let table = fam.build(n);
+                let got = lemma_1_8_exact(&table, k);
+                rows.push(vec![
+                    n.to_string(),
+                    k.to_string(),
+                    fam.label().into(),
+                    f(got),
+                    f(got * (n as f64).sqrt() / k as f64),
+                    f(bound),
+                    check(got <= bound),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &["n", "k", "f", "measured", "x sqrt(n)/k", "2k/sqrt(n)", "ok"],
+        &rows,
+    );
+    println!(
+        "\nShape check: the normalized column 'x sqrt(n)/k' is (nearly)\n\
+         k-independent for majority — the lemma's k-step hybrid is what\n\
+         actually happens."
+    );
+}

@@ -1,0 +1,53 @@
+//! E12 — Theorem 8.1: the seed-length attack.
+//!
+//! The `k+1`-round image-membership attack against the matrix PRG:
+//! measured true/false positive rates and advantage, with the exact
+//! false-positive rate `E[2^{rank(X)−n}]` as the paper column.
+
+use bcc_bench::{banner, check, f, print_table, sci};
+use bcc_prg::attack::{exact_false_positive_rate, measure_attack};
+use bcc_prg::MatrixPrg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "E12: seed-length lower bound",
+        "Theorem 8.1",
+        "any (k, m) PRG broken in k+1 rounds; advantage -> max as n grows",
+    );
+    let mut rng = StdRng::seed_from_u64(bcc_bench::SEED);
+    let mut rows = Vec::new();
+    for &(n, k) in &[
+        (6usize, 4u32),
+        (8, 4),
+        (12, 6),
+        (16, 8),
+        (24, 10),
+        (32, 12),
+        (48, 16),
+    ] {
+        let prg = MatrixPrg::new(n, k, 2 * k + 4).expect("valid");
+        let adv = measure_attack(&prg, 600, &mut rng);
+        let exact_fpr = exact_false_positive_rate(n, k as usize);
+        rows.push(vec![
+            n.to_string(),
+            k.to_string(),
+            adv.rounds_used.to_string(),
+            f(adv.true_positive_rate),
+            sci(adv.false_positive_rate),
+            sci(exact_fpr),
+            f(adv.advantage),
+            check(adv.true_positive_rate == 1.0),
+        ]);
+    }
+    print_table(
+        &["n", "k", "rounds", "TPR", "FPR meas", "FPR exact", "advantage", "ok"],
+        &rows,
+    );
+    println!(
+        "\nShape check: rounds = k+1 exactly; TPR = 1 always; FPR tracks\n\
+         E[2^(rank-n)] and vanishes with n — so the PRG's Omega(k)\n\
+         security (Theorem 5.4) is tight up to constants (Theorem 8.1)."
+    );
+}

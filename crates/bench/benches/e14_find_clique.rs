@@ -1,0 +1,84 @@
+//! E14 — Theorem B.1: the planted-clique finding algorithm.
+//!
+//! Success probability, measured rounds, and abort rate of the Appendix B
+//! protocol across `(n, k)`, against the theory round count
+//! `≈ np + 2 = O(n/k · log²n)` and the trivial `n`-round baseline.
+//! Includes the ablation over the activation probability `p` (the paper's
+//! choice `p = log²n/k` against half and double).
+
+use bcc_bench::{banner, f, print_table};
+use bcc_graphs::planted::sample_rand;
+use bcc_planted::find::{activation_probability, find_planted_clique, measure_find};
+use bcc_planted::bounds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "E14: finding the planted clique",
+        "Appendix B, Theorem B.1",
+        "O(n/k polylog n) rounds, success w.h.p. for k = omega(log^2 n)",
+    );
+    let mut rng = StdRng::seed_from_u64(bcc_bench::SEED);
+
+    println!("\n-- success and rounds across (n, k) --");
+    let mut rows = Vec::new();
+    for &(n, k, trials) in &[
+        (256usize, 100usize, 10usize),
+        (256, 128, 10),
+        (512, 150, 8),
+        (512, 220, 8),
+        (1024, 250, 5),
+        (1024, 400, 5),
+    ] {
+        let p = activation_probability(n, k);
+        let stats = measure_find(n, k, p, trials, &mut rng);
+        rows.push(vec![
+            n.to_string(),
+            k.to_string(),
+            f(p),
+            f(stats.success_rate),
+            format!("{:.0}", stats.mean_rounds),
+            format!("{:.0}", bounds::theorem_b_1_rounds(n, k)),
+            n.to_string(),
+            f(stats.abort_rate),
+        ]);
+    }
+    print_table(
+        &["n", "k", "p", "success", "rounds meas", "rounds theory", "trivial", "abort"],
+        &rows,
+    );
+
+    println!("\n-- soundness: clique-free inputs abort --");
+    let mut aborts = 0usize;
+    let trials = 10usize;
+    for _ in 0..trials {
+        let g = sample_rand(&mut rng, 512);
+        let out = find_planted_clique(&g, activation_probability(512, 220), &mut rng);
+        if out.abort.is_some() {
+            aborts += 1;
+        }
+    }
+    println!("  {aborts}/{trials} clique-free runs aborted (all should)");
+
+    println!("\n-- ablation: activation probability around p* = log^2(n)/k --");
+    let (n, k) = (512usize, 220usize);
+    let pstar = activation_probability(n, k);
+    let mut rows = Vec::new();
+    for &(label, p) in &[("p*/2", pstar / 2.0), ("p*", pstar), ("2p* (cap 1)", (2.0 * pstar).min(1.0))] {
+        let stats = measure_find(n, k, p, 8, &mut rng);
+        rows.push(vec![
+            label.into(),
+            f(p),
+            f(stats.success_rate),
+            format!("{:.0}", stats.mean_rounds),
+            f(stats.abort_rate),
+        ]);
+    }
+    print_table(&["p", "value", "success", "rounds", "abort"], &rows);
+    println!(
+        "\nShape check: success ~1 once k >> log^2 n; measured rounds track\n\
+         np + 2 and sit well below the trivial n; halving p cuts rounds\n\
+         but erodes the active-clique margin."
+    );
+}

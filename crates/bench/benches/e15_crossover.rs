@@ -1,0 +1,63 @@
+//! E15 — the detectability crossover (§1.2's "interesting values of k").
+//!
+//! Sweeps `k` from `log n` to past `√n` at fixed `n` and shows the three
+//! regimes the paper describes: the lower-bound bound `k²/√n` (vacuous
+//! above `n^{1/4}`), the degree heuristic (switches on around `√n`), and
+//! the Appendix B protocol (works from `ω(log²n)` but pays rounds).
+
+use bcc_bench::{banner, f, print_table};
+use bcc_planted::bounds;
+use bcc_planted::degree::measure_degree;
+use bcc_planted::find::{activation_probability, measure_find};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "E15: detectability crossover",
+        "Section 1.2 (interesting range log n .. sqrt(n))",
+        "who detects the clique where: lower bound vs degree heuristic vs Appendix B",
+    );
+    let mut rng = StdRng::seed_from_u64(bcc_bench::SEED);
+    let n = 1024usize; // sqrt(n) = 32, log^2 n = 100
+
+    let mut rows = Vec::new();
+    for &k in &[8usize, 16, 32, 64, 128, 200, 320, 512] {
+        let bound = bounds::theorem_1_6(n, k).min(9.99);
+        let deg = measure_degree(n, k, 8, &mut rng);
+        let (find_success, find_rounds) = if k >= 110 {
+            let stats = measure_find(n, k, activation_probability(n, k), 4, &mut rng);
+            (f(stats.success_rate), format!("{:.0}", stats.mean_rounds))
+        } else {
+            // Below ~log²n Appendix B's clique threshold cannot be met.
+            ("-".into(), "-".into())
+        };
+        rows.push(vec![
+            k.to_string(),
+            f(k as f64 / (n as f64).sqrt()),
+            f(bound),
+            f(deg.mean_recall),
+            find_success,
+            find_rounds,
+        ]);
+    }
+    print_table(
+        &[
+            "k",
+            "k/sqrt(n)",
+            "LB bound k^2/sqrt(n)",
+            "degree recall",
+            "appxB success",
+            "appxB rounds",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check (the paper's landscape at n = {n}):\n\
+         - k <~ n^(1/4) = 5.7: the lower-bound column is o(1) — provably\n\
+           undetectable by poly-round BCAST(1) protocols;\n\
+         - k around sqrt(n) = 32: degree recall climbs from chance to 1;\n\
+         - k >= omega(log^2 n) = 100: Appendix B recovers the clique in\n\
+           ~ n log^2(n)/k + 2 rounds."
+    );
+}

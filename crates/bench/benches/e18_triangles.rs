@@ -1,0 +1,89 @@
+//! E18 (extension) — triangle counting (§9's first suggested problem).
+//!
+//! The exact protocol costs `n` rounds; the sampling protocol trades
+//! rounds for error. The separation table shows when the triangle
+//! statistic detects a planted clique: the boost is `Θ(k³)` against
+//! `Θ(n^{3/2})` noise, crossing at `k ≈ √n` — consistent with the paper's
+//! landscape, and a concrete target for the framework's extension.
+
+use bcc_bench::{banner, f, print_table};
+use bcc_graphs::planted::{sample_planted, sample_rand};
+use bcc_planted::triangles::{
+    exact_count_protocol, expected_triangles_rand, mutual_triangle_count,
+    sampled_count_protocol, separation,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "E18 (extension): triangle counting",
+        "Section 9 (suggested problem)",
+        "exact n-round protocol vs sublinear sampling; planted-clique boost Theta(k^3) vs Theta(n^(3/2)) noise",
+    );
+    let mut rng = StdRng::seed_from_u64(bcc_bench::SEED);
+
+    println!("\n-- protocols on one A_rand instance --");
+    let n = 96usize;
+    let g = sample_rand(&mut rng, n);
+    let truth = mutual_triangle_count(&g);
+    let exact = exact_count_protocol(&g);
+    let mut rows = vec![vec![
+        "exact broadcast".into(),
+        exact.rounds_used.to_string(),
+        f(exact.count),
+        truth.to_string(),
+        f(expected_triangles_rand(n)),
+    ]];
+    for &s in &[200usize, 1000, 4000] {
+        let est = sampled_count_protocol(&g, s, &mut rng);
+        rows.push(vec![
+            format!("sampled (s={s})"),
+            est.rounds_used.to_string(),
+            f(est.count),
+            truth.to_string(),
+            f(expected_triangles_rand(n)),
+        ]);
+    }
+    print_table(
+        &["protocol", "rounds", "count", "truth", "E[rand]"],
+        &rows,
+    );
+
+    println!("\n-- separation: planted-clique boost vs sampling noise --");
+    let mut rows = Vec::new();
+    let n = 100usize;
+    for &k in &[4usize, 8, 12, 20, 32] {
+        let (m_rand, m_planted, std_rand) = separation(n, k, 25, &mut rng);
+        let kc3 = (k * (k - 1) * (k - 2)) as f64 / 6.0;
+        let sigmas = (m_planted - m_rand) / std_rand.max(1e-9);
+        rows.push(vec![
+            k.to_string(),
+            f(k as f64 / (n as f64).sqrt()),
+            f(m_rand),
+            f(m_planted),
+            f(kc3),
+            f(std_rand),
+            f(sigmas),
+        ]);
+    }
+    print_table(
+        &["k", "k/sqrt(n)", "E[rand]", "E[planted]", "C(k,3)", "std(rand)", "shift/std"],
+        &rows,
+    );
+
+    println!("\n-- sanity: the detector actually detects at large k --");
+    let inst = sample_planted(&mut rng, 100, 32);
+    let g0 = sample_rand(&mut rng, 100);
+    println!(
+        "  planted count {} vs random count {} (threshold test separates)",
+        mutual_triangle_count(&inst.graph),
+        mutual_triangle_count(&g0)
+    );
+    println!(
+        "\nShape check: shift/std crosses ~2 sigma around k ≈ sqrt(n) = 10\n\
+         and explodes beyond — triangle counting, like degree, only works\n\
+         above the crossover; below it the paper's technique (extended per\n\
+         §9) should prove hardness."
+    );
+}

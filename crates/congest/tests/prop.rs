@@ -1,0 +1,105 @@
+//! Property-based tests for the congested-clique model.
+
+use bcc_congest::{
+    is_consistent, run_turn_protocol, FnProtocol, Model, Network, TurnTranscript,
+};
+use bcc_f2::BitVec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn transcript_push_then_read(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let mut t = TurnTranscript::empty();
+        for &b in &bits {
+            t.push(b);
+        }
+        prop_assert_eq!(t.len() as usize, bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(t.bit(i as u32), b);
+        }
+        // Round-trip through the packed form.
+        let back = TurnTranscript::from_bits(t.as_u64(), t.len());
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn prefix_is_idempotent(bits in proptest::collection::vec(any::<bool>(), 0..40), cut in 0u32..40) {
+        let mut t = TurnTranscript::empty();
+        for &b in &bits {
+            t.push(b);
+        }
+        let cut = cut.min(t.len());
+        let p = t.prefix(cut);
+        prop_assert_eq!(p.prefix(cut), p);
+        for i in 0..cut {
+            prop_assert_eq!(p.bit(i), t.bit(i));
+        }
+    }
+
+    #[test]
+    fn real_input_is_always_consistent(
+        inputs in proptest::collection::vec(0u64..16, 3),
+        seed in any::<u64>(),
+    ) {
+        // For any (seeded, deterministic) protocol, the actual inputs are
+        // consistent with the transcript they generated.
+        let p = FnProtocol::new(3, 4, 9, move |proc, input, tr| {
+            let h = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(input)
+                .wrapping_add((proc as u64) << 32)
+                .wrapping_add(u64::from(tr.len()) << 40)
+                .wrapping_add(tr.as_u64());
+            (h >> 17) & 1 == 1
+        });
+        let t = run_turn_protocol(&p, &inputs);
+        for (proc, &input) in inputs.iter().enumerate() {
+            prop_assert!(is_consistent(&p, proc, input, &t));
+        }
+    }
+
+    #[test]
+    fn consistent_inputs_reproduce_the_transcript(
+        inputs in proptest::collection::vec(0u64..8, 2),
+        alt in 0u64..8,
+    ) {
+        // If `alt` is consistent for processor 0, swapping it in yields
+        // the same transcript (the defining property of D_p).
+        let p = FnProtocol::new(2, 3, 6, |_, input, tr| {
+            (input >> (tr.len() / 2).min(2)) & 1 == 1
+        });
+        let t = run_turn_protocol(&p, &inputs);
+        if is_consistent(&p, 0, alt, &t) {
+            let t2 = run_turn_protocol(&p, &[alt, inputs[1]]);
+            prop_assert_eq!(t2, t);
+        }
+    }
+
+    #[test]
+    fn broadcast_bits_roundtrip(
+        payload_len in 1usize..40,
+        width in 1u32..8,
+        n in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payloads: Vec<BitVec> = (0..n)
+            .map(|_| {
+                (0..payload_len).map(|_| rng.gen::<bool>()).collect()
+            })
+            .collect();
+        let mut net = Network::new(Model::new(n, width));
+        let rounds = net.broadcast_bits(&payloads);
+        prop_assert_eq!(rounds, payload_len.div_ceil(width as usize));
+        prop_assert_eq!(net.collect_bits(rounds, payload_len), payloads);
+    }
+
+    #[test]
+    fn rounds_for_bits_is_exact_ceil(bits in 0usize..1000, width in 1u32..32) {
+        let m = Model::new(4, width);
+        let r = m.rounds_for_bits(bits);
+        prop_assert!(r * width as usize >= bits);
+        prop_assert!(r == 0 || ((r - 1) * (width as usize)) < bits);
+    }
+}

@@ -1,0 +1,544 @@
+//! The exact transcript-distribution engine.
+//!
+//! For row-independent input distributions the probability of a transcript
+//! prefix factorizes over processors, so a single depth-first walk of the
+//! turn tree computes — *exactly* —
+//!
+//! * the statistical distance `‖P^{(t)}(Π, A) − P^{(t)}(Π, B)‖` at every
+//!   prefix length `t` (the quantity every theorem in the paper bounds);
+//! * the progress function `L_progress^{(t)} = E_I ‖P_I^{(t)} − P_rand^{(t)}‖`
+//!   of the §3 framework, together with the mixture distance it dominates;
+//! * the distribution of the speaker's consistent-set size `|D_p^{(t)}|`
+//!   (Claims 2, 4 and 6 assert it is rarely much smaller than
+//!   `2^{-j}·|support|` after `j` of the speaker's turns).
+//!
+//! Cost is `O(2^T · Σ_I Σ_i |support|)` for horizon `T` — exponential by
+//! nature (the object itself has `2^T` states), so exact runs are for small
+//! `T`; [`crate::sample`] covers the rest.
+
+use bcc_congest::{TurnProtocol, TurnTranscript};
+
+use crate::input::ProductInput;
+
+/// Consistent-set-size thresholds tracked per turn: entry `j` is the
+/// baseline probability that the speaker's surviving support fraction is
+/// below `2^{-j}`.
+pub const FRACTION_THRESHOLDS: usize = 20;
+
+/// Per-turn statistics of the speaker's consistent input set `D_p^{(t)}`,
+/// measured under the *baseline* transcript distribution.
+#[derive(Debug, Clone)]
+pub struct SpeakerStats {
+    /// The processor speaking at this turn.
+    pub speaker: usize,
+    /// `E_{p ∼ P_base^{(t)}} [ |D_p| / |support| ]` just before the turn.
+    pub mean_fraction: f64,
+    /// `mass_below[j] = Pr_{p ∼ P_base^{(t)}} [ |D_p|/|support| < 2^{-j} ]`.
+    pub mass_below: [f64; FRACTION_THRESHOLDS],
+}
+
+/// The result of an exact mixture-vs-baseline walk.
+#[derive(Debug, Clone)]
+pub struct MixtureComparison {
+    /// The number of turns walked.
+    pub horizon: u32,
+    /// `‖ (1/|I|) Σ_I P_I^{(t)} − P_base^{(t)} ‖` for `t = 0 ..= horizon`:
+    /// the *real* distance of the mixture at each prefix length.
+    pub mixture_tv_by_depth: Vec<f64>,
+    /// `L_progress^{(t)} = (1/|I|) Σ_I ‖P_I^{(t)} − P_base^{(t)}‖` — the
+    /// paper's progress function; always ≥ the mixture distance.
+    pub progress_by_depth: Vec<f64>,
+    /// Final distance `‖P_I − P_base‖` per family member.
+    pub per_member_tv: Vec<f64>,
+    /// Speaker consistent-set statistics per turn.
+    pub speaker_stats: Vec<SpeakerStats>,
+}
+
+impl MixtureComparison {
+    /// The final mixture distance `‖P_pseudo − P_base‖`.
+    pub fn tv(&self) -> f64 {
+        *self
+            .mixture_tv_by_depth
+            .last()
+            .expect("depth profile includes depth 0")
+    }
+
+    /// The final progress value `L_progress^{(T)}`.
+    pub fn progress(&self) -> f64 {
+        *self
+            .progress_by_depth
+            .last()
+            .expect("depth profile includes depth 0")
+    }
+
+    /// The per-turn increments of the progress function (length `horizon`).
+    pub fn progress_increments(&self) -> Vec<f64> {
+        self.progress_by_depth
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect()
+    }
+}
+
+/// The result of an exact two-distribution walk
+/// (see [`exact_comparison`]).
+#[derive(Debug, Clone)]
+pub struct ExactComparison {
+    /// The number of turns walked.
+    pub horizon: u32,
+    /// `‖P_A^{(t)} − P_B^{(t)}‖` for `t = 0 ..= horizon`.
+    pub tv_by_depth: Vec<f64>,
+    /// Speaker consistent-set statistics per turn (under `B`, the
+    /// baseline).
+    pub speaker_stats: Vec<SpeakerStats>,
+}
+
+impl ExactComparison {
+    /// The final distance `‖P_A − P_B‖`.
+    pub fn tv(&self) -> f64 {
+        *self
+            .tv_by_depth
+            .last()
+            .expect("depth profile includes depth 0")
+    }
+}
+
+/// Exact statistical distance between the transcript distributions of
+/// `protocol` on inputs `a` versus `b`, with the full per-depth profile.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches or a horizon above 26 turns (the walk is
+/// `Θ(2^T)`).
+pub fn exact_comparison<P: TurnProtocol + ?Sized>(
+    protocol: &P,
+    a: &ProductInput,
+    b: &ProductInput,
+) -> ExactComparison {
+    let mix = exact_mixture_comparison(protocol, std::slice::from_ref(a), b);
+    ExactComparison {
+        horizon: mix.horizon,
+        tv_by_depth: mix.mixture_tv_by_depth,
+        speaker_stats: mix.speaker_stats,
+    }
+}
+
+/// Exact walk of a decomposition family `{A_I}` against a baseline:
+/// returns the mixture distance, the progress function, the per-member
+/// distances and the consistent-set statistics, all exactly.
+///
+/// This is the §3 framework as a computation. In particular the result
+/// exhibits `L_real ≤ L_progress` (the triangle-inequality step) and the
+/// per-turn progress increments that Lemma-format inequalities bound.
+///
+/// # Panics
+///
+/// Panics if `members` is empty, the processor counts or input widths
+/// disagree with the protocol, or the horizon exceeds 26 turns.
+pub fn exact_mixture_comparison<P: TurnProtocol + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+) -> MixtureComparison {
+    assert!(!members.is_empty(), "need at least one family member");
+    let n = protocol.n();
+    let horizon = protocol.horizon();
+    assert!(horizon <= 26, "exact walk limited to 26 turns (2^T nodes)");
+    for input in members.iter().chain(std::iter::once(baseline)) {
+        assert_eq!(input.n(), n, "processor count mismatch");
+        for row in input.iter_rows() {
+            assert_eq!(
+                row.bits(),
+                protocol.input_bits(),
+                "input width mismatch"
+            );
+        }
+    }
+
+    let m = members.len();
+    let t_len = horizon as usize;
+    let mut acc = Accumulator {
+        mixture_tv_by_depth: vec![0.0; t_len + 1],
+        progress_by_depth: vec![0.0; t_len + 1],
+        per_member_tv: vec![0.0; m],
+        mean_fraction: vec![0.0; t_len],
+        mass_below: vec![[0.0; FRACTION_THRESHOLDS]; t_len],
+    };
+
+    // Alive index sets: indices into each support's point list.
+    let mut alive_members: Vec<Vec<Vec<u32>>> = members
+        .iter()
+        .map(|inp| {
+            (0..n)
+                .map(|i| (0..inp.row(i).len() as u32).collect())
+                .collect()
+        })
+        .collect();
+    let mut alive_base: Vec<Vec<u32>> = (0..n)
+        .map(|i| (0..baseline.row(i).len() as u32).collect())
+        .collect();
+
+    let probs = vec![1.0f64; m];
+    walk(
+        protocol,
+        members,
+        baseline,
+        TurnTranscript::empty(),
+        &mut alive_members,
+        &mut alive_base,
+        &probs,
+        1.0,
+        &mut acc,
+    );
+
+    MixtureComparison {
+        horizon,
+        mixture_tv_by_depth: acc.mixture_tv_by_depth,
+        progress_by_depth: acc.progress_by_depth,
+        per_member_tv: acc.per_member_tv,
+        speaker_stats: (0..t_len)
+            .map(|t| SpeakerStats {
+                speaker: protocol.speaker(t as u32),
+                mean_fraction: acc.mean_fraction[t],
+                mass_below: acc.mass_below[t],
+            })
+            .collect(),
+    }
+}
+
+struct Accumulator {
+    mixture_tv_by_depth: Vec<f64>,
+    progress_by_depth: Vec<f64>,
+    per_member_tv: Vec<f64>,
+    mean_fraction: Vec<f64>,
+    mass_below: Vec<[f64; FRACTION_THRESHOLDS]>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk<P: TurnProtocol + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    transcript: TurnTranscript,
+    alive_members: &mut [Vec<Vec<u32>>],
+    alive_base: &mut [Vec<u32>],
+    probs: &[f64],
+    prob_base: f64,
+    acc: &mut Accumulator,
+) {
+    let t = transcript.len() as usize;
+    let m = members.len();
+
+    // Depth-t prefix accumulation.
+    let avg: f64 = probs.iter().sum::<f64>() / m as f64;
+    acc.mixture_tv_by_depth[t] += (avg - prob_base).abs() / 2.0;
+    let mut progress = 0.0;
+    for &p in probs {
+        progress += (p - prob_base).abs();
+    }
+    acc.progress_by_depth[t] += progress / (2.0 * m as f64);
+
+    if transcript.len() == protocol.horizon() {
+        for (i, &p) in probs.iter().enumerate() {
+            acc.per_member_tv[i] += (p - prob_base).abs() / 2.0;
+        }
+        return;
+    }
+
+    let speaker = protocol.speaker(transcript.len());
+
+    // Consistent-set statistics of the speaker, weighted by the baseline.
+    if prob_base > 0.0 {
+        let fraction = alive_base[speaker].len() as f64 / baseline.row(speaker).len() as f64;
+        acc.mean_fraction[t] += prob_base * fraction;
+        for (j, slot) in acc.mass_below[t].iter_mut().enumerate() {
+            if fraction < 2f64.powi(-(j as i32)) {
+                *slot += prob_base;
+            }
+        }
+    }
+
+    // Partition the speaker's alive sets by the broadcast bit.
+    let partition = |support: &[u64], alive: &[u32]| -> (Vec<u32>, Vec<u32>) {
+        let mut zero = Vec::new();
+        let mut one = Vec::new();
+        for &idx in alive {
+            if protocol.bit(speaker, support[idx as usize], &transcript) {
+                one.push(idx);
+            } else {
+                zero.push(idx);
+            }
+        }
+        (zero, one)
+    };
+
+    let base_parts = partition(baseline.row(speaker).points(), &alive_base[speaker]);
+    let member_parts: Vec<(Vec<u32>, Vec<u32>)> = (0..m)
+        .map(|i| partition(members[i].row(speaker).points(), &alive_members[i][speaker]))
+        .collect();
+
+    for bit in [false, true] {
+        let base_total = alive_base[speaker].len();
+        let base_part = if bit { &base_parts.1 } else { &base_parts.0 };
+        let child_prob_base = if base_total == 0 {
+            0.0
+        } else {
+            prob_base * base_part.len() as f64 / base_total as f64
+        };
+
+        let mut child_probs = Vec::with_capacity(m);
+        for i in 0..m {
+            let total = alive_members[i][speaker].len();
+            let part = if bit {
+                &member_parts[i].1
+            } else {
+                &member_parts[i].0
+            };
+            child_probs.push(if total == 0 {
+                0.0
+            } else {
+                probs[i] * part.len() as f64 / total as f64
+            });
+        }
+
+        // Prune dead subtrees: they contribute zero everywhere.
+        if child_prob_base == 0.0 && child_probs.iter().all(|&p| p == 0.0) {
+            continue;
+        }
+
+        // Swap in the children's alive sets, recurse, restore.
+        let saved_base = std::mem::replace(
+            &mut alive_base[speaker],
+            if bit {
+                base_parts.1.clone()
+            } else {
+                base_parts.0.clone()
+            },
+        );
+        let saved_members: Vec<Vec<u32>> = (0..m)
+            .map(|i| {
+                std::mem::replace(
+                    &mut alive_members[i][speaker],
+                    if bit {
+                        member_parts[i].1.clone()
+                    } else {
+                        member_parts[i].0.clone()
+                    },
+                )
+            })
+            .collect();
+
+        walk(
+            protocol,
+            members,
+            baseline,
+            transcript.child(bit),
+            alive_members,
+            alive_base,
+            &child_probs,
+            child_prob_base,
+            acc,
+        );
+
+        alive_base[speaker] = saved_base;
+        for (i, saved) in saved_members.into_iter().enumerate() {
+            alive_members[i][speaker] = saved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::RowSupport;
+    use bcc_congest::FnProtocol;
+
+    fn uniform(n: usize, bits: u32) -> ProductInput {
+        ProductInput::uniform(n, bits)
+    }
+
+    #[test]
+    fn input_oblivious_protocol_has_zero_distance() {
+        let p = FnProtocol::new(3, 4, 6, |proc, _, tr| (proc + tr.len() as usize).is_multiple_of(2));
+        let a = uniform(3, 4);
+        let b = ProductInput::new(vec![
+            RowSupport::explicit(4, vec![0]),
+            RowSupport::explicit(4, vec![1, 2]),
+            RowSupport::explicit(4, vec![3, 7, 11]),
+        ]);
+        let cmp = exact_comparison(&p, &a, &b);
+        for (t, tv) in cmp.tv_by_depth.iter().enumerate() {
+            assert!(tv.abs() < 1e-12, "depth {t}: tv {tv}");
+        }
+    }
+
+    #[test]
+    fn single_bit_reveal_matches_hand_computation() {
+        // One processor broadcasts its only bit. A = uniform {0,1},
+        // B = always 1. Transcript TV = 1/2.
+        let p = FnProtocol::new(1, 1, 1, |_, input, _| input == 1);
+        let a = uniform(1, 1);
+        let b = ProductInput::new(vec![RowSupport::explicit(1, vec![1])]);
+        let cmp = exact_comparison(&p, &a, &b);
+        assert!((cmp.tv() - 0.5).abs() < 1e-12);
+        assert!(cmp.tv_by_depth[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_reveal_reaches_input_tv() {
+        // Each of 2 processors broadcasts its 1-bit input; transcripts
+        // determine inputs, so transcript TV = input TV.
+        let p = FnProtocol::new(2, 1, 2, |_, input, _| input == 1);
+        let a = uniform(2, 1);
+        // B: both processors always broadcast equal bits (correlated is
+        // impossible in ProductInput; use biased-to-1 rows instead).
+        let b = ProductInput::new(vec![
+            RowSupport::explicit(1, vec![1]),
+            RowSupport::explicit(1, vec![0, 1]),
+        ]);
+        let cmp = exact_comparison(&p, &a, &b);
+        // Input TV: first coordinate differs (1/2 vs 1), second identical:
+        // product TV = 1/2.
+        assert!((cmp.tv() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_by_depth_is_monotone() {
+        // Prefixes are functions of longer prefixes, so TV cannot decrease.
+        let p = FnProtocol::new(2, 3, 6, |proc, input, tr| {
+            ((input >> (tr.len() / 2)) & 1 == 1) ^ (proc == 1 && tr.len() > 2)
+        });
+        let a = uniform(2, 3);
+        let b = ProductInput::new(vec![
+            RowSupport::explicit(3, vec![0, 3, 5]),
+            RowSupport::explicit(3, vec![1, 2, 6, 7]),
+        ]);
+        let cmp = exact_comparison(&p, &a, &b);
+        for w in cmp.tv_by_depth.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "prefix TV decreased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn mixture_distance_below_progress() {
+        // L_real <= L_progress (§3): members biased oppositely, mixture
+        // closer to uniform than any member.
+        let p = FnProtocol::new(1, 2, 2, |_, input, tr| (input >> tr.len()) & 1 == 1);
+        let member0 = ProductInput::new(vec![RowSupport::explicit(2, vec![0, 1])]);
+        let member1 = ProductInput::new(vec![RowSupport::explicit(2, vec![2, 3])]);
+        let baseline = uniform(1, 2);
+        let cmp = exact_mixture_comparison(&p, &[member0, member1], &baseline);
+        for t in 0..cmp.mixture_tv_by_depth.len() {
+            assert!(
+                cmp.mixture_tv_by_depth[t] <= cmp.progress_by_depth[t] + 1e-12,
+                "depth {t}"
+            );
+        }
+        // Here the second-bit broadcast distinguishes each member
+        // perfectly but the mixture not at all.
+        assert!(cmp.progress() > 0.4);
+        assert!(cmp.tv() < 1e-12);
+    }
+
+    #[test]
+    fn per_member_tv_matches_individual_runs() {
+        let p = FnProtocol::new(2, 2, 4, |_, input, tr| {
+            (input >> (tr.len() / 2)) & 1 == 1
+        });
+        let members = vec![
+            ProductInput::new(vec![
+                RowSupport::explicit(2, vec![1, 3]),
+                RowSupport::uniform(2),
+            ]),
+            ProductInput::new(vec![
+                RowSupport::uniform(2),
+                RowSupport::explicit(2, vec![0]),
+            ]),
+        ];
+        let baseline = uniform(2, 2);
+        let mix = exact_mixture_comparison(&p, &members, &baseline);
+        for (i, member) in members.iter().enumerate() {
+            let single = exact_comparison(&p, member, &baseline);
+            assert!(
+                (mix.per_member_tv[i] - single.tv()).abs() < 1e-12,
+                "member {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn speaker_fraction_halves_per_spoken_bit() {
+        // Processor 0 broadcasts a fresh uniform input bit on each of its
+        // turns: before its (j+1)-th turn the consistent fraction is 2^-j.
+        let p = FnProtocol::new(2, 4, 8, |_, input, tr| {
+            (input >> (tr.len() / 2)) & 1 == 1
+        });
+        let a = uniform(2, 4);
+        let cmp = exact_comparison(&p, &a, &a);
+        // Turns 0,2,4,6 are processor 0's; before turn 2t it has spoken t
+        // bits.
+        for (idx, turn) in [0usize, 2, 4, 6].iter().enumerate() {
+            let s = &cmp.speaker_stats[*turn];
+            assert_eq!(s.speaker, 0);
+            let expected = 2f64.powi(-(idx as i32));
+            assert!(
+                (s.mean_fraction - expected).abs() < 1e-12,
+                "turn {turn}: {} vs {expected}",
+                s.mean_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn mass_below_tracks_fraction() {
+        // After 2 spoken bits the fraction is exactly 1/4: strictly below
+        // 2^0 and 2^-1 but not below 2^-2.
+        let p = FnProtocol::new(1, 3, 3, |_, input, tr| (input >> tr.len()) & 1 == 1);
+        let a = uniform(1, 3);
+        let cmp = exact_comparison(&p, &a, &a);
+        let s = &cmp.speaker_stats[2];
+        assert!((s.mass_below[0] - 1.0).abs() < 1e-12);
+        assert!((s.mass_below[1] - 1.0).abs() < 1e-12);
+        assert!(s.mass_below[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_supports_distance_one_after_reveal() {
+        let p = FnProtocol::new(1, 2, 2, |_, input, tr| (input >> tr.len()) & 1 == 1);
+        let a = ProductInput::new(vec![RowSupport::explicit(2, vec![0, 1])]);
+        let b = ProductInput::new(vec![RowSupport::explicit(2, vec![2, 3])]);
+        let cmp = exact_comparison(&p, &a, &b);
+        assert!((cmp.tv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_increments_are_nonnegative() {
+        let p = FnProtocol::new(2, 3, 6, |_, input, tr| {
+            (input.count_ones() as u64 + tr.as_u64()) % 2 == 1
+        });
+        let members = vec![
+            ProductInput::new(vec![
+                RowSupport::explicit(3, vec![0, 1, 2]),
+                RowSupport::uniform(3),
+            ]),
+            ProductInput::new(vec![
+                RowSupport::uniform(3),
+                RowSupport::explicit(3, vec![5, 6]),
+            ]),
+        ];
+        let baseline = uniform(2, 3);
+        let mix = exact_mixture_comparison(&p, &members, &baseline);
+        for (t, inc) in mix.progress_increments().iter().enumerate() {
+            assert!(*inc >= -1e-12, "turn {t}: negative increment {inc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn width_mismatch_panics() {
+        let p = FnProtocol::new(1, 2, 1, |_, _, _| false);
+        let a = uniform(1, 3);
+        let b = uniform(1, 3);
+        let _ = exact_comparison(&p, &a, &b);
+    }
+}

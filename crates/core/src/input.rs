@@ -1,0 +1,223 @@
+//! Row-independent input distributions: one uniform support per processor.
+//!
+//! The paper's decomposition step produces families `{A_I}` in which, after
+//! fixing the index `I`, every processor's input is *independent* and
+//! *uniform over some support set* — subcubes for planted cliques (§4),
+//! linear-code cosets for the PRG (§5–7). [`RowSupport`] is that support;
+//! [`ProductInput`] is one per processor.
+
+use bcc_f2::subcube::Subcube64;
+use rand::Rng;
+
+/// The uniform distribution over an explicit set of packed inputs for one
+/// processor.
+///
+/// # Example
+///
+/// ```
+/// use bcc_core::RowSupport;
+///
+/// let row = RowSupport::uniform(3);
+/// assert_eq!(row.len(), 8);
+/// let odd = RowSupport::explicit(3, vec![1, 3, 5, 7]);
+/// assert_eq!(odd.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSupport {
+    bits: u32,
+    points: Vec<u64>,
+}
+
+impl RowSupport {
+    /// The full cube `{0,1}^bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 25` (the engine enumerates supports; beyond this
+    /// the exact method is out of reach anyway).
+    pub fn uniform(bits: u32) -> Self {
+        assert!(bits <= 25, "support too large to enumerate");
+        RowSupport {
+            bits,
+            points: (0..(1u64 << bits)).collect(),
+        }
+    }
+
+    /// Uniform over a subcube.
+    pub fn from_subcube(cube: &Subcube64) -> Self {
+        assert!(cube.free_count() <= 25, "support too large to enumerate");
+        RowSupport {
+            bits: cube.dimension(),
+            points: cube.iter().collect(),
+        }
+    }
+
+    /// Uniform over explicit distinct points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, if points repeat, or if a point exceeds `bits`.
+    pub fn explicit(bits: u32, mut points: Vec<u64>) -> Self {
+        assert!(!points.is_empty(), "support must be non-empty");
+        assert!(bits <= 63, "packed inputs hold at most 63 bits");
+        points.sort_unstable();
+        assert!(
+            points.windows(2).all(|w| w[0] < w[1]),
+            "support points must be distinct"
+        );
+        let limit = 1u64 << bits;
+        assert!(
+            points.iter().all(|&p| p < limit),
+            "support point exceeds input width"
+        );
+        RowSupport { bits, points }
+    }
+
+    /// The input width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The number of support points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The support points, sorted ascending.
+    pub fn points(&self) -> &[u64] {
+        &self.points
+    }
+
+    /// Samples a uniform point.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.points[rng.gen_range(0..self.points.len())]
+    }
+}
+
+/// A row-independent input distribution: processor `i` draws uniformly and
+/// independently from `rows[i]`.
+///
+/// This is one member `A_I` of a decomposition family — or the baseline
+/// `A_rand` itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductInput {
+    rows: Vec<RowSupport>,
+}
+
+impl ProductInput {
+    /// Builds from per-processor supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn new(rows: Vec<RowSupport>) -> Self {
+        assert!(!rows.is_empty(), "need at least one processor");
+        ProductInput { rows }
+    }
+
+    /// Every processor uniform over `{0,1}^bits` — the `A_rand` shape for
+    /// abstract experiments.
+    pub fn uniform(n: usize, bits: u32) -> Self {
+        ProductInput::new(vec![RowSupport::uniform(bits); n])
+    }
+
+    /// The number of processors.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Processor `i`'s support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn row(&self, i: usize) -> &RowSupport {
+        &self.rows[i]
+    }
+
+    /// Iterates over the per-processor supports.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &RowSupport> {
+        self.rows.iter()
+    }
+
+    /// Samples a full input vector (one packed input per processor).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        self.rows.iter().map(|r| r.sample(rng)).collect()
+    }
+
+    /// The log₂ of the number of joint inputs, `Σ_i log₂|support_i|`.
+    pub fn log2_size(&self) -> f64 {
+        self.rows.iter().map(|r| (r.len() as f64).log2()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_support_enumerates_cube() {
+        let r = RowSupport::uniform(4);
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.points()[15], 15);
+    }
+
+    #[test]
+    fn subcube_support() {
+        let cube = Subcube64::new(4).fixed(1, true).unwrap();
+        let r = RowSupport::from_subcube(&cube);
+        assert_eq!(r.len(), 8);
+        assert!(r.points().iter().all(|p| p & 0b10 != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn explicit_rejects_duplicates() {
+        RowSupport::explicit(3, vec![1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input width")]
+    fn explicit_rejects_out_of_range() {
+        RowSupport::explicit(2, vec![4]);
+    }
+
+    #[test]
+    fn sample_stays_in_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = RowSupport::explicit(4, vec![2, 5, 9]);
+        for _ in 0..100 {
+            assert!(r.points().contains(&r.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn product_input_samples_rowwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = ProductInput::new(vec![
+            RowSupport::explicit(2, vec![1]),
+            RowSupport::explicit(2, vec![2, 3]),
+        ]);
+        for _ in 0..50 {
+            let v = input.sample(&mut rng);
+            assert_eq!(v[0], 1);
+            assert!(v[1] == 2 || v[1] == 3);
+        }
+    }
+
+    #[test]
+    fn log2_size_adds() {
+        let input = ProductInput::new(vec![
+            RowSupport::uniform(3),
+            RowSupport::explicit(3, vec![0, 1]),
+        ]);
+        assert!((input.log2_size() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's analytic framework, made executable.
+//!
+//! Chen & Grossman's method (§3, "Abstract Framework") for proving that an
+//! input distribution `A_pseudo` is indistinguishable from uniform by a
+//! low-round `BCAST(1)` protocol:
+//!
+//! 1. **Decompose** `A_pseudo = (1/|I|) Σ_{I∈I} A_I` into *row-independent*
+//!    distributions (each processor's input independent of the others once
+//!    `I` — a clique `C`, a secret vector `b`, a secret matrix `M` — is
+//!    fixed).
+//! 2. **Track the progress function**
+//!    `L_progress^{(t)} = E_I ‖P_I^{(t)} − P_rand^{(t)}‖`, which upper
+//!    bounds the real distance `‖P_pseudo^{(t)} − P_rand^{(t)}‖` by the
+//!    triangle inequality.
+//! 3. **Bound the per-turn increase** via a statistical inequality on the
+//!    speaker's *consistent input set* `D_p^{(t)}` (Lemma 1.9 plus a
+//!    lemma in the "Required Lemma Format").
+//!
+//! Because row independence makes the transcript probability factorize,
+//! every quantity in that outline is *exactly computable* for small
+//! instances by walking the transcript tree once — that walk is
+//! [`engine::exact_mixture_comparison`]. It returns the exact distance, the
+//! per-turn progress function, and the consistent-set-size statistics of
+//! Claims 2/4/6, all in one pass. [`sample`] provides the Monte-Carlo
+//! estimator used beyond exact reach.
+//!
+//! Input distributions enter as [`input::ProductInput`] — one uniform
+//! support per processor ([`input::RowSupport`]); `bcc-planted` and
+//! `bcc-prg` build these for the planted-clique and PRG families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod input;
+pub mod sample;
+pub mod wide;
+pub mod yao;
+
+pub use engine::{exact_comparison, exact_mixture_comparison, ExactComparison, MixtureComparison};
+pub use input::{ProductInput, RowSupport};
+pub use wide::{exact_wide_comparison, WideComparison};

@@ -1,0 +1,175 @@
+//! Monte-Carlo transcript-distance estimation for instances beyond exact
+//! reach.
+//!
+//! With `T ≤ 64` turns a transcript packs into a `u64`, so the empirical
+//! transcript histograms are exact objects and the only error is sampling
+//! noise (`≈ sqrt(|support| / samples)` upward bias on TV). Every estimate
+//! reports a Hoeffding-style radius through the returned sample counts.
+
+use bcc_congest::turn::run_turn_protocol;
+use bcc_congest::TurnProtocol;
+use bcc_stats::sampling::MeanEstimator;
+use bcc_stats::Dist;
+use rand::Rng;
+
+use crate::input::ProductInput;
+
+/// An estimated transcript distance with its provenance.
+#[derive(Debug, Clone)]
+pub struct SampledComparison {
+    /// Empirical `‖P_A − P_B‖` over full transcripts.
+    pub tv: f64,
+    /// Samples drawn from each side.
+    pub samples_per_side: usize,
+    /// Number of distinct transcripts observed (union of both sides).
+    pub support_seen: usize,
+}
+
+impl SampledComparison {
+    /// A crude upper bound on the sampling bias of the TV estimate:
+    /// `sqrt(support_seen / samples_per_side)` — the usual plug-in
+    /// histogram-TV error scale. Treat estimates below this as zero.
+    pub fn noise_floor(&self) -> f64 {
+        (self.support_seen as f64 / self.samples_per_side as f64).sqrt()
+    }
+}
+
+/// Estimates `‖P(Π, A) − P(Π, B)‖` by running the protocol `samples` times
+/// per side and comparing transcript histograms.
+pub fn sampled_comparison<P, R>(
+    protocol: &P,
+    a: &ProductInput,
+    b: &ProductInput,
+    samples: usize,
+    rng: &mut R,
+) -> SampledComparison
+where
+    P: TurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+{
+    sampled_comparison_with(
+        protocol,
+        |rng| a.sample(rng),
+        |rng| b.sample(rng),
+        samples,
+        rng,
+    )
+}
+
+/// Like [`sampled_comparison`] but with arbitrary joint input samplers —
+/// the tool for distributions with *dependent* rows, where no product
+/// decomposition exists (e.g. the undirected planted clique of the
+/// paper's §9 discussion).
+pub fn sampled_comparison_with<P, R, FA, FB>(
+    protocol: &P,
+    mut sample_a: FA,
+    mut sample_b: FB,
+    samples: usize,
+    rng: &mut R,
+) -> SampledComparison
+where
+    P: TurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+    FA: FnMut(&mut R) -> Vec<u64>,
+    FB: FnMut(&mut R) -> Vec<u64>,
+{
+    assert!(samples > 0, "need at least one sample");
+    let ta: Vec<u64> = (0..samples)
+        .map(|_| run_turn_protocol(protocol, &sample_a(rng)).as_u64())
+        .collect();
+    let tb: Vec<u64> = (0..samples)
+        .map(|_| run_turn_protocol(protocol, &sample_b(rng)).as_u64())
+        .collect();
+    let da = Dist::uniform(ta.iter().copied());
+    let db = Dist::uniform(tb.iter().copied());
+    let mut seen: std::collections::HashSet<u64> = ta.iter().copied().collect();
+    seen.extend(tb.iter().copied());
+    SampledComparison {
+        tv: da.tv_distance(&db),
+        samples_per_side: samples,
+        support_seen: seen.len(),
+    }
+}
+
+/// Estimates the acceptance probability of a Boolean test of the
+/// transcript under one input distribution.
+pub fn acceptance_rate<P, R, F>(
+    protocol: &P,
+    input: &ProductInput,
+    accept: F,
+    samples: usize,
+    rng: &mut R,
+) -> MeanEstimator
+where
+    P: TurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+    F: Fn(u64) -> bool,
+{
+    let mut est = MeanEstimator::new();
+    for _ in 0..samples {
+        let x = input.sample(rng);
+        let t = run_turn_protocol(protocol, &x).as_u64();
+        est.push(f64::from(accept(t)));
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::exact_comparison;
+    use crate::input::RowSupport;
+    use bcc_congest::FnProtocol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_matches_exact_on_small_instance() {
+        let p = FnProtocol::new(2, 3, 4, |_, input, tr| {
+            (input >> (tr.len() / 2)) & 1 == 1
+        });
+        let a = ProductInput::uniform(2, 3);
+        let b = ProductInput::new(vec![
+            RowSupport::explicit(3, vec![1, 3, 5, 7]),
+            RowSupport::uniform(3),
+        ]);
+        let exact = exact_comparison(&p, &a, &b).tv();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampled = sampled_comparison(&p, &a, &b, 40_000, &mut rng);
+        assert!(
+            (sampled.tv - exact).abs() < 0.02,
+            "sampled {} vs exact {exact}",
+            sampled.tv
+        );
+    }
+
+    #[test]
+    fn identical_inputs_fall_below_noise_floor() {
+        let p = FnProtocol::new(2, 2, 4, |_, input, tr| {
+            (input >> (tr.len() % 2)) & 1 == 1
+        });
+        let a = ProductInput::uniform(2, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sampled_comparison(&p, &a, &a, 20_000, &mut rng);
+        assert!(s.tv <= s.noise_floor(), "tv {} floor {}", s.tv, s.noise_floor());
+    }
+
+    #[test]
+    fn acceptance_rate_of_constant_test() {
+        let p = FnProtocol::new(1, 1, 1, |_, input, _| input == 1);
+        let a = ProductInput::uniform(1, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = acceptance_rate(&p, &a, |_| true, 500, &mut rng);
+        assert_eq!(est.count(), 500);
+        assert!((est.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_rate_tracks_transcript_bit() {
+        let p = FnProtocol::new(1, 1, 1, |_, input, _| input == 1);
+        let a = ProductInput::uniform(1, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = acceptance_rate(&p, &a, |t| t & 1 == 1, 20_000, &mut rng);
+        assert!((est.mean() - 0.5).abs() < 0.02);
+    }
+}

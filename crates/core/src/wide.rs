@@ -1,0 +1,322 @@
+//! The exact engine for `BCAST(w)` turn protocols.
+//!
+//! Identical in structure to [`crate::engine`] but branching over the
+//! `2^w`-message alphabet per turn, so footnote 2 of the paper ("all of
+//! our results generalize to the setting of logarithmic sized messages")
+//! can be checked *exactly*: a packed `BCAST(w)` protocol extracts the
+//! same statistical distance as its `BCAST(1)` unpacking, in `1/w` as
+//! many turns.
+
+use bcc_congest::wide::{WideTranscript, WideTurnProtocol};
+
+use crate::input::ProductInput;
+
+/// The result of an exact wide-protocol walk (mirror of
+/// [`crate::engine::MixtureComparison`]).
+#[derive(Debug, Clone)]
+pub struct WideComparison {
+    /// The number of turns walked.
+    pub horizon: u32,
+    /// `‖avg_I P_I^{(t)} − P_base^{(t)}‖` for `t = 0 ..= horizon`.
+    pub mixture_tv_by_depth: Vec<f64>,
+    /// The progress function `E_I ‖P_I^{(t)} − P_base^{(t)}‖`.
+    pub progress_by_depth: Vec<f64>,
+    /// Final per-member distances.
+    pub per_member_tv: Vec<f64>,
+}
+
+impl WideComparison {
+    /// The final mixture distance.
+    pub fn tv(&self) -> f64 {
+        *self
+            .mixture_tv_by_depth
+            .last()
+            .expect("depth profile includes depth 0")
+    }
+
+    /// The final progress value.
+    pub fn progress(&self) -> f64 {
+        *self
+            .progress_by_depth
+            .last()
+            .expect("depth profile includes depth 0")
+    }
+}
+
+/// Exact mixture-vs-baseline walk for a `BCAST(w)` protocol.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches or if `2^w · horizon` makes the walk
+/// larger than `2^26` nodes.
+pub fn exact_wide_comparison<P: WideTurnProtocol + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+) -> WideComparison {
+    assert!(!members.is_empty(), "need at least one family member");
+    let n = protocol.n();
+    let horizon = protocol.horizon();
+    let width = protocol.width();
+    assert!(
+        (horizon as f64) * (width as f64) <= 26.0,
+        "exact wide walk limited to 2^26 nodes"
+    );
+    for input in members.iter().chain(std::iter::once(baseline)) {
+        assert_eq!(input.n(), n, "processor count mismatch");
+        for row in input.iter_rows() {
+            assert_eq!(row.bits(), protocol.input_bits(), "input width mismatch");
+        }
+    }
+
+    let m = members.len();
+    let mut acc = WideAcc {
+        mixture_tv_by_depth: vec![0.0; horizon as usize + 1],
+        progress_by_depth: vec![0.0; horizon as usize + 1],
+        per_member_tv: vec![0.0; m],
+    };
+
+    let mut alive_members: Vec<Vec<Vec<u32>>> = members
+        .iter()
+        .map(|inp| {
+            (0..n)
+                .map(|i| (0..inp.row(i).len() as u32).collect())
+                .collect()
+        })
+        .collect();
+    let mut alive_base: Vec<Vec<u32>> = (0..n)
+        .map(|i| (0..baseline.row(i).len() as u32).collect())
+        .collect();
+
+    let probs = vec![1.0f64; m];
+    walk_wide(
+        protocol,
+        members,
+        baseline,
+        WideTranscript::empty(width),
+        &mut alive_members,
+        &mut alive_base,
+        &probs,
+        1.0,
+        &mut acc,
+    );
+
+    WideComparison {
+        horizon,
+        mixture_tv_by_depth: acc.mixture_tv_by_depth,
+        progress_by_depth: acc.progress_by_depth,
+        per_member_tv: acc.per_member_tv,
+    }
+}
+
+struct WideAcc {
+    mixture_tv_by_depth: Vec<f64>,
+    progress_by_depth: Vec<f64>,
+    per_member_tv: Vec<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_wide<P: WideTurnProtocol + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    transcript: WideTranscript,
+    alive_members: &mut [Vec<Vec<u32>>],
+    alive_base: &mut [Vec<u32>],
+    probs: &[f64],
+    prob_base: f64,
+    acc: &mut WideAcc,
+) {
+    let t = transcript.len() as usize;
+    let m = members.len();
+
+    let avg: f64 = probs.iter().sum::<f64>() / m as f64;
+    acc.mixture_tv_by_depth[t] += (avg - prob_base).abs() / 2.0;
+    let progress: f64 = probs.iter().map(|p| (p - prob_base).abs()).sum();
+    acc.progress_by_depth[t] += progress / (2.0 * m as f64);
+
+    if transcript.len() == protocol.horizon() {
+        for (i, &p) in probs.iter().enumerate() {
+            acc.per_member_tv[i] += (p - prob_base).abs() / 2.0;
+        }
+        return;
+    }
+
+    let speaker = protocol.speaker(transcript.len());
+    let alphabet = 1u64 << protocol.width();
+
+    // Partition the speaker's alive sets by the broadcast message.
+    let partition = |support: &[u64], alive: &[u32]| -> Vec<Vec<u32>> {
+        let mut parts = vec![Vec::new(); alphabet as usize];
+        for &idx in alive {
+            let msg = protocol.message(speaker, support[idx as usize], &transcript);
+            parts[msg as usize].push(idx);
+        }
+        parts
+    };
+
+    let base_parts = partition(baseline.row(speaker).points(), &alive_base[speaker]);
+    let member_parts: Vec<Vec<Vec<u32>>> = (0..m)
+        .map(|i| partition(members[i].row(speaker).points(), &alive_members[i][speaker]))
+        .collect();
+
+    for msg in 0..alphabet {
+        let base_total = alive_base[speaker].len();
+        let base_part = &base_parts[msg as usize];
+        let child_prob_base = if base_total == 0 {
+            0.0
+        } else {
+            prob_base * base_part.len() as f64 / base_total as f64
+        };
+        let mut child_probs = Vec::with_capacity(m);
+        for i in 0..m {
+            let total = alive_members[i][speaker].len();
+            let part = &member_parts[i][msg as usize];
+            child_probs.push(if total == 0 {
+                0.0
+            } else {
+                probs[i] * part.len() as f64 / total as f64
+            });
+        }
+        if child_prob_base == 0.0 && child_probs.iter().all(|&p| p == 0.0) {
+            continue;
+        }
+
+        let saved_base =
+            std::mem::replace(&mut alive_base[speaker], base_parts[msg as usize].clone());
+        let saved_members: Vec<Vec<u32>> = (0..m)
+            .map(|i| {
+                std::mem::replace(
+                    &mut alive_members[i][speaker],
+                    member_parts[i][msg as usize].clone(),
+                )
+            })
+            .collect();
+
+        walk_wide(
+            protocol,
+            members,
+            baseline,
+            transcript.child(msg),
+            alive_members,
+            alive_base,
+            &child_probs,
+            child_prob_base,
+            acc,
+        );
+
+        alive_base[speaker] = saved_base;
+        for (i, saved) in saved_members.into_iter().enumerate() {
+            alive_members[i][speaker] = saved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::exact_mixture_comparison;
+    use crate::input::RowSupport;
+    use bcc_congest::wide::{FnWideProtocol, PackedAdapter};
+    use bcc_congest::{FnProtocol, TurnProtocol, TurnTranscript};
+
+    #[test]
+    fn width_one_matches_bit_engine() {
+        // A BCAST(1) protocol expressed through both engines gives the
+        // same distances.
+        let bitp = FnProtocol::new(2, 3, 4, |_, input, tr| {
+            (input >> (tr.len() / 2)) & 1 == 1
+        });
+        let widep = FnWideProtocol::new(2, 3, 1, 4, |_, input, tr| {
+            (input >> (tr.len() / 2)) & 1
+        });
+        let a = ProductInput::new(vec![
+            RowSupport::explicit(3, vec![0, 2, 5, 7]),
+            RowSupport::uniform(3),
+        ]);
+        let b = ProductInput::uniform(2, 3);
+        let bit = exact_mixture_comparison(&bitp, std::slice::from_ref(&a), &b);
+        let wide = exact_wide_comparison(&widep, std::slice::from_ref(&a), &b);
+        assert!((bit.tv() - wide.tv()).abs() < 1e-12);
+        assert_eq!(bit.mixture_tv_by_depth.len(), wide.mixture_tv_by_depth.len());
+        for (x, y) in bit
+            .mixture_tv_by_depth
+            .iter()
+            .zip(&wide.mixture_tv_by_depth)
+        {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn packed_adapter_preserves_distance_in_fewer_turns() {
+        // Footnote 2, executable: pack 2 single-bit turns per message —
+        // same final distance, half the turns.
+        struct Contig<F>(FnProtocol<F>);
+        impl<F: Fn(usize, u64, &TurnTranscript) -> bool> TurnProtocol for Contig<F> {
+            fn n(&self) -> usize {
+                self.0.n()
+            }
+            fn input_bits(&self) -> u32 {
+                self.0.input_bits()
+            }
+            fn horizon(&self) -> u32 {
+                self.0.horizon()
+            }
+            fn speaker(&self, t: u32) -> usize {
+                (t / 2) as usize % self.n()
+            }
+            fn bit(&self, proc: usize, input: u64, tr: &TurnTranscript) -> bool {
+                self.0.bit(proc, input, tr)
+            }
+        }
+        let make_inner = || {
+            Contig(FnProtocol::new(2, 4, 8, |_, input, tr| {
+                (input >> (tr.len() % 4)) & 1 == 1
+            }))
+        };
+        let a = ProductInput::new(vec![
+            RowSupport::explicit(4, (0..16).filter(|x| x % 3 != 0).collect()),
+            RowSupport::uniform(4),
+        ]);
+        let b = ProductInput::uniform(2, 4);
+
+        let inner = make_inner();
+        let bit = exact_mixture_comparison(&inner, std::slice::from_ref(&a), &b);
+        let packed = PackedAdapter::new(make_inner(), 2);
+        let wide = exact_wide_comparison(&packed, std::slice::from_ref(&a), &b);
+        assert_eq!(wide.horizon * 2, bit.horizon);
+        assert!(
+            (bit.tv() - wide.tv()).abs() < 1e-12,
+            "bit {} vs wide {}",
+            bit.tv(),
+            wide.tv()
+        );
+    }
+
+    #[test]
+    fn wider_messages_extract_distance_faster() {
+        // One BCAST(4) turn reveals the speaker's low nibble — as much as
+        // four BCAST(1) turns.
+        let wide = FnWideProtocol::new(1, 4, 4, 1, |_, input, _| input & 0xF);
+        let a = ProductInput::new(vec![RowSupport::explicit(4, vec![0, 1, 2, 3])]);
+        let b = ProductInput::uniform(1, 4);
+        let cmp = exact_wide_comparison(&wide, std::slice::from_ref(&a), &b);
+        assert!((cmp.tv() - 0.75).abs() < 1e-12);
+        assert_eq!(cmp.horizon, 1);
+    }
+
+    #[test]
+    fn mixture_below_progress_wide() {
+        let wide = FnWideProtocol::new(1, 3, 2, 2, |_, input, tr| {
+            (input >> tr.len()) & 0b11
+        });
+        let m0 = ProductInput::new(vec![RowSupport::explicit(3, vec![0, 1])]);
+        let m1 = ProductInput::new(vec![RowSupport::explicit(3, vec![6, 7])]);
+        let base = ProductInput::uniform(1, 3);
+        let cmp = exact_wide_comparison(&wide, &[m0, m1], &base);
+        for t in 0..cmp.mixture_tv_by_depth.len() {
+            assert!(cmp.mixture_tv_by_depth[t] <= cmp.progress_by_depth[t] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the exact engine: its outputs must satisfy the
+//! structural identities the paper's framework relies on, for *arbitrary*
+//! protocols and input families.
+
+use bcc_congest::FnProtocol;
+use bcc_core::{exact_comparison, exact_mixture_comparison, ProductInput, RowSupport};
+use proptest::prelude::*;
+
+/// An arbitrary deterministic protocol seeded by `seed`.
+fn protocol(n: usize, bits: u32, horizon: u32, seed: u64) -> FnProtocol<impl Fn(usize, u64, &bcc_congest::TurnTranscript) -> bool> {
+    FnProtocol::new(n, bits, horizon, move |proc, input, tr| {
+        let mut z = seed
+            .wrapping_add(input.wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_add((proc as u64) << 24)
+            .wrapping_add(u64::from(tr.len()) << 48)
+            .wrapping_add(tr.as_u64().wrapping_mul(0xBF58476D1CE4E5B9));
+        z ^= z >> 29;
+        z = z.wrapping_mul(0x94D049BB133111EB);
+        (z >> 33) & 1 == 1
+    })
+}
+
+fn arb_support(bits: u32) -> impl Strategy<Value = RowSupport> {
+    let size = 1u64 << bits;
+    proptest::collection::btree_set(0..size, 1..=size as usize)
+        .prop_map(move |set| RowSupport::explicit(bits, set.into_iter().collect()))
+}
+
+fn arb_input(n: usize, bits: u32) -> impl Strategy<Value = ProductInput> {
+    proptest::collection::vec(arb_support(bits), n).prop_map(ProductInput::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tv_is_symmetric_and_bounded(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        let p = protocol(2, 3, 6, seed);
+        let ab = exact_comparison(&p, &a, &b);
+        let ba = exact_comparison(&p, &b, &a);
+        prop_assert!((ab.tv() - ba.tv()).abs() < 1e-12);
+        for t in 0..ab.tv_by_depth.len() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ab.tv_by_depth[t]));
+        }
+    }
+
+    #[test]
+    fn identical_inputs_have_zero_distance(a in arb_input(2, 3), seed in any::<u64>()) {
+        let p = protocol(2, 3, 6, seed);
+        let cmp = exact_comparison(&p, &a, &a);
+        prop_assert!(cmp.tv() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_tv_is_monotone(a in arb_input(2, 3), b in arb_input(2, 3), seed in any::<u64>()) {
+        // Longer transcripts can only reveal more (data processing in
+        // reverse): prefix TV is nondecreasing in t.
+        let p = protocol(2, 3, 8, seed);
+        let cmp = exact_comparison(&p, &a, &b);
+        for w in cmp.tv_by_depth.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "prefix TV decreased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn mixture_below_progress_and_members(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        base in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        // The §3 inequality chain: L_real <= L_progress = avg of member
+        // distances <= max member distance.
+        let p = protocol(2, 3, 6, seed);
+        let members = vec![a.clone(), b.clone()];
+        let mix = exact_mixture_comparison(&p, &members, &base);
+        for t in 0..mix.mixture_tv_by_depth.len() {
+            prop_assert!(mix.mixture_tv_by_depth[t] <= mix.progress_by_depth[t] + 1e-12);
+        }
+        let avg = (mix.per_member_tv[0] + mix.per_member_tv[1]) / 2.0;
+        prop_assert!((mix.progress() - avg).abs() < 1e-12);
+        // Per-member results agree with standalone walks.
+        let solo_a = exact_comparison(&p, &a, &base).tv();
+        prop_assert!((mix.per_member_tv[0] - solo_a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_increments_nonnegative(
+        a in arb_input(2, 3),
+        base in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        let p = protocol(2, 3, 8, seed);
+        let mix = exact_mixture_comparison(&p, &[a], &base);
+        for inc in mix.progress_increments() {
+            prop_assert!(inc >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn speaker_fraction_starts_at_one_and_never_grows_in_expectation(
+        a in arb_input(2, 4),
+        seed in any::<u64>(),
+    ) {
+        // Under baseline = a itself, processor 0's expected consistent
+        // fraction is nonincreasing over its own turns.
+        let p = protocol(2, 4, 8, seed);
+        let cmp = exact_comparison(&p, &a, &a);
+        let own_turns: Vec<f64> = cmp
+            .speaker_stats
+            .iter()
+            .filter(|s| s.speaker == 0)
+            .map(|s| s.mean_fraction)
+            .collect();
+        prop_assert!((own_turns[0] - 1.0).abs() < 1e-12);
+        for w in own_turns.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_brackets_exact(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let p = protocol(2, 3, 4, seed);
+        let exact = exact_comparison(&p, &a, &b).tv();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let sampled = bcc_core::sample::sampled_comparison(&p, &a, &b, 20_000, &mut rng);
+        prop_assert!(
+            (sampled.tv - exact).abs() <= sampled.noise_floor() + 0.05,
+            "sampled {} vs exact {exact} (floor {})",
+            sampled.tv,
+            sampled.noise_floor()
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! The rank distribution of uniformly random F₂ matrices.
+//!
+//! Theorem 1.4 of the paper uses the following facts (its §6.1, citing
+//! Kolchin's *Random Graphs* §3.2): if `P_{n,s}` is the probability that a
+//! uniform `n × n` matrix over F₂ has rank `n − s`, then `P_{n,s} → Q_s`
+//! with
+//!
+//! ```text
+//! Q_s = 2^{-s²} · ∏_{i ≥ s+1} (1 − 2^{-i}) · ∏_{1 ≤ i ≤ s} (1 − 2^{-i})^{-1}
+//! ```
+//!
+//! and numerically `Q_0 ≈ 0.2887880950866`. This module computes both the
+//! exact finite-size law and the limit constants; experiment E9 compares
+//! them against sampled matrices.
+
+use rand::Rng;
+
+use crate::{gauss, BitMatrix};
+
+/// Kolchin's limit constant `Q_s = lim_n Pr[rank(U_{n×n}) = n − s]`.
+///
+/// # Panics
+///
+/// Panics if `s > 64` (the constant underflows `f64` long before that).
+///
+/// # Example
+///
+/// ```
+/// let q0 = bcc_f2::rank_dist::limit_q(0);
+/// assert!((q0 - 0.2887880950866).abs() < 1e-10);
+/// ```
+pub fn limit_q(s: u32) -> f64 {
+    assert!(s <= 64, "Q_s underflows f64 for s > 64");
+    // ∏_{i ≥ s+1} (1 − 2^{-i}): truncate once additional factors are
+    // indistinguishable from 1 at f64 precision.
+    let mut tail = 1.0f64;
+    for i in (s + 1)..128 {
+        tail *= 1.0 - 2f64.powi(-(i as i32));
+    }
+    let mut head_inv = 1.0f64;
+    for i in 1..=s {
+        head_inv /= 1.0 - 2f64.powi(-(i as i32));
+    }
+    2f64.powi(-((s * s) as i32)) * tail * head_inv
+}
+
+/// The exact probability that a uniform `nrows × ncols` F₂ matrix has rank
+/// exactly `r`.
+///
+/// Uses the classical count of rank-`r` matrices,
+/// `∏_{i<r} (2^m − 2^i)(2^n − 2^i) / (2^r − 2^i)`, evaluated in log-space so
+/// it is stable for large dimensions.
+///
+/// Returns `0.0` if `r > min(nrows, ncols)`.
+pub fn rank_probability(nrows: usize, ncols: usize, r: usize) -> f64 {
+    if r > nrows.min(ncols) {
+        return 0.0;
+    }
+    // log2 of the count of rank-r matrices, minus log2 of the total count.
+    let mut log2p = -((nrows * ncols) as f64);
+    for i in 0..r {
+        log2p += log2_pow2_minus(nrows as u32, i as u32);
+        log2p += log2_pow2_minus(ncols as u32, i as u32);
+        log2p -= log2_pow2_minus(r as u32, i as u32);
+    }
+    2f64.powf(log2p)
+}
+
+/// `log2(2^a − 2^b)` for `b < a`, computed without overflow.
+fn log2_pow2_minus(a: u32, b: u32) -> f64 {
+    // 2^a − 2^b = 2^b (2^{a−b} − 1)
+    b as f64 + (2f64.powi((a - b) as i32) - 1.0).log2()
+}
+
+/// The full probability mass function of the rank of a uniform
+/// `nrows × ncols` matrix, indexed by rank `0 ..= min(nrows, ncols)`.
+///
+/// The entries sum to 1 up to floating-point error.
+pub fn rank_pmf(nrows: usize, ncols: usize) -> Vec<f64> {
+    (0..=nrows.min(ncols))
+        .map(|r| rank_probability(nrows, ncols, r))
+        .collect()
+}
+
+/// The probability that a uniform `n × n` matrix is full rank.
+///
+/// Converges to `Q_0 ≈ 0.2888` from above as `n → ∞`.
+pub fn full_rank_probability(n: usize) -> f64 {
+    // ∏_{i=1..n} (1 − 2^{-i})
+    (1..=n as i32).map(|i| 1.0 - 2f64.powi(-i)).product()
+}
+
+/// Estimates the rank PMF empirically from `samples` random matrices.
+///
+/// Returns a vector of frequencies indexed by rank. Used by experiment E9 to
+/// confront the paper's `Q_s` constants with measurement.
+pub fn empirical_rank_pmf<R: Rng + ?Sized>(
+    rng: &mut R,
+    nrows: usize,
+    ncols: usize,
+    samples: usize,
+) -> Vec<f64> {
+    let mut counts = vec![0usize; nrows.min(ncols) + 1];
+    for _ in 0..samples {
+        let m = BitMatrix::random(rng, nrows, ncols);
+        counts[gauss::rank(&m)] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / samples as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn q0_matches_paper_constant() {
+        // §6.1: "Numerically, we have Q_0 ≈ 0.2887880950866".
+        assert!((limit_q(0) - 0.2887880950866).abs() < 1e-10);
+    }
+
+    #[test]
+    fn q_shape_and_summing_to_one() {
+        let qs: Vec<f64> = (0..12).map(limit_q).collect();
+        // Corank 1 is the single most likely outcome; beyond it the law
+        // decays (super-)geometrically.
+        assert!(qs[1] > qs[0]);
+        for w in qs[1..].windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        let total: f64 = qs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "ΣQ_s = {total}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (m, n) in [(4, 4), (6, 3), (10, 10), (64, 64)] {
+            let total: f64 = rank_pmf(m, n).iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "pmf({m},{n}) sums to {total}");
+        }
+    }
+
+    #[test]
+    fn full_rank_probability_matches_pmf() {
+        for n in [1usize, 2, 5, 9] {
+            let pmf = rank_pmf(n, n);
+            assert!((pmf[n] - full_rank_probability(n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn finite_law_converges_to_limit() {
+        // P_{n,s} → Q_s; at n = 40 the gap is far below 1e-6.
+        for s in 0..4usize {
+            let p = rank_probability(40, 40, 40 - s);
+            assert!(
+                (p - limit_q(s as u32)).abs() < 1e-6,
+                "s={s}: finite {p} vs limit {}",
+                limit_q(s as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_cases_by_hand() {
+        // 1x1: rank 0 iff the entry is 0.
+        assert!((rank_probability(1, 1, 0) - 0.5).abs() < 1e-12);
+        assert!((rank_probability(1, 1, 1) - 0.5).abs() < 1e-12);
+        // 2x2: 6 of 16 matrices are invertible.
+        assert!((rank_probability(2, 2, 2) - 6.0 / 16.0).abs() < 1e-12);
+        // 2x2 rank 0: only the zero matrix.
+        assert!((rank_probability(2, 2, 0) - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_matches_exact() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let emp = empirical_rank_pmf(&mut rng, 8, 8, 4000);
+        let exact = rank_pmf(8, 8);
+        for (e, x) in emp.iter().zip(&exact) {
+            assert!((e - x).abs() < 0.05, "empirical {e} vs exact {x}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the F₂ substrate.
+
+use bcc_f2::subcube::Subcube64;
+use bcc_f2::{gauss, BitMatrix, BitVec};
+use proptest::prelude::*;
+
+fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|v| BitVec::from_bools(&v))
+}
+
+fn arb_matrix(nrows: usize, ncols: usize) -> impl Strategy<Value = BitMatrix> {
+    proptest::collection::vec(arb_bitvec(ncols), nrows)
+        .prop_map(move |rows| BitMatrix::from_rows(rows, ncols))
+}
+
+proptest! {
+    #[test]
+    fn xor_commutes(a in arb_bitvec(80), b in arb_bitvec(80)) {
+        prop_assert_eq!(&a ^ &b, &b ^ &a);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in arb_bitvec(40), b in arb_bitvec(40), c in arb_bitvec(40)) {
+        // <a + b, c> = <a, c> + <b, c>
+        let lhs = (&a ^ &b).dot(&c);
+        let rhs = a.dot(&c) ^ b.dot(&c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn matvec_is_linear(m in arb_matrix(6, 8), x in arb_bitvec(8), y in arb_bitvec(8)) {
+        let lhs = m.mul_vec(&(&x ^ &y));
+        let rhs = &m.mul_vec(&x) ^ &m.mul_vec(&y);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn left_mul_matches_transpose(m in arb_matrix(7, 5), x in arb_bitvec(7)) {
+        prop_assert_eq!(m.left_mul_vec(&x), m.transpose().mul_vec(&x));
+    }
+
+    #[test]
+    fn rank_subadditive_under_stacking(a in arb_matrix(4, 6), b in arb_matrix(3, 6)) {
+        let mut rows: Vec<BitVec> = a.iter_rows().cloned().collect();
+        rows.extend(b.iter_rows().cloned());
+        let stacked = BitMatrix::from_rows(rows, 6);
+        let r = gauss::rank(&stacked);
+        prop_assert!(r <= gauss::rank(&a) + gauss::rank(&b));
+        prop_assert!(r >= gauss::rank(&a).max(gauss::rank(&b)));
+    }
+
+    #[test]
+    fn solve_returns_actual_solutions(m in arb_matrix(6, 6), b in arb_bitvec(6)) {
+        if let Some(x) = gauss::solve(&m, &b) {
+            prop_assert_eq!(m.mul_vec(&x), b);
+        } else {
+            // Inconsistent: b not in column space, rank([A|b]) > rank(A).
+            let aug = m.hconcat(&BitMatrix::from_rows(
+                b.iter().map(|bit| BitVec::from_bools(&[bit])).collect(),
+                1,
+            ));
+            prop_assert_eq!(gauss::rank(&aug), gauss::rank(&m) + 1);
+        }
+    }
+
+    #[test]
+    fn kernel_dimension_theorem(m in arb_matrix(5, 9)) {
+        let basis = gauss::kernel_basis(&m);
+        prop_assert_eq!(basis.len(), 9 - gauss::rank(&m));
+        for v in &basis {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn subcube_contains_iff_enumerated(mask in 0u64..64, value in 0u64..64, x in 0u64..64) {
+        let value = value & mask;
+        let cube = Subcube64::with_fixed(6, mask, value);
+        let enumerated: std::collections::HashSet<u64> = cube.iter().collect();
+        prop_assert_eq!(enumerated.contains(&x), cube.contains(x));
+        prop_assert_eq!(enumerated.len() as u64, cube.len());
+    }
+
+    #[test]
+    fn subcube_fix_then_contains(bits in proptest::collection::vec((0u32..10, any::<bool>()), 0..6)) {
+        let mut cube = Some(Subcube64::new(10));
+        let mut assignment: std::collections::HashMap<u32, bool> = Default::default();
+        let mut consistent = true;
+        for (i, b) in bits {
+            if let Some(&prev) = assignment.get(&i) {
+                if prev != b {
+                    consistent = false;
+                }
+            }
+            assignment.entry(i).or_insert(b);
+            cube = cube.and_then(|c| c.fixed(i, b));
+        }
+        prop_assert_eq!(cube.is_some(), consistent);
+        if let Some(c) = cube {
+            for x in c.iter().take(64) {
+                for (&i, &b) in &assignment {
+                    prop_assert_eq!((x >> i) & 1 == 1, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn echelon_preserves_row_space(m in arb_matrix(5, 7)) {
+        let e = gauss::echelon(&m);
+        let mut rows: Vec<BitVec> = m.iter_rows().cloned().collect();
+        rows.extend(e.matrix.iter_rows().cloned());
+        let stacked = BitMatrix::from_rows(rows, 7);
+        prop_assert_eq!(gauss::rank(&stacked), e.rank());
+    }
+}

@@ -1,0 +1,307 @@
+//! Clique verification and maximum-clique search.
+//!
+//! Appendix B of the paper has the active processors broadcast their
+//! induced subgraph and then *everyone locally computes its largest clique*
+//! — the model allows unbounded local computation. We implement that local
+//! step with Bron–Kerbosch with pivoting over bit-packed candidate sets,
+//! which is comfortably fast at the active-set sizes the protocol produces
+//! (`n·p = Θ(n log²n / k)` vertices of a density-¼ mutual graph plus the
+//! planted part).
+
+use bcc_f2::BitVec;
+
+use crate::digraph::{DiGraph, UGraph};
+
+/// Whether `set` is a clique of the undirected graph.
+pub fn is_clique(g: &UGraph, set: &[usize]) -> bool {
+    for (a, &u) in set.iter().enumerate() {
+        for &v in &set[a + 1..] {
+            if u == v || !g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `set` is a directed clique (all edges in both directions).
+pub fn is_directed_clique(g: &DiGraph, set: &[usize]) -> bool {
+    for (a, &u) in set.iter().enumerate() {
+        for &v in &set[a + 1..] {
+            if u == v || !g.has_edge(u, v) || !g.has_edge(v, u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A maximum clique of the undirected graph, via Bron–Kerbosch with
+/// pivoting. Returns the vertices sorted.
+///
+/// Runs in time exponential in the worst case but fast on the random and
+/// planted-clique graphs the experiments use; intended for the unbounded
+/// local-computation step of Appendix B.
+pub fn max_clique(g: &UGraph) -> Vec<usize> {
+    let n = g.n();
+    let mut best: Vec<usize> = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let mut p = BitVec::ones(n);
+    let mut x = BitVec::zeros(n);
+    bron_kerbosch_max(g, &mut r, &mut p, &mut x, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn bron_kerbosch_max(
+    g: &UGraph,
+    r: &mut Vec<usize>,
+    p: &mut BitVec,
+    x: &mut BitVec,
+    best: &mut Vec<usize>,
+) {
+    if p.is_zero() && x.is_zero() {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    // Prune: even taking all of P cannot beat the best.
+    if r.len() + p.count_ones() <= best.len() {
+        return;
+    }
+    for v in pivot_candidates(g, p, x) {
+        let nv = g.neighbors(v).clone();
+        r.push(v);
+        let mut p2 = &*p & &nv;
+        let mut x2 = &*x & &nv;
+        bron_kerbosch_max(g, r, &mut p2, &mut x2, best);
+        r.pop();
+        p.set(v, false);
+        x.set(v, true);
+    }
+}
+
+/// All maximal cliques of size at least `min_size`, each sorted.
+pub fn maximal_cliques(g: &UGraph, min_size: usize) -> Vec<Vec<usize>> {
+    let n = g.n();
+    let mut out = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let mut p = BitVec::ones(n);
+    let mut x = BitVec::zeros(n);
+    bron_kerbosch_all(g, &mut r, &mut p, &mut x, min_size, &mut out);
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out
+}
+
+fn bron_kerbosch_all(
+    g: &UGraph,
+    r: &mut Vec<usize>,
+    p: &mut BitVec,
+    x: &mut BitVec,
+    min_size: usize,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_zero() && x.is_zero() {
+        if r.len() >= min_size {
+            out.push(r.clone());
+        }
+        return;
+    }
+    if r.len() + p.count_ones() < min_size {
+        return;
+    }
+    for v in pivot_candidates(g, p, x) {
+        let nv = g.neighbors(v).clone();
+        r.push(v);
+        let mut p2 = &*p & &nv;
+        let mut x2 = &*x & &nv;
+        bron_kerbosch_all(g, r, &mut p2, &mut x2, min_size, out);
+        r.pop();
+        p.set(v, false);
+        x.set(v, true);
+    }
+}
+
+/// `P \ N(pivot)` where the pivot maximizes `|N(pivot) ∩ P|` over `P ∪ X`
+/// (Tomita-style pivoting; the pivot itself stays a candidate when in `P`).
+fn pivot_candidates(g: &UGraph, p: &BitVec, x: &BitVec) -> Vec<usize> {
+    let pivot = p
+        .iter_ones()
+        .chain(x.iter_ones())
+        .max_by_key(|&u| (g.neighbors(u) & p).count_ones())
+        .expect("P ∪ X is non-empty here");
+    p.iter_ones().filter(|&v| !g.has_edge(pivot, v)).collect()
+}
+
+/// Greedily extends `seed` to a maximal clique containing it.
+///
+/// # Panics
+///
+/// Panics if `seed` is not a clique.
+pub fn greedy_extend(g: &UGraph, seed: &[usize]) -> Vec<usize> {
+    assert!(is_clique(g, seed), "seed must be a clique");
+    let mut clique: Vec<usize> = seed.to_vec();
+    for v in 0..g.n() {
+        if clique.contains(&v) {
+            continue;
+        }
+        if clique.iter().all(|&u| g.has_edge(u, v)) {
+            clique.push(v);
+        }
+    }
+    clique.sort_unstable();
+    clique
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> UGraph {
+        let mut g = UGraph::empty(n);
+        for i in 0..n - 1 {
+            g.set_edge(i, i + 1, true);
+        }
+        g
+    }
+
+    fn complete_graph(n: usize) -> UGraph {
+        let mut g = UGraph::empty(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.set_edge(u, v, true);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn is_clique_basics() {
+        let mut g = UGraph::empty(4);
+        g.set_edge(0, 1, true);
+        g.set_edge(1, 2, true);
+        g.set_edge(0, 2, true);
+        assert!(is_clique(&g, &[0, 1, 2]));
+        assert!(!is_clique(&g, &[0, 1, 3]));
+        assert!(is_clique(&g, &[2]));
+        assert!(is_clique(&g, &[]));
+    }
+
+    #[test]
+    fn directed_clique_needs_both_arcs() {
+        let mut g = DiGraph::empty(3);
+        g.set_edge(0, 1, true);
+        assert!(!is_directed_clique(&g, &[0, 1]));
+        g.set_edge(1, 0, true);
+        assert!(is_directed_clique(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn max_clique_of_path_is_edge() {
+        let g = path_graph(6);
+        assert_eq!(max_clique(&g).len(), 2);
+    }
+
+    #[test]
+    fn max_clique_on_complete_graph() {
+        assert_eq!(max_clique(&complete_graph(7)), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_clique_finds_planted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let planted = [3usize, 9, 17, 25, 31, 38, 39];
+        let mut g = UGraph::random(&mut rng, 40, 0.25);
+        for &u in &planted {
+            for &v in &planted {
+                if u != v {
+                    g.set_edge(u, v, true);
+                }
+            }
+        }
+        let c = max_clique(&g);
+        assert!(is_clique(&g, &c));
+        assert!(c.len() >= planted.len());
+    }
+
+    #[test]
+    fn max_clique_random_graph_is_small() {
+        // Θ(log n) cliques in G(n, 1/4): for n = 60, max clique stays small.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = UGraph::random(&mut rng, 60, 0.25);
+        let c = max_clique(&g);
+        assert!(is_clique(&g, &c));
+        assert!((2..=9).contains(&c.len()), "size {}", c.len());
+    }
+
+    #[test]
+    fn maximal_cliques_of_triangle_plus_pendant() {
+        let mut g = UGraph::empty(4);
+        g.set_edge(0, 1, true);
+        g.set_edge(1, 2, true);
+        g.set_edge(0, 2, true);
+        g.set_edge(2, 3, true);
+        let mut all = maximal_cliques(&g, 1);
+        all.sort();
+        assert_eq!(all, vec![vec![0, 1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn maximal_cliques_respect_min_size() {
+        let g = path_graph(5);
+        let all = maximal_cliques(&g, 3);
+        assert!(all.is_empty());
+        let edges = maximal_cliques(&g, 2);
+        assert_eq!(edges.len(), 4);
+    }
+
+    #[test]
+    fn maximal_cliques_are_maximal_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = UGraph::random(&mut rng, 18, 0.4);
+        let all = maximal_cliques(&g, 1);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len(), "no duplicates");
+        for c in &all {
+            assert!(is_clique(&g, c));
+            for v in 0..g.n() {
+                if !c.contains(&v) {
+                    assert!(
+                        !c.iter().all(|&u| g.has_edge(u, v)),
+                        "clique {c:?} not maximal at {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_extend_is_maximal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = UGraph::random(&mut rng, 30, 0.5);
+        let c = greedy_extend(&g, &[]);
+        assert!(is_clique(&g, &c));
+        for v in 0..30 {
+            if !c.contains(&v) {
+                assert!(!c.iter().all(|&u| g.has_edge(u, v)), "not maximal at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_clique_agrees_with_enumeration() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let g = UGraph::random(&mut rng, 14, 0.5);
+            let best = max_clique(&g);
+            let all = maximal_cliques(&g, 1);
+            let enumerated_best = all.iter().map(Vec::len).max().unwrap_or(0);
+            assert_eq!(best.len(), enumerated_best);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Degree statistics: the `k ≳ √n` regime.
+//!
+//! §1.2 of the paper: "Once `k` goes substantially above `√n`, it is
+//! possible to find the clique by considering the vertices with highest
+//! degree" — clique members get `k − 1` guaranteed mutual edges on top of a
+//! Binomial(n − k, ¼) base, so their mutual degree is shifted by ≈ `k`
+//! against a `√n`-scale standard deviation. Experiment E15 sweeps `k` and
+//! watches this detector's success cross over.
+
+use crate::digraph::DiGraph;
+
+/// The mutual degree of every vertex: the number of neighbours with edges
+/// in *both* directions.
+pub fn mutual_degrees(g: &DiGraph) -> Vec<usize> {
+    let m = g.mutual_graph();
+    (0..g.n()).map(|v| m.degree(v)).collect()
+}
+
+/// The indices of the `k` largest values (ties broken by lower index),
+/// sorted ascending.
+pub fn top_k_indices(values: &[usize], k: usize) -> Vec<usize> {
+    assert!(k <= values.len(), "k exceeds the number of values");
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].cmp(&values[a]).then(a.cmp(&b)));
+    let mut top: Vec<usize> = idx.into_iter().take(k).collect();
+    top.sort_unstable();
+    top
+}
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: usize,
+    /// Maximum.
+    pub max: usize,
+}
+
+/// Computes [`DegreeStats`] of a degree sequence.
+///
+/// # Panics
+///
+/// Panics if the sequence is empty.
+pub fn degree_stats(degrees: &[usize]) -> DegreeStats {
+    assert!(!degrees.is_empty(), "empty degree sequence");
+    let n = degrees.len() as f64;
+    let mean = degrees.iter().sum::<usize>() as f64 / n;
+    let var = degrees
+        .iter()
+        .map(|&d| {
+            let diff = d as f64 - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / n;
+    DegreeStats {
+        mean,
+        std_dev: var.sqrt(),
+        min: *degrees.iter().min().expect("non-empty"),
+        max: *degrees.iter().max().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planted::sample_planted;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top_k_picks_largest() {
+        let vals = [5usize, 1, 9, 7, 3];
+        assert_eq!(top_k_indices(&vals, 2), vec![2, 3]);
+        assert_eq!(top_k_indices(&vals, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let vals = [4usize, 4, 4, 4];
+        assert_eq!(top_k_indices(&vals, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn stats_of_constant_sequence() {
+        let s = degree_stats(&[3, 3, 3]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (3, 3));
+    }
+
+    #[test]
+    fn mutual_degree_mean_near_quarter() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = DiGraph::random(&mut rng, 100);
+        let s = degree_stats(&mutual_degrees(&g));
+        assert!((s.mean - 99.0 * 0.25).abs() < 4.0, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn clique_members_have_boosted_mutual_degree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200;
+        let k = 60; // far above sqrt(n): degree detection must work
+        let inst = sample_planted(&mut rng, n, k);
+        let degs = mutual_degrees(&inst.graph);
+        let top = top_k_indices(&degs, k);
+        let hits = top.iter().filter(|v| inst.clique.contains(v)).count();
+        assert!(
+            hits as f64 >= 0.9 * k as f64,
+            "only {hits}/{k} clique members in the top-k by degree"
+        );
+    }
+}

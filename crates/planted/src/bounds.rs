@@ -1,0 +1,168 @@
+//! Closed-form bounds from the paper, for experiment tables' "paper"
+//! columns.
+
+/// Theorem 1.6: one-round transcript distance bound `O(k²/√n)` (the
+/// constant is 1 here; experiments report the measured/bound ratio).
+pub fn theorem_1_6(n: usize, k: usize) -> f64 {
+    (k * k) as f64 / (n as f64).sqrt()
+}
+
+/// Theorem 4.1: `j`-round bound `O(j·k²·√((j + log n)/n))`.
+pub fn theorem_4_1(n: usize, k: usize, j: usize) -> f64 {
+    let n_f = n as f64;
+    j as f64 * (k * k) as f64 * ((j as f64 + n_f.log2()) / n_f).sqrt()
+}
+
+/// Corollary 4.2, inverted: the smallest round count `j` at which
+/// Theorem 4.1's bound stops ruling out advantage `eps` — i.e. the round
+/// *lower bound* the theorem certifies for distinguishing with advantage
+/// `eps` at clique size `k`.
+///
+/// Solves `j·k²·√((j + log n)/n) ≥ 2·eps` for the least integer `j` by
+/// doubling + bisection. For `k = n^{1/4−ε}` this grows polynomially in
+/// `n` — the paper's "no `n^{o(1)}`-round protocol" statement.
+///
+/// # Panics
+///
+/// Panics if `eps ≤ 0` or `k == 0`.
+pub fn corollary_4_2_round_lower_bound(n: usize, k: usize, eps: f64) -> u64 {
+    assert!(eps > 0.0, "advantage must be positive");
+    assert!(k > 0, "clique size must be positive");
+    let target = 2.0 * eps;
+    let value = |j: u64| theorem_4_1(n, k, j as usize);
+    if value(1) >= target {
+        return 1;
+    }
+    let mut hi = 2u64;
+    while value(hi) < target && hi < 1 << 62 {
+        hi *= 2;
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if value(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Lemma 1.10: `E_i ‖f(U) − f(U^{[i]})‖ ≤ O(1/√n)`; the proof gives
+/// constant ≤ 2 (from `2·sqrt(1/n)` after Pinsker + concavity).
+pub fn lemma_1_10(n: usize) -> f64 {
+    2.0 / (n as f64).sqrt()
+}
+
+/// Lemma 1.8: `E_C ‖f(U) − f(U^C)‖ ≤ O(k/√n)`.
+pub fn lemma_1_8(n: usize, k: usize) -> f64 {
+    2.0 * k as f64 / (n as f64).sqrt()
+}
+
+/// Lemma 4.4 (restricted domain, `|D| ≥ 2^{n−t}`):
+/// `E_i ‖f(U_D) − f(U_D^{[i]})‖ ≤ O(√(t/n))`; the proof's explicit chain
+/// gives `2t/n + 10·√((t+1)/n)`.
+pub fn lemma_4_4(n: usize, t: usize) -> f64 {
+    2.0 * t as f64 / n as f64 + 10.0 * ((t as f64 + 1.0) / n as f64).sqrt()
+}
+
+/// Theorem 5.1 (toy PRG, one round): `O(n/2^{k/2})`.
+pub fn theorem_5_1(n: usize, k: u32) -> f64 {
+    n as f64 / 2f64.powf(k as f64 / 2.0)
+}
+
+/// Theorems 5.3/5.4 (multi-round PRG): `O(jn/2^{k/9})`; the proofs carry
+/// constant 2.
+pub fn theorem_5_3(n: usize, k: u32, j: usize) -> f64 {
+    2.0 * (j * n) as f64 / 2f64.powf(k as f64 / 9.0)
+}
+
+/// Theorem B.1's round count: `1 + E[N_active] + 1` with
+/// `E[N_active] = n·p`, `p = log²n / k` — `O(n/k · log²n)` rounds.
+pub fn theorem_b_1_rounds(n: usize, k: usize) -> f64 {
+    let log_n = (n as f64).log2();
+    2.0 + n as f64 * (log_n * log_n / k as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_round_bound_vanishes_for_small_k() {
+        // k = n^{1/4 - eps}: the bound is n^{-2eps} -> 0 (Corollary 1.7's
+        // regime) — decreasing in n at fixed exponent.
+        let at = |n: usize| theorem_1_6(n, (n as f64).powf(0.20) as usize);
+        assert!(at(1 << 20) < 0.3);
+        assert!(at(1 << 28) < at(1 << 20));
+        // k = n^{1/2}: the bound is vacuous (≥ 1) — consistent with the
+        // degree algorithm working there.
+        let n = 1usize << 20;
+        let k_big = (n as f64).sqrt() as usize;
+        assert!(theorem_1_6(n, k_big) >= 1.0);
+    }
+
+    #[test]
+    fn multi_round_bound_scales_with_j() {
+        let b1 = theorem_4_1(4096, 4, 1);
+        let b2 = theorem_4_1(4096, 4, 2);
+        assert!(b2 > b1 * 2.0, "j enters both linearly and inside the sqrt");
+    }
+
+    #[test]
+    fn prg_bound_decays_exponentially() {
+        assert!(theorem_5_3(64, 90, 2) < theorem_5_3(64, 45, 2) / 10.0);
+    }
+
+    #[test]
+    fn appendix_b_round_count_decreases_in_k() {
+        let n = 1024;
+        assert!(theorem_b_1_rounds(n, 400) < theorem_b_1_rounds(n, 200));
+        // And stays well below the trivial n rounds for k >> log² n.
+        assert!(theorem_b_1_rounds(n, 400) < n as f64 / 2.0);
+    }
+
+    #[test]
+    fn lemma_bounds_monotone() {
+        assert!(lemma_1_8(400, 3) > lemma_1_10(400));
+        assert!(lemma_4_4(400, 40) > lemma_4_4(400, 4));
+    }
+
+    #[test]
+    fn corollary_4_2_certified_rounds_grow_polynomially() {
+        // k = n^{1/4 - 0.1}: the certified round count must grow like a
+        // fixed positive power of n (~ n^{2*0.1} up to the sqrt term).
+        let rounds_at = |log2n: u32| {
+            let n = 1usize << log2n;
+            let k = ((n as f64).powf(0.15)) as usize;
+            corollary_4_2_round_lower_bound(n, k.max(1), 0.25)
+        };
+        let r20 = rounds_at(20);
+        let r30 = rounds_at(30);
+        assert!(r20 > 1, "already multi-round at n = 2^20: {r20}");
+        assert!(
+            r30 as f64 >= 1.5 * r20 as f64,
+            "polynomial growth expected: {r20} -> {r30}"
+        );
+    }
+
+    #[test]
+    fn corollary_4_2_at_the_bound_boundary() {
+        // The returned j indeed crosses the target while j-1 does not.
+        let (n, k, eps) = (1 << 24, 12usize, 0.25);
+        let j = corollary_4_2_round_lower_bound(n, k, eps);
+        assert!(theorem_4_1(n, k, j as usize) >= 2.0 * eps);
+        if j > 1 {
+            assert!(theorem_4_1(n, k, j as usize - 1) < 2.0 * eps);
+        }
+    }
+
+    #[test]
+    fn corollary_4_2_trivial_for_large_k() {
+        // k = sqrt(n): the bound is vacuous from round one.
+        let n = 1 << 20;
+        let k = 1 << 10;
+        assert_eq!(corollary_4_2_round_lower_bound(n, k, 0.25), 1);
+    }
+}

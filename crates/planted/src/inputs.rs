@@ -1,0 +1,108 @@
+//! Planted-clique inputs for the exact transcript engine.
+//!
+//! Row `i` of `A_C` is uniform over the subcube
+//! `{x : x_i = 0, x_j = 1 ∀ j ∈ C \ {i}}` and the rows are independent —
+//! the structural fact (§3, footnote 13) that lets the engine compute
+//! transcript distributions exactly. `A_k` itself has *dependent* rows, so
+//! it enters only as the mixture `avg_C A_C` ([`clique_family`]), exactly
+//! as in the paper's decomposition.
+
+use bcc_core::{ProductInput, RowSupport};
+use bcc_graphs::planted::{all_subsets, row_subcube};
+
+/// `A_rand` on `n ≤ 20` vertices as a product input: row `i` uniform on
+/// `{x ∈ {0,1}^n : x_i = 0}`.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (supports are enumerated; `2^n` points each).
+pub fn rand_input(n: u32) -> ProductInput {
+    assert!(n <= 20, "exact planted-clique inputs limited to n <= 20");
+    ProductInput::new(
+        (0..n as usize)
+            .map(|i| RowSupport::from_subcube(&row_subcube(n, i, &[])))
+            .collect(),
+    )
+}
+
+/// `A_C` for a fixed clique `C`.
+///
+/// # Panics
+///
+/// Panics if `n > 20` or `clique` has out-of-range vertices.
+pub fn clique_input(n: u32, clique: &[usize]) -> ProductInput {
+    assert!(n <= 20, "exact planted-clique inputs limited to n <= 20");
+    ProductInput::new(
+        (0..n as usize)
+            .map(|i| RowSupport::from_subcube(&row_subcube(n, i, clique)))
+            .collect(),
+    )
+}
+
+/// The full decomposition family of `A_k`: one member per size-`k` subset
+/// `C` of `[n]` — `binomial(n, k)` members.
+///
+/// # Panics
+///
+/// Panics if `n > 20` or the family would exceed 5000 members.
+pub fn clique_family(n: u32, k: usize) -> Vec<ProductInput> {
+    let subsets = all_subsets(n as usize, k);
+    assert!(
+        subsets.len() <= 5000,
+        "family of {} members too large for the exact walk",
+        subsets.len()
+    );
+    subsets
+        .iter()
+        .map(|c| clique_input(n, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_rows_fix_only_the_diagonal() {
+        let input = rand_input(6);
+        assert_eq!(input.n(), 6);
+        for i in 0..6 {
+            assert_eq!(input.row(i).len(), 32); // 2^(n-1)
+            assert!(input.row(i).points().iter().all(|&x| (x >> i) & 1 == 0));
+        }
+    }
+
+    #[test]
+    fn clique_rows_fix_clique_edges() {
+        let input = clique_input(6, &[1, 3, 5]);
+        // Row 1: x_1 = 0, x_3 = x_5 = 1 -> 8 free points.
+        assert_eq!(input.row(1).len(), 8);
+        for &x in input.row(1).points() {
+            assert_eq!(x & 0b101010, 0b101000);
+        }
+        // Row 0 is not in the clique: only x_0 = 0.
+        assert_eq!(input.row(0).len(), 32);
+    }
+
+    #[test]
+    fn family_size_is_binomial() {
+        assert_eq!(clique_family(6, 2).len(), 15);
+        assert_eq!(clique_family(7, 3).len(), 35);
+    }
+
+    #[test]
+    fn family_members_are_distinct() {
+        let fam = clique_family(5, 2);
+        let mut keys: Vec<Vec<u64>> = fam
+            .iter()
+            .map(|m| {
+                (0..m.n())
+                    .flat_map(|i| m.row(i).points().iter().copied())
+                    .collect()
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), fam.len());
+    }
+}

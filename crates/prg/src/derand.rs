@@ -1,0 +1,267 @@
+//! Efficiently saving random bits (Corollary 7.1).
+//!
+//! The transform: a `j`-round randomized `BCAST(1)` algorithm in which each
+//! processor consumes up to `m = O(n)` private random bits becomes an
+//! `O(j)`-round algorithm consuming `O(j + log n)` random bits per
+//! processor — run the [`MatrixPrg`] construction first (`O(k)` rounds,
+//! `O(k)` fresh bits per processor with `k = Θ(j + log n)`), then feed the
+//! algorithm the pseudorandom outputs as its tape. Theorem 5.4 guarantees
+//! the algorithm's transcript distribution moves by at most `O(jn/2^{k/9})`
+//! in statistical distance, so success probability is preserved up to that
+//! much.
+//!
+//! The whole transform is *efficient*: the only overhead is the `O(kn)`
+//! time to compute `xᵀM` (the paper's point versus Newman's argument,
+//! Appendix A, which is non-constructive).
+
+use bcc_congest::Network;
+use bcc_f2::BitVec;
+use rand::Rng;
+
+use crate::full::MatrixPrg;
+
+/// A randomized Broadcast Congested Clique algorithm: deterministic given a
+/// per-processor random tape.
+///
+/// `run` must drive all communication through the supplied [`Network`]
+/// (which enforces the model and counts rounds) and read processor `i`'s
+/// randomness exclusively from `tapes[i]`.
+pub trait RandomizedAlgorithm {
+    /// The algorithm's result (whatever the processors output).
+    type Output;
+
+    /// Random bits each processor's tape must hold.
+    fn tape_bits(&self) -> usize;
+
+    /// Executes the algorithm with the given tapes.
+    fn run(&self, net: &mut Network, tapes: &[BitVec]) -> Self::Output;
+}
+
+/// Accounting for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomnessAccounting {
+    /// Rounds consumed in total (PRG construction + algorithm).
+    pub rounds: usize,
+    /// Fresh random bits consumed per processor.
+    pub random_bits_per_processor: usize,
+}
+
+/// Runs `algo` with truly random tapes.
+pub fn run_with_true_randomness<A, R>(
+    algo: &A,
+    net: &mut Network,
+    rng: &mut R,
+) -> (A::Output, RandomnessAccounting)
+where
+    A: RandomizedAlgorithm,
+    R: Rng + ?Sized,
+{
+    let n = net.model().n();
+    let tapes: Vec<BitVec> = (0..n)
+        .map(|_| BitVec::random(rng, algo.tape_bits()))
+        .collect();
+    let before = net.rounds_used();
+    let out = algo.run(net, &tapes);
+    let acct = RandomnessAccounting {
+        rounds: net.rounds_used() - before,
+        random_bits_per_processor: algo.tape_bits(),
+    };
+    (out, acct)
+}
+
+/// Runs `algo` with PRG-generated tapes: the Corollary 7.1 transform.
+///
+/// Uses a seed of `k` bits (plus the shared-matrix contribution) per
+/// processor; the PRG construction rounds are counted in the result.
+///
+/// # Panics
+///
+/// Panics if the algorithm's tape is not longer than `k` (then the PRG
+/// cannot stretch) — pick a smaller `k`.
+pub fn run_derandomized<A, R>(
+    algo: &A,
+    net: &mut Network,
+    k: u32,
+    rng: &mut R,
+) -> (A::Output, RandomnessAccounting)
+where
+    A: RandomizedAlgorithm,
+    R: Rng + ?Sized,
+{
+    let m = algo.tape_bits();
+    assert!(
+        m > k as usize,
+        "tape ({m} bits) must exceed the seed k = {k} for stretching"
+    );
+    let n = net.model().n();
+    let prg = MatrixPrg::new(n, k, m as u32).expect("validated parameters");
+    let before = net.rounds_used();
+    let run = prg.run_in(net, rng);
+    let out = algo.run(net, &run.outputs);
+    let acct = RandomnessAccounting {
+        rounds: net.rounds_used() - before,
+        random_bits_per_processor: run.seed_bits_per_processor,
+    };
+    (out, acct)
+}
+
+/// A demonstration algorithm for the transform: distributed estimation of
+/// the total Hamming weight of the processors' inputs by random sampling.
+///
+/// Each processor holds `input_bits` private bits; over `samples` rounds it
+/// broadcasts the value of a uniformly random position of its own input
+/// (positions drawn from its tape). The common output is the average
+/// sampled density; its deviation from the true density is governed by
+/// Hoeffding — *if the tape bits are (pseudo)random*. A PRG that failed to
+/// fool the protocol would visibly skew the estimate.
+#[derive(Debug, Clone)]
+pub struct SamplingWeightEstimator {
+    /// Per-processor inputs.
+    pub inputs: Vec<BitVec>,
+    /// Sampling rounds.
+    pub samples: usize,
+}
+
+impl SamplingWeightEstimator {
+    /// Bits needed to index one input position.
+    fn index_bits(&self) -> usize {
+        let len = self.inputs[0].len();
+        (usize::BITS - (len - 1).leading_zeros()) as usize
+    }
+
+    /// The true total density (fraction of ones over all inputs).
+    pub fn true_density(&self) -> f64 {
+        let ones: usize = self.inputs.iter().map(BitVec::count_ones).sum();
+        let total: usize = self.inputs.iter().map(BitVec::len).sum();
+        ones as f64 / total as f64
+    }
+}
+
+impl RandomizedAlgorithm for SamplingWeightEstimator {
+    type Output = f64;
+
+    fn tape_bits(&self) -> usize {
+        self.samples * self.index_bits()
+    }
+
+    fn run(&self, net: &mut Network, tapes: &[BitVec]) -> f64 {
+        let n = net.model().n();
+        assert_eq!(self.inputs.len(), n, "one input per processor");
+        let idx_bits = self.index_bits();
+        let len = self.inputs[0].len();
+        let mut ones = 0usize;
+        for s in 0..self.samples {
+            let messages: Vec<u64> = (0..n)
+                .map(|i| {
+                    // Read idx_bits from the tape (rejection-free modular
+                    // mapping; slight bias is irrelevant at these sizes).
+                    let mut idx = 0usize;
+                    for b in 0..idx_bits {
+                        if tapes[i].get(s * idx_bits + b) {
+                            idx |= 1 << b;
+                        }
+                    }
+                    u64::from(self.inputs[i].get(idx % len))
+                })
+                .collect();
+            let heard = net.broadcast_round(&messages);
+            ones += heard.iter().filter(|&&m| m == 1).count();
+        }
+        ones as f64 / (self.samples * n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_congest::Model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn estimator(rng: &mut StdRng, n: usize, bits: usize, samples: usize) -> SamplingWeightEstimator {
+        SamplingWeightEstimator {
+            inputs: (0..n).map(|_| BitVec::random(rng, bits)).collect(),
+            samples,
+        }
+    }
+
+    #[test]
+    fn true_randomness_estimates_density() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let algo = estimator(&mut rng, 16, 64, 40);
+        let mut net = Network::new(Model::bcast1(16));
+        let (est, acct) = run_with_true_randomness(&algo, &mut net, &mut rng);
+        assert!((est - algo.true_density()).abs() < 0.08, "estimate {est}");
+        assert_eq!(acct.rounds, 40);
+        assert_eq!(acct.random_bits_per_processor, 40 * 6);
+    }
+
+    #[test]
+    fn derandomized_estimates_density_too() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let algo = estimator(&mut rng, 16, 64, 40);
+        let mut net = Network::new(Model::bcast1(16));
+        let (est, _) = run_derandomized(&algo, &mut net, 24, &mut rng);
+        assert!((est - algo.true_density()).abs() < 0.08, "estimate {est}");
+    }
+
+    #[test]
+    fn derandomization_saves_random_bits() {
+        // Theorem 1.3's regime needs m = O(n): with n = 128 processors and
+        // a 120-bit tape, a k = 16 seed costs 16 + ceil(16·104/128) = 29
+        // bits versus 120.
+        let mut rng = StdRng::seed_from_u64(3);
+        let algo = estimator(&mut rng, 128, 64, 20); // tape: 120 bits
+        let mut net_a = Network::new(Model::bcast1(128));
+        let (_, acct_true) = run_with_true_randomness(&algo, &mut net_a, &mut rng);
+        let mut net_b = Network::new(Model::bcast1(128));
+        let (_, acct_prg) = run_derandomized(&algo, &mut net_b, 16, &mut rng);
+        assert!(
+            acct_prg.random_bits_per_processor < acct_true.random_bits_per_processor / 3,
+            "{} vs {}",
+            acct_prg.random_bits_per_processor,
+            acct_true.random_bits_per_processor
+        );
+    }
+
+    #[test]
+    fn derandomization_round_overhead_is_prg_rounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 32;
+        let algo = estimator(&mut rng, n, 64, 60);
+        let k = 20u32;
+        let m = algo.tape_bits() as u32;
+        let prg_rounds = (k as usize * (m - k) as usize).div_ceil(n);
+        let mut net = Network::new(Model::bcast1(n));
+        let (_, acct) = run_derandomized(&algo, &mut net, k, &mut rng);
+        assert_eq!(acct.rounds, 60 + prg_rounds);
+    }
+
+    #[test]
+    fn estimates_statistically_indistinguishable() {
+        // Repeat both variants and compare the estimate distributions
+        // loosely (means within noise).
+        let mut rng = StdRng::seed_from_u64(5);
+        let algo = estimator(&mut rng, 16, 32, 30);
+        let trials = 60;
+        let mut sum_true = 0.0;
+        let mut sum_prg = 0.0;
+        for _ in 0..trials {
+            let mut na = Network::new(Model::bcast1(16));
+            sum_true += run_with_true_randomness(&algo, &mut na, &mut rng).0;
+            let mut nb = Network::new(Model::bcast1(16));
+            sum_prg += run_derandomized(&algo, &mut nb, 16, &mut rng).0;
+        }
+        let (mt, mp) = (sum_true / trials as f64, sum_prg / trials as f64);
+        assert!((mt - mp).abs() < 0.05, "means {mt} vs {mp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the seed")]
+    fn non_stretching_parameters_panic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let algo = estimator(&mut rng, 4, 8, 1); // tape 3 bits
+        let mut net = Network::new(Model::bcast1(4));
+        let _ = run_derandomized(&algo, &mut net, 10, &mut rng);
+    }
+}

@@ -1,0 +1,207 @@
+//! The average-case time hierarchy (Theorem 1.5).
+//!
+//! For `ω(log n) ≤ k ≤ n`, let `F_k` be the indicator that the top
+//! `k × k` submatrix has full rank. A `k`-round `BCAST(1)` protocol
+//! computes `F_k` *exactly*: in round `r` each of the first `k` processors
+//! broadcasts bit `r` of its row, so after `k` rounds everyone holds the
+//! whole block and finishes locally ([`solve_top_block`], with measured
+//! round count). Yet any `k/20`-round protocol fails on uniform inputs
+//! with probability above 1% — Theorem 1.4 scaled down to the block,
+//! using the block-pseudo distribution of [`sample_block_pseudo`].
+
+use bcc_congest::{Model, Network};
+use bcc_f2::{gauss, BitMatrix, BitVec};
+use rand::Rng;
+
+/// The hierarchy function `F_k`: top `k × k` submatrix has full rank.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the matrix dimensions.
+pub fn top_block_full_rank(m: &BitMatrix, k: usize) -> bool {
+    assert!(
+        k <= m.nrows() && k <= m.ncols(),
+        "block exceeds matrix dimensions"
+    );
+    gauss::rank(&m.submatrix(k, k)) == k
+}
+
+/// The result of the exact upper-bound protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyRun {
+    /// The computed value of `F_k` (known to every processor).
+    pub value: bool,
+    /// `BCAST(1)` rounds consumed — exactly `k`.
+    pub rounds_used: usize,
+}
+
+/// The `k`-round exact protocol: processor `i < k` broadcasts its first
+/// `k` row bits (one per round); everyone reconstructs the block and
+/// computes its rank locally.
+///
+/// # Panics
+///
+/// Panics if `rows.len() < k` or any row is shorter than `k`.
+pub fn solve_top_block(rows: &[BitVec], k: usize) -> HierarchyRun {
+    let n = rows.len();
+    assert!(k <= n, "need at least k processors");
+    let mut net = Network::new(Model::bcast1(n));
+    let payloads: Vec<BitVec> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            if i < k {
+                assert!(row.len() >= k, "row shorter than k bits");
+                row.slice(0, k)
+            } else {
+                BitVec::zeros(k)
+            }
+        })
+        .collect();
+    let rounds = net.broadcast_bits(&payloads);
+    let heard = net.collect_bits(rounds, k);
+    let block = BitMatrix::from_rows(heard[..k].to_vec(), k);
+    HierarchyRun {
+        value: gauss::rank(&block) == k,
+        rounds_used: net.rounds_used(),
+    }
+}
+
+/// Samples the block-pseudo distribution: the top `k × k` block is the toy
+/// PRG's output (rows `(xᵢ, ⟨xᵢ, b⟩)`, rank ≤ k − 1 always) and everything
+/// else is uniform. Indistinguishable from uniform by `k/20`-round
+/// protocols, yet `F_k` is identically false on it.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn sample_block_pseudo<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> BitMatrix {
+    assert!(k >= 2, "need k >= 2");
+    assert!(k <= n, "block exceeds matrix dimension");
+    let b = BitVec::random(rng, k - 1);
+    let rows = (0..n)
+        .map(|i| {
+            if i < k {
+                let x = BitVec::random(rng, k - 1);
+                let y = x.dot(&b);
+                let block_part = x.concat(&BitVec::from_bools(&[y]));
+                block_part.concat(&BitVec::random(rng, n - k))
+            } else {
+                BitVec::random(rng, n)
+            }
+        })
+        .collect();
+    BitMatrix::from_rows(rows, n)
+}
+
+/// One row of the hierarchy-experiment table: the round budget of the
+/// upper bound versus the budget the lower bound rules out.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyPoint {
+    /// The parameter `k`.
+    pub k: usize,
+    /// Rounds used by the exact protocol (equals `k`).
+    pub exact_rounds: usize,
+    /// The budget Theorem 1.5 rules out (`k / 20`).
+    pub hard_budget: usize,
+    /// `Pr[F_k = 1]` on uniform inputs (→ `Q₀`).
+    pub uniform_true_rate: f64,
+}
+
+/// Measures one hierarchy point at dimension `n`.
+pub fn hierarchy_point<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    trials: usize,
+) -> HierarchyPoint {
+    assert!(trials > 0, "need at least one trial");
+    let mut true_count = 0usize;
+    let mut exact_rounds = 0usize;
+    for _ in 0..trials {
+        let m = BitMatrix::random(rng, n, n);
+        let rows: Vec<BitVec> = m.iter_rows().cloned().collect();
+        let run = solve_top_block(&rows, k);
+        exact_rounds = run.rounds_used;
+        assert_eq!(run.value, top_block_full_rank(&m, k), "protocol is exact");
+        if run.value {
+            true_count += 1;
+        }
+    }
+    HierarchyPoint {
+        k,
+        exact_rounds,
+        hard_budget: k / 20,
+        uniform_true_rate: true_count as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_f2::rank_dist::full_rank_probability;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn protocol_is_exact_and_uses_k_rounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let n = 12;
+            let k = 6;
+            let m = BitMatrix::random(&mut rng, n, n);
+            let rows: Vec<BitVec> = m.iter_rows().cloned().collect();
+            let run = solve_top_block(&rows, k);
+            assert_eq!(run.value, top_block_full_rank(&m, k));
+            assert_eq!(run.rounds_used, k);
+        }
+    }
+
+    #[test]
+    fn block_pseudo_never_full_rank() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let m = sample_block_pseudo(&mut rng, 16, 8);
+            assert!(!top_block_full_rank(&m, 8));
+        }
+    }
+
+    #[test]
+    fn block_pseudo_rest_is_unbiased() {
+        // Entries outside the block keep fair-coin marginals.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 3000;
+        let mut ones = 0usize;
+        for _ in 0..trials {
+            let m = sample_block_pseudo(&mut rng, 10, 4);
+            if m.get(7, 7) {
+                ones += 1;
+            }
+        }
+        let rate = ones as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.04, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_true_rate_matches_block_law() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let point = hierarchy_point(&mut rng, 12, 8, 1500);
+        let expect = full_rank_probability(8);
+        assert!(
+            (point.uniform_true_rate - expect).abs() < 0.05,
+            "{} vs {expect}",
+            point.uniform_true_rate
+        );
+        assert_eq!(point.exact_rounds, 8);
+        assert_eq!(point.hard_budget, 0);
+    }
+
+    #[test]
+    fn hierarchy_separation_grows_with_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p40 = hierarchy_point(&mut rng, 44, 40, 20);
+        assert_eq!(p40.exact_rounds, 40);
+        assert_eq!(p40.hard_budget, 2);
+        assert!(p40.exact_rounds > 10 * p40.hard_budget);
+    }
+}

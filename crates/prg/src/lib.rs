@@ -1,0 +1,37 @@
+//! Pseudorandom generators that fool the Broadcast Congested Clique —
+//! the second main contribution of Chen & Grossman (PODC 2019).
+//!
+//! * [`toy`] — the one-extra-bit PRG of §5/§6: each processor holds `k`
+//!   seed bits `x` plus a shared secret `b ∈ {0,1}^k` and outputs
+//!   `(x, ⟨x, b⟩)`. Fools `j ≤ k/10` rounds with distance `O(jn/2^{k/9})`
+//!   (Theorem 5.3).
+//! * [`full`] — the complete matrix PRG of Theorem 1.3/§7:
+//!   `x ↦ (x, xᵀM)` with a shared secret `M ∈ {0,1}^{k×(m−k)}` assembled
+//!   from broadcast bits in `O(k·(m−k)/n)` rounds.
+//! * [`derand`] — Corollary 7.1: the generic transform replacing `n`-bit
+//!   private random tapes by PRG output, with measured round/bit accounting.
+//! * [`newman`] — Appendix A: Newman-style reduction of *public* coins to
+//!   `O(log T)` bits by pre-sampling `T` coin strings.
+//! * [`attack`] — §8: the seed-length lower bound; every `(k, m)` PRG is
+//!   broken in `k + 1` rounds by an image-membership test (an F₂ linear
+//!   solve for our PRG).
+//! * [`rank_hardness`] — Theorem 1.4: the first average-case lower bound in
+//!   the model; full-rank detection on uniform matrices is hard because the
+//!   toy PRG's output matrix (rank ≤ n−1) is indistinguishable from
+//!   uniform.
+//! * [`hierarchy`] — Theorem 1.5: the average-case time hierarchy; top
+//!   `k×k` full-rank is solvable exactly in `k` rounds but not in `k/20`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod derand;
+pub mod full;
+pub mod hierarchy;
+pub mod newman;
+pub mod rank_hardness;
+pub mod toy;
+
+pub use full::{MatrixPrg, PrgRun};
+pub use toy::ToyPrg;

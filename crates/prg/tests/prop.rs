@@ -1,0 +1,142 @@
+//! Property-based tests for the PRG crate: the constructions' algebraic
+//! invariants and the attacks' completeness, for arbitrary parameters.
+
+use bcc_f2::{gauss, BitMatrix, BitVec};
+use bcc_prg::attack::{attack_matrix_prg, Verdict};
+use bcc_prg::toy::ToyPrg;
+use bcc_prg::MatrixPrg;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prg_outputs_are_linear_extensions(
+        n in 1usize..12,
+        k in 1u32..8,
+        extra in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let m = k + extra;
+        let prg = MatrixPrg::new(n, k, m).expect("validated");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = prg.run(&mut rng);
+        prop_assert_eq!(run.outputs.len(), n);
+        for (x, out) in run.seeds.iter().zip(&run.outputs) {
+            prop_assert_eq!(out.len(), m as usize);
+            prop_assert_eq!(&out.slice(0, k as usize), x);
+            prop_assert_eq!(out.slice(k as usize, m as usize), run.matrix.left_mul_vec(x));
+        }
+    }
+
+    #[test]
+    fn prg_round_accounting_formula(
+        n in 1usize..64,
+        k in 1u32..10,
+        extra in 1u32..10,
+        seed in any::<u64>(),
+    ) {
+        let m = k + extra;
+        let prg = MatrixPrg::new(n, k, m).expect("validated");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = prg.run(&mut rng);
+        let expect = (k as usize * extra as usize).div_ceil(n);
+        prop_assert_eq!(run.rounds_used, expect);
+        prop_assert_eq!(run.seed_bits_per_processor, k as usize + expect_bits(n, k, extra));
+    }
+
+    #[test]
+    fn stacked_outputs_never_exceed_rank_k(
+        n in 2usize..16,
+        k in 1u32..6,
+        extra in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let prg = MatrixPrg::new(n, k, k + extra).expect("validated");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = prg.run(&mut rng);
+        let stacked = BitMatrix::from_rows(run.outputs.clone(), (k + extra) as usize);
+        prop_assert!(gauss::rank(&stacked) <= k as usize);
+    }
+
+    #[test]
+    fn attack_always_accepts_genuine_outputs(
+        n in 1usize..16,
+        k in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let prg = MatrixPrg::new(n, k, k + 3).expect("validated");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = prg.run(&mut rng);
+        let res = attack_matrix_prg(k, &run.outputs);
+        prop_assert_eq!(res.verdict, Verdict::Pseudorandom);
+        prop_assert_eq!(res.rounds_used, k as usize + 1);
+    }
+
+    #[test]
+    fn attack_verdict_agrees_with_direct_consistency(
+        n in 2usize..16,
+        k in 1u32..8,
+        flip in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // The attack's broadcast pipeline must decide exactly the F2
+        // consistency of the (seed, extra-bit) system — tampered or not.
+        let prg = MatrixPrg::new(n, k, k + 2).expect("validated");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = prg.run(&mut rng);
+        let mut outputs = run.outputs.clone();
+        if flip {
+            outputs[0].flip(k as usize); // first extra bit
+        }
+        let x = BitMatrix::from_rows(
+            outputs.iter().map(|o| o.slice(0, k as usize)).collect(),
+            k as usize,
+        );
+        let y: BitVec = outputs.iter().map(|o| o.get(k as usize)).collect();
+        let res = attack_matrix_prg(k, &outputs);
+        prop_assert_eq!(
+            res.verdict == Verdict::Pseudorandom,
+            gauss::is_consistent(&x, &y)
+        );
+    }
+
+    #[test]
+    fn toy_outputs_lie_on_the_secret_coset(n in 1usize..10, k in 1u32..12, seed in any::<u64>()) {
+        let prg = ToyPrg::new(n, k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = prg.run(&mut rng);
+        for out in &run.outputs {
+            let x = out.slice(0, k as usize);
+            prop_assert_eq!(out.get(k as usize), x.dot(&run.secret));
+        }
+    }
+
+    #[test]
+    fn pseudo_matrix_rank_deficient(n in 2usize..24, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = bcc_prg::rank_hardness::sample_pseudo_matrix(&mut rng, n);
+        prop_assert!(gauss::rank(&m) < n);
+    }
+
+    #[test]
+    fn hierarchy_protocol_exact_for_any_matrix(
+        n in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BitMatrix::random(&mut rng, n, n);
+        let rows: Vec<BitVec> = m.iter_rows().cloned().collect();
+        for k in 1..=n {
+            let run = bcc_prg::hierarchy::solve_top_block(&rows, k);
+            prop_assert_eq!(run.value, bcc_prg::hierarchy::top_block_full_rank(&m, k));
+            prop_assert_eq!(run.rounds_used, k);
+        }
+    }
+}
+
+fn expect_bits(n: usize, k: u32, extra: u32) -> usize {
+    (k as usize * extra as usize).div_ceil(n)
+}

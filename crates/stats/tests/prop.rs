@@ -1,0 +1,105 @@
+//! Property-based tests for the statistics toolkit.
+
+use bcc_stats::dist::{tv_bernoulli, Dist};
+use bcc_stats::fourier::{fourier_coefficients, lemma_5_2_sum, parseval_check};
+use bcc_stats::info::{binary_entropy, kl_divergence, pinsker_bound};
+use bcc_stats::TruthTable;
+use proptest::prelude::*;
+
+fn arb_dist(support: usize) -> impl Strategy<Value = Dist<u32>> {
+    proptest::collection::vec(1e-6f64..1.0, support).prop_map(|ws| {
+        Dist::from_weights(ws.into_iter().enumerate().map(|(i, w)| (i as u32, w)))
+    })
+}
+
+fn arb_table(n: u32) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(prop_oneof![Just(0.0), Just(1.0)], 1usize << n)
+}
+
+proptest! {
+    #[test]
+    fn tv_is_a_metric(a in arb_dist(5), b in arb_dist(5), c in arb_dist(5)) {
+        let dab = a.tv_distance(&b);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert!((dab - b.tv_distance(&a)).abs() < 1e-12);
+        prop_assert!(dab <= a.tv_distance(&c) + c.tv_distance(&b) + 1e-12);
+    }
+
+    #[test]
+    fn data_processing_inequality(a in arb_dist(8), b in arb_dist(8), modulus in 1u32..5) {
+        let fa = a.map(|&x| x % modulus);
+        let fb = b.map(|&x| x % modulus);
+        prop_assert!(fa.tv_distance(&fb) <= a.tv_distance(&b) + 1e-12);
+    }
+
+    #[test]
+    fn mixing_contracts_tv(a in arb_dist(6), b in arb_dist(6), lambda in 0.0f64..1.0) {
+        let m = a.mix(&b, lambda);
+        let expected = lambda * a.tv_distance(&b);
+        prop_assert!((m.tv_distance(&b) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinsker_holds(a in arb_dist(4), b in arb_dist(4)) {
+        let kl = kl_divergence(&a, &b);
+        prop_assert!(a.tv_distance(&b) <= pinsker_bound(kl) + 1e-9);
+    }
+
+    #[test]
+    fn entropy_bounds(a in arb_dist(8)) {
+        let h = a.entropy();
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= 3.0 + 1e-12); // log2(8)
+    }
+
+    #[test]
+    fn binary_entropy_concavity(p in 0.0f64..1.0, q in 0.0f64..1.0) {
+        let mid = (p + q) / 2.0;
+        prop_assert!(
+            binary_entropy(mid) + 1e-12
+                >= (binary_entropy(p) + binary_entropy(q)) / 2.0
+        );
+    }
+
+    #[test]
+    fn parseval_identity(table in arb_table(6)) {
+        prop_assert!(parseval_check(&table).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fourier_empty_coefficient_is_mean(table in arb_table(5)) {
+        let mean: f64 = table.iter().sum::<f64>() / table.len() as f64;
+        let coeffs = fourier_coefficients(&table);
+        prop_assert!((coeffs[0] - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_5_2_for_arbitrary_functions(table in arb_table(7)) {
+        // Σ_b ||f(U)-f(U_[b])||² <= E[f] for EVERY Boolean f — the lemma's
+        // full quantifier, property-tested.
+        let mean: f64 = table.iter().sum::<f64>() / table.len() as f64;
+        prop_assert!(lemma_5_2_sum(&table) <= mean + 1e-9);
+    }
+
+    #[test]
+    fn truth_table_mean_matches_subcube_average(seed in 0u64..1000) {
+        use bcc_f2::subcube::Subcube64;
+        use rand::{rngs::StdRng, SeedableRng};
+        let f = TruthTable::random(&mut StdRng::seed_from_u64(seed), 6);
+        // E[f] = (E[f | x0=0] + E[f | x0=1]) / 2
+        let c0 = Subcube64::new(6).fixed(0, false).unwrap();
+        let c1 = Subcube64::new(6).fixed(0, true).unwrap();
+        let avg = (f.mean_on_subcube(&c0) + f.mean_on_subcube(&c1)) / 2.0;
+        prop_assert!((f.mean() - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_tv_via_dist(p in 0.0f64..1.0, q in 0.0f64..1.0) {
+        // tv_bernoulli agrees with the generic Dist computation whenever
+        // both distributions have full support.
+        prop_assume!(p > 1e-9 && p < 1.0 - 1e-9 && q > 1e-9 && q < 1.0 - 1e-9);
+        let a = Dist::from_weights([(1u8, p), (0u8, 1.0 - p)]);
+        let b = Dist::from_weights([(1u8, q), (0u8, 1.0 - q)]);
+        prop_assert!((a.tv_distance(&b) - tv_bernoulli(p, q)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! Breaking the PRG at its seed-length limit (Theorem 8.1).
+//!
+//! The PRG survives `Ω(k)` rounds (Theorem 5.4) — and §8 shows that is
+//! optimal: in `k + 1` rounds, broadcasting everyone's first `k + 1`
+//! output bits and testing image membership (an F₂ solve for our PRG)
+//! distinguishes pseudorandom from random with all but exponentially
+//! small error.
+//!
+//! Run with: `cargo run --release --example prg_seed_attack`
+
+use bcc::prg::attack::{exact_false_positive_rate, measure_attack};
+use bcc::prg::MatrixPrg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(8);
+    println!("n = processors, k = seed bits; attack runs in k+1 rounds\n");
+    println!(
+        "{:>4} {:>4} {:>7} {:>8} {:>10} {:>12} {:>9}",
+        "n", "k", "rounds", "TPR", "FPR", "exact FPR", "advantage"
+    );
+    for (n, k) in [(8usize, 4u32), (12, 6), (16, 8), (24, 10)] {
+        let prg = MatrixPrg::new(n, k, 2 * k + 4).expect("valid parameters");
+        let adv = measure_attack(&prg, 400, &mut rng);
+        println!(
+            "{n:>4} {k:>4} {:>7} {:>8.3} {:>10.4} {:>12.4} {:>9.3}",
+            adv.rounds_used,
+            adv.true_positive_rate,
+            adv.false_positive_rate,
+            exact_false_positive_rate(n, k as usize),
+            adv.advantage,
+        );
+    }
+    println!(
+        "\nTPR is always 1 (pseudorandom outputs are consistent by\n\
+         construction); FPR = E[2^(rank(X)-n)] vanishes with n, so the\n\
+         advantage approaches its maximum 1/2 — the seed length of\n\
+         Theorem 1.3 is tight up to constants."
+    );
+}
