@@ -32,7 +32,10 @@ fn main() {
                     "suspect-intersect",
                     exact_experiment(&suspect_intersection(n, 1), n, k).tv(),
                 ),
-                ("row-parity", exact_experiment(&row_parity(n, 1, 0x2B), n, k).tv()),
+                (
+                    "row-parity",
+                    exact_experiment(&row_parity(n, 1, 0x2B), n, k).tv(),
+                ),
                 (
                     "random-mask",
                     exact_experiment(&random_mask_parity(n, 1, bcc_bench::SEED), n, k).tv(),
@@ -52,7 +55,15 @@ fn main() {
         }
     }
     print_table(
-        &["n", "k", "protocol", "exact TV", "k^2/sqrt(n)", "ratio", "bound"],
+        &[
+            "n",
+            "k",
+            "protocol",
+            "exact TV",
+            "k^2/sqrt(n)",
+            "ratio",
+            "bound",
+        ],
         &rows,
     );
     println!(

@@ -7,7 +7,8 @@
 //! profile, whose per-turn increments are what Lemma 4.3 bounds.
 
 use bcc_bench::{banner, check, f, print_table};
-use bcc_planted::protocols::{random_mask_parity, suspect_intersection};
+use bcc_core::ExactEstimator;
+use bcc_planted::protocols::{experiment, random_mask_parity, suspect_intersection};
 use bcc_planted::{bounds, exact_experiment};
 
 fn main() {
@@ -16,11 +17,14 @@ fn main() {
         "Theorem 4.1, Section 3 framework",
         "exact mixture distance and progress function across rounds; bound j*k^2*sqrt((j+log n)/n)",
     );
+    // One estimator drives the whole table (the parallel exact walk);
+    // swap in SampledEstimator to push past exact reach.
+    let est = ExactEstimator::default();
 
     let mut rows = Vec::new();
     for &(n, k, jmax) in &[(6u32, 2usize, 3u32), (8, 2, 2), (7, 3, 2)] {
         for j in 1..=jmax {
-            let cmp = exact_experiment(&suspect_intersection(n, j), n, k);
+            let cmp = experiment(&suspect_intersection(n, j), n, k, &est);
             let bound = bounds::theorem_4_1(n as usize, k, j as usize);
             rows.push(vec![
                 n.to_string(),
@@ -32,7 +36,7 @@ fn main() {
                 f(bound.min(1.0)),
                 check(cmp.tv() <= bound),
             ]);
-            let cmp = exact_experiment(&random_mask_parity(n, j, bcc_bench::SEED), n, k);
+            let cmp = experiment(&random_mask_parity(n, j, bcc_bench::SEED), n, k, &est);
             rows.push(vec![
                 n.to_string(),
                 k.to_string(),
@@ -46,7 +50,16 @@ fn main() {
         }
     }
     print_table(
-        &["n", "k", "j", "protocol", "mixture TV", "L_progress", "bound(cap 1)", "ok"],
+        &[
+            "n",
+            "k",
+            "j",
+            "protocol",
+            "mixture TV",
+            "L_progress",
+            "bound(cap 1)",
+            "ok",
+        ],
         &rows,
     );
 
@@ -62,5 +75,9 @@ fn main() {
         .map(|(t, p)| format!("t={t}: {p:.5}"))
         .collect();
     println!("  {}", prof.join("   "));
-    println!("  (mixture TV at horizon: {:.5} <= progress {:.5})", cmp.tv(), cmp.progress());
+    println!(
+        "  (mixture TV at horizon: {:.5} <= progress {:.5})",
+        cmp.tv(),
+        cmp.progress()
+    );
 }

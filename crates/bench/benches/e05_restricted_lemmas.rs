@@ -104,7 +104,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["round", "E[|D_p|/2^n]", "Pr[< 2^-j/n^3]", "claim: 1/n^2", "ok"],
+        &[
+            "round",
+            "E[|D_p|/2^n]",
+            "Pr[< 2^-j/n^3]",
+            "claim: 1/n^2",
+            "ok",
+        ],
         &rows,
     );
     println!(

@@ -8,12 +8,12 @@
 //! `Σ_b ‖f(U) − f(U_[b])‖² ≤ E[f]`, exactly for the function families.
 
 use bcc_bench::{banner, check, f, print_table, sci};
-use bcc_core::exact_mixture_comparison;
+use bcc_congest::FnProtocol;
+use bcc_core::{Estimator, ExactEstimator};
 use bcc_planted::bounds;
 use bcc_prg::toy::{family, uniform_input};
 use bcc_stats::boolfn::Family;
 use bcc_stats::fourier::lemma_5_2_sum;
-use bcc_congest::FnProtocol;
 
 fn main() {
     banner(
@@ -32,7 +32,7 @@ fn main() {
             });
             let members = family(n, k);
             let baseline = uniform_input(n, k);
-            let cmp = exact_mixture_comparison(&proto, &members, &baseline);
+            let cmp = ExactEstimator::default().estimate_full(&proto, &members, &baseline);
             let bound = bounds::theorem_5_1(n, k);
             rows.push(vec![
                 n.to_string(),
@@ -44,7 +44,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["n", "k", "mixture TV", "L_progress", "n/2^(k/2)", "ok"], &rows);
+    print_table(
+        &["n", "k", "mixture TV", "L_progress", "n/2^(k/2)", "ok"],
+        &rows,
+    );
 
     println!("\n-- Lemma 5.2: sum_b ||f(U) - f(U_[b])||^2 <= E[f] --");
     let mut rows = Vec::new();

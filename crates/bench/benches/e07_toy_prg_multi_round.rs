@@ -11,7 +11,7 @@
 
 use bcc_bench::{banner, check, f, print_table, sci};
 use bcc_congest::FnProtocol;
-use bcc_core::exact_mixture_comparison;
+use bcc_core::{Estimator, ExactEstimator};
 use bcc_planted::bounds;
 use bcc_prg::toy::{claim_5_deviations, family, lemma_6_1_mean, uniform_input};
 use bcc_stats::TruthTable;
@@ -36,14 +36,13 @@ fn main() {
             let proto = FnProtocol::new(n, k + 1, j * n as u32, move |proc, input, tr| {
                 // Always include the PRG's extra bit (bit k) in the mask —
                 // a test that ignores it sees only raw uniform seed bits.
-                let mask = ((0x3C96A5 ^ tr.as_u64() ^ ((proc as u64) << 3))
-                    & ((1 << (k + 1)) - 1))
+                let mask = ((0x3C96A5 ^ tr.as_u64() ^ ((proc as u64) << 3)) & ((1 << (k + 1)) - 1))
                     | (1 << k);
                 (input & mask).count_ones() >= (k + 1) / 3
             });
             let members = family(n, k);
             let baseline = uniform_input(n, k);
-            let cmp = exact_mixture_comparison(&proto, &members, &baseline);
+            let cmp = ExactEstimator::default().estimate_full(&proto, &members, &baseline);
             let bound = bounds::theorem_5_3(n, k, j as usize);
             rows.push(vec![
                 n.to_string(),
@@ -56,18 +55,25 @@ fn main() {
             ]);
         }
     }
-    print_table(&["n", "k", "j", "mixture TV", "L_progress", "2jn/2^(k/9)", "ok"], &rows);
+    print_table(
+        &[
+            "n",
+            "k",
+            "j",
+            "mixture TV",
+            "L_progress",
+            "2jn/2^(k/9)",
+            "ok",
+        ],
+        &rows,
+    );
 
     println!("\n-- Lemma 6.1: restricted-domain indistinguishability --");
     let mut rows = Vec::new();
     for &k in &[8u32, 10] {
         let full: Vec<u64> = (0..(1u64 << (k + 1))).collect();
         // Random domain of half the cube (far above the 2^(k/2) floor).
-        let domain: Vec<u64> = full
-            .iter()
-            .copied()
-            .filter(|_| rng.gen::<bool>())
-            .collect();
+        let domain: Vec<u64> = full.iter().copied().filter(|_| rng.gen::<bool>()).collect();
         for (label, f_table) in [
             ("majority", TruthTable::majority(k + 1)),
             ("random", TruthTable::random(&mut rng, k + 1)),

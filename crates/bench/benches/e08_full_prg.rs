@@ -9,7 +9,7 @@
 
 use bcc_bench::{banner, check, f, print_table, sci};
 use bcc_congest::FnProtocol;
-use bcc_core::exact_mixture_comparison;
+use bcc_core::{Estimator, ExactEstimator};
 use bcc_prg::full::{family, uniform_input};
 use bcc_prg::MatrixPrg;
 use rand::rngs::StdRng;
@@ -46,7 +46,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "k", "m", "rounds", "ceil(k(m-k)/n)", "seed bits", "stretch", "ok"],
+        &[
+            "n",
+            "k",
+            "m",
+            "rounds",
+            "ceil(k(m-k)/n)",
+            "seed bits",
+            "stretch",
+            "ok",
+        ],
         &rows,
     );
 
@@ -55,13 +64,12 @@ fn main() {
     for &(n, k, m) in &[(3usize, 3u32, 5u32), (3, 4, 6), (2, 5, 7), (2, 6, 8)] {
         for j in 1..=2u32 {
             let proto = FnProtocol::new(n, m, j * n as u32, move |proc, input, tr| {
-                let mask =
-                    (0xB4E1 ^ (tr.as_u64() << 1) ^ ((proc as u64) << 2)) & ((1 << m) - 1);
+                let mask = (0xB4E1 ^ (tr.as_u64() << 1) ^ ((proc as u64) << 2)) & ((1 << m) - 1);
                 (input & mask).count_ones() % 2 == 1
             });
             let members = family(n, k, m);
             let baseline = uniform_input(n, m);
-            let cmp = exact_mixture_comparison(&proto, &members, &baseline);
+            let cmp = ExactEstimator::default().estimate_full(&proto, &members, &baseline);
             rows.push(vec![
                 n.to_string(),
                 k.to_string(),
@@ -75,7 +83,16 @@ fn main() {
         }
     }
     print_table(
-        &["n", "k", "m", "j", "|family|", "mixture TV", "L_progress", "TV/progress"],
+        &[
+            "n",
+            "k",
+            "m",
+            "j",
+            "|family|",
+            "mixture TV",
+            "L_progress",
+            "TV/progress",
+        ],
         &rows,
     );
 

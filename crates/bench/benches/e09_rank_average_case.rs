@@ -13,7 +13,7 @@
 
 use bcc_bench::{banner, check, f, print_table, sci};
 use bcc_congest::FnProtocol;
-use bcc_core::exact_mixture_comparison;
+use bcc_core::{Estimator, ExactEstimator};
 use bcc_f2::rank_dist::{empirical_rank_pmf, limit_q, rank_probability};
 use bcc_prg::rank_hardness::{constant_guess_accuracy, theorem_1_4_error_bound};
 use bcc_prg::toy;
@@ -42,7 +42,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["n", "corank s", "Q_s (limit)", "exact P_{n,s}", "sampled"], &rows);
+    print_table(
+        &["n", "corank s", "Q_s (limit)", "exact P_{n,s}", "sampled"],
+        &rows,
+    );
     println!("  paper: Q_0 ≈ 0.2887880950866; measured column should straddle it.");
 
     println!("\n-- exact engine: pseudo (rank<=n-1) vs uniform rows, j rounds --");
@@ -51,13 +54,12 @@ fn main() {
         let k = (n - 1) as u32; // toy PRG with k = n-1 IS the U_B of Thm 1.4
         for j in 1..=2u32 {
             let proto = FnProtocol::new(n, k + 1, j * n as u32, move |proc, input, tr| {
-                let mask =
-                    (0x9D ^ tr.as_u64() ^ ((proc as u64) << 1)) & ((1 << (k + 1)) - 1);
+                let mask = (0x9D ^ tr.as_u64() ^ ((proc as u64) << 1)) & ((1 << (k + 1)) - 1);
                 (input & mask).count_ones() % 2 == 1
             });
             let members = toy::family(n, k);
             let baseline = toy::uniform_input(n, k);
-            let cmp = exact_mixture_comparison(&proto, &members, &baseline);
+            let cmp = ExactEstimator::default().estimate_full(&proto, &members, &baseline);
             rows.push(vec![
                 n.to_string(),
                 j.to_string(),
@@ -81,7 +83,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "oblivious acc", "assumed acc", "implied error >=", "contradiction"],
+        &[
+            "n",
+            "oblivious acc",
+            "assumed acc",
+            "implied error >=",
+            "contradiction",
+        ],
         &rows,
     );
     println!(

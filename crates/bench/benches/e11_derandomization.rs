@@ -33,7 +33,10 @@ fn main() {
         samples,
     };
     let truth = algo.true_density();
-    println!("\ntarget density: {truth:.4}; tape = {} bits/processor", algo.tape_bits());
+    println!(
+        "\ntarget density: {truth:.4}; tape = {} bits/processor",
+        algo.tape_bits()
+    );
 
     let mut rows = Vec::new();
 

@@ -42,7 +42,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "k", "rounds", "TPR", "FPR meas", "FPR exact", "advantage", "ok"],
+        &[
+            "n",
+            "k",
+            "rounds",
+            "TPR",
+            "FPR meas",
+            "FPR exact",
+            "advantage",
+            "ok",
+        ],
         &rows,
     );
     println!(

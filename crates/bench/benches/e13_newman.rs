@@ -55,13 +55,24 @@ fn main() {
         ]);
     }
     print_table(
-        &["T", "runtime coins", "original coins", "error meas", "1/sqrt(T)"],
+        &[
+            "T",
+            "runtime coins",
+            "original coins",
+            "error meas",
+            "1/sqrt(T)",
+        ],
         &rows,
     );
 
     println!("\n-- the sufficient tuple size of the proof (log2 T) --");
     let mut rows = Vec::new();
-    for &(n, m, k) in &[(8usize, 64usize, 1usize), (8, 64, 2), (16, 256, 2), (32, 1024, 4)] {
+    for &(n, m, k) in &[
+        (8usize, 64usize, 1usize),
+        (8, 64, 2),
+        (16, 256, 2),
+        (32, 1024, 4),
+    ] {
         rows.push(vec![
             n.to_string(),
             m.to_string(),

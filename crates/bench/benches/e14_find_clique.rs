@@ -8,8 +8,8 @@
 
 use bcc_bench::{banner, f, print_table};
 use bcc_graphs::planted::sample_rand;
-use bcc_planted::find::{activation_probability, find_planted_clique, measure_find};
 use bcc_planted::bounds;
+use bcc_planted::find::{activation_probability, find_planted_clique, measure_find};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,7 +45,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "k", "p", "success", "rounds meas", "rounds theory", "trivial", "abort"],
+        &[
+            "n",
+            "k",
+            "p",
+            "success",
+            "rounds meas",
+            "rounds theory",
+            "trivial",
+            "abort",
+        ],
         &rows,
     );
 
@@ -65,7 +74,11 @@ fn main() {
     let (n, k) = (512usize, 220usize);
     let pstar = activation_probability(n, k);
     let mut rows = Vec::new();
-    for &(label, p) in &[("p*/2", pstar / 2.0), ("p*", pstar), ("2p* (cap 1)", (2.0 * pstar).min(1.0))] {
+    for &(label, p) in &[
+        ("p*/2", pstar / 2.0),
+        ("p*", pstar),
+        ("2p* (cap 1)", (2.0 * pstar).min(1.0)),
+    ] {
         let stats = measure_find(n, k, p, 8, &mut rng);
         rows.push(vec![
             label.into(),

@@ -9,7 +9,7 @@
 //! predicts the same smallness, which is what we see.
 
 use bcc_bench::{banner, f, print_table};
-use bcc_core::sample::sampled_comparison_with;
+use bcc_core::sample::{sampled_comparison_with_in, TranscriptArena};
 use bcc_planted::protocols::{degree_threshold, suspect_intersection};
 use bcc_planted::undirected::{row_dependence, sample_rows_rand, sampled_experiment};
 use rand::rngs::StdRng;
@@ -52,11 +52,15 @@ fn main() {
 
     println!("\n-- sampled transcript distance, A_rand vs A_k, one round --");
     let samples = 60_000;
+    // One histogram arena across the whole sweep: the per-comparison key
+    // buffers are recycled instead of reallocated.
+    let mut arena = TranscriptArena::new();
     let mut rows = Vec::new();
     for &k in &[2usize, 3, 4, 8] {
         let p1 = suspect_intersection(n as u32, 1);
         let und = sampled_experiment(&p1, n, k, samples, &mut rng);
-        let dir = sampled_comparison_with(
+        let dir = sampled_comparison_with_in(
+            &mut arena,
             &p1,
             |r| {
                 let g = bcc_graphs::planted::sample_rand(r, n);
@@ -87,7 +91,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["k", "protocol", "undirected TV", "directed TV", "noise floor"],
+        &[
+            "k",
+            "protocol",
+            "undirected TV",
+            "directed TV",
+            "noise floor",
+        ],
         &rows,
     );
     println!(

@@ -9,8 +9,8 @@
 use bcc_bench::{banner, f, print_table};
 use bcc_graphs::planted::{sample_planted, sample_rand};
 use bcc_planted::triangles::{
-    exact_count_protocol, expected_triangles_rand, mutual_triangle_count,
-    sampled_count_protocol, separation,
+    exact_count_protocol, expected_triangles_rand, mutual_triangle_count, sampled_count_protocol,
+    separation,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,10 +45,7 @@ fn main() {
             f(expected_triangles_rand(n)),
         ]);
     }
-    print_table(
-        &["protocol", "rounds", "count", "truth", "E[rand]"],
-        &rows,
-    );
+    print_table(&["protocol", "rounds", "count", "truth", "E[rand]"], &rows);
 
     println!("\n-- separation: planted-clique boost vs sampling noise --");
     let mut rows = Vec::new();
@@ -68,7 +65,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["k", "k/sqrt(n)", "E[rand]", "E[planted]", "C(k,3)", "std(rand)", "shift/std"],
+        &[
+            "k",
+            "k/sqrt(n)",
+            "E[rand]",
+            "E[planted]",
+            "C(k,3)",
+            "std(rand)",
+            "shift/std",
+        ],
         &rows,
     );
 

@@ -12,7 +12,7 @@
 use bcc_bench::{banner, check, print_table, sci};
 use bcc_congest::wide::{FnWideProtocol, PackedAdapter};
 use bcc_congest::{FnProtocol, TurnProtocol, TurnTranscript};
-use bcc_core::{exact_mixture_comparison, exact_wide_comparison};
+use bcc_core::{exact_wide_comparison, Estimator, ExactEstimator};
 use bcc_prg::toy;
 
 /// A BCAST(1) protocol whose speaker is contiguous for `w`-turn blocks.
@@ -50,9 +50,7 @@ fn main() {
     let mut rows = Vec::new();
     for &w in &[2u32, 4] {
         let make = |block: u32| Contig {
-            inner: FnProtocol::new(2, 4, 8, |_, input, tr| {
-                (input >> (tr.len() % 4)) & 1 == 1
-            }),
+            inner: FnProtocol::new(2, 4, 8, |_, input, tr| (input >> (tr.len() % 4)) & 1 == 1),
             block,
         };
         let members = vec![bcc_core::ProductInput::new(vec![
@@ -60,7 +58,7 @@ fn main() {
             bcc_core::RowSupport::uniform(4),
         ])];
         let baseline = bcc_core::ProductInput::uniform(2, 4);
-        let bit = exact_mixture_comparison(&make(w), &members, &baseline);
+        let bit = ExactEstimator::default().estimate_full(&make(w), &members, &baseline);
         let wide = exact_wide_comparison(&PackedAdapter::new(make(w), w), &members, &baseline);
         rows.push(vec![
             w.to_string(),
@@ -72,7 +70,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["w", "BCAST(1) turns", "BCAST(w) turns", "TV (bits)", "TV (wide)", "equal"],
+        &[
+            "w",
+            "BCAST(1) turns",
+            "BCAST(w) turns",
+            "TV (bits)",
+            "TV (wide)",
+            "equal",
+        ],
         &rows,
     );
 
@@ -117,7 +122,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["w", "turns", "mixture TV", "L_progress", "progress vs w=1", "<= O(w)"],
+        &[
+            "w",
+            "turns",
+            "mixture TV",
+            "L_progress",
+            "progress vs w=1",
+            "<= O(w)",
+        ],
         &rows,
     );
     println!(

@@ -55,7 +55,11 @@ pub fn sci(x: f64) -> String {
 
 /// A short pass/fail marker for "measured within bound" columns.
 pub fn check(ok: bool) -> String {
-    if ok { "ok".into() } else { "VIOLATED".into() }
+    if ok {
+        "ok".into()
+    } else {
+        "VIOLATED".into()
+    }
 }
 
 #[cfg(test)]

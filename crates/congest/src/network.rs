@@ -95,11 +95,7 @@ impl Network {
     ///
     /// Panics if payload lengths differ or `payloads.len() != n`.
     pub fn broadcast_bits(&mut self, payloads: &[BitVec]) -> usize {
-        assert_eq!(
-            payloads.len(),
-            self.model.n(),
-            "one payload per processor"
-        );
+        assert_eq!(payloads.len(), self.model.n(), "one payload per processor");
         let len = payloads.first().map_or(0, BitVec::len);
         for p in payloads {
             assert_eq!(p.len(), len, "payloads must have equal length");
@@ -270,8 +266,7 @@ mod tests {
         // n = 1024 needs 10 — the paper's footnote-2 log n factor.
         let mk = |model: Model| {
             let mut net = Network::new(model);
-            let payloads: Vec<BitVec> =
-                (0..model.n()).map(|_| BitVec::ones(100)).collect();
+            let payloads: Vec<BitVec> = (0..model.n()).map(|_| BitVec::ones(100)).collect();
             net.broadcast_bits(&payloads)
         };
         assert_eq!(mk(Model::bcast1(4)), 100);

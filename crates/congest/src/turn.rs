@@ -115,7 +115,11 @@ pub fn run_turn_protocol<P: TurnProtocol + ?Sized>(protocol: &P, inputs: &[u64])
     assert_eq!(inputs.len(), protocol.n(), "one input per processor");
     let limit = 1u64 << protocol.input_bits();
     for &x in inputs {
-        assert!(x < limit, "input {x} exceeds {} bits", protocol.input_bits());
+        assert!(
+            x < limit,
+            "input {x} exceeds {} bits",
+            protocol.input_bits()
+        );
     }
     let mut transcript = TurnTranscript::empty();
     for t in 0..protocol.horizon() {
@@ -171,13 +175,18 @@ mod tests {
     #[test]
     fn later_turns_see_earlier_bits() {
         // Processor 1 echoes what processor 0 said.
-        let p = FnProtocol::new(2, 1, 2, |proc, input, tr| {
-            if proc == 0 {
-                input == 1
-            } else {
-                tr.bit(0)
-            }
-        });
+        let p = FnProtocol::new(
+            2,
+            1,
+            2,
+            |proc, input, tr| {
+                if proc == 0 {
+                    input == 1
+                } else {
+                    tr.bit(0)
+                }
+            },
+        );
         let t = run_turn_protocol(&p, &[1, 0]);
         assert!(t.bit(0) && t.bit(1));
         let t = run_turn_protocol(&p, &[0, 0]);
@@ -224,9 +233,7 @@ mod tests {
             (input >> my_turns) & 1 == 1
         });
         let t = run_turn_protocol(&p, &[0b1010, 0]);
-        let count = (0..16u64)
-            .filter(|&x| is_consistent(&p, 0, x, &t))
-            .count();
+        let count = (0..16u64).filter(|&x| is_consistent(&p, 0, x, &t)).count();
         assert_eq!(count, 2); // 3 bits of processor 0 pinned by 3 turns
     }
 

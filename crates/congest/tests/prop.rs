@@ -1,8 +1,6 @@
 //! Property-based tests for the congested-clique model.
 
-use bcc_congest::{
-    is_consistent, run_turn_protocol, FnProtocol, Model, Network, TurnTranscript,
-};
+use bcc_congest::{is_consistent, run_turn_protocol, FnProtocol, Model, Network, TurnTranscript};
 use bcc_f2::BitVec;
 use proptest::prelude::*;
 

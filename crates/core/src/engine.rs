@@ -15,8 +15,34 @@
 //! Cost is `O(2^T · Σ_I Σ_i |support|)` for horizon `T` — exponential by
 //! nature (the object itself has `2^T` states), so exact runs are for small
 //! `T`; [`crate::sample`] covers the rest.
+//!
+//! # Execution strategy
+//!
+//! The walk keeps each processor's *consistent set* `D_p^{(t)}` as a
+//! word-parallel [`bcc_f2::BitVec`] mask over that row's support points, so
+//! splitting on a broadcast bit is one pass over the set bits plus an
+//! `AND NOT`, and the set size is a popcount. Trade-off: mask operations
+//! cost `O(support/64)` words per node even when few points remain alive,
+//! where the previous index lists cost `O(|alive|)` — a clear win for the
+//! dense supports the experiments use (≤ 2^12 points), but a sparse-set
+//! representation would serve better if huge supports (2^20+) with tiny
+//! surviving sets ever become a workload (see ROADMAP).
+//!
+//! For parallelism the tree is cut at a fixed frontier depth
+//! ([`SPLIT_DEPTH`]): the prefix above the frontier is walked sequentially,
+//! every live frontier node becomes an independent task (the mixture
+//! distance needs all members' probabilities *per node*, so fanning out
+//! over subtrees — not just over family members — is what parallelizes the
+//! whole computation), and task results are reduced **in frontier order**.
+//! Floating-point accumulation order is therefore a function of the tree
+//! alone, never of thread scheduling: parallel and sequential execution of
+//! the same walk return bitwise-identical results. The
+//! [`ExecMode`]-taking entry point is what [`crate::exec::ExactEstimator`]
+//! wraps.
 
 use bcc_congest::{TurnProtocol, TurnTranscript};
+use bcc_f2::BitVec;
+use rayon::prelude::*;
 
 use crate::input::ProductInput;
 
@@ -24,6 +50,23 @@ use crate::input::ProductInput;
 /// baseline probability that the speaker's surviving support fraction is
 /// below `2^{-j}`.
 pub const FRACTION_THRESHOLDS: usize = 20;
+
+/// The depth at which the exact walk cuts the turn tree into independent
+/// subtree tasks: at most `2^SPLIT_DEPTH` tasks, plenty to saturate the
+/// machines this runs on while keeping the frontier states small.
+pub const SPLIT_DEPTH: u32 = 6;
+
+/// How an exact walk executes its subtree tasks. Both modes produce
+/// bitwise-identical results (see the module docs); `Sequential` exists
+/// for measuring parallel speedup and for pinning determinism in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fan subtree tasks out over the rayon thread pool.
+    #[default]
+    Parallel,
+    /// Run every subtree task on the calling thread, in frontier order.
+    Sequential,
+}
 
 /// Per-turn statistics of the speaker's consistent input set `D_p^{(t)}`,
 /// measured under the *baseline* transcript distribution.
@@ -110,7 +153,7 @@ impl ExactComparison {
 ///
 /// Panics on dimension mismatches or a horizon above 26 turns (the walk is
 /// `Θ(2^T)`).
-pub fn exact_comparison<P: TurnProtocol + ?Sized>(
+pub fn exact_comparison<P: TurnProtocol + Sync + ?Sized>(
     protocol: &P,
     a: &ProductInput,
     b: &ProductInput,
@@ -131,14 +174,33 @@ pub fn exact_comparison<P: TurnProtocol + ?Sized>(
 /// exhibits `L_real ≤ L_progress` (the triangle-inequality step) and the
 /// per-turn progress increments that Lemma-format inequalities bound.
 ///
+/// Subtree tasks run on the rayon pool; see
+/// [`exact_mixture_comparison_mode`] to force sequential execution.
+///
 /// # Panics
 ///
 /// Panics if `members` is empty, the processor counts or input widths
 /// disagree with the protocol, or the horizon exceeds 26 turns.
-pub fn exact_mixture_comparison<P: TurnProtocol + ?Sized>(
+pub fn exact_mixture_comparison<P: TurnProtocol + Sync + ?Sized>(
     protocol: &P,
     members: &[ProductInput],
     baseline: &ProductInput,
+) -> MixtureComparison {
+    exact_mixture_comparison_mode(protocol, members, baseline, ExecMode::Parallel)
+}
+
+/// [`exact_mixture_comparison`] with an explicit [`ExecMode`]. Both modes
+/// return bitwise-identical results; `Sequential` runs the identical task
+/// list on the calling thread.
+///
+/// # Panics
+///
+/// As [`exact_mixture_comparison`].
+pub fn exact_mixture_comparison_mode<P: TurnProtocol + Sync + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    mode: ExecMode,
 ) -> MixtureComparison {
     assert!(!members.is_empty(), "need at least one family member");
     let n = protocol.n();
@@ -147,49 +209,61 @@ pub fn exact_mixture_comparison<P: TurnProtocol + ?Sized>(
     for input in members.iter().chain(std::iter::once(baseline)) {
         assert_eq!(input.n(), n, "processor count mismatch");
         for row in input.iter_rows() {
-            assert_eq!(
-                row.bits(),
-                protocol.input_bits(),
-                "input width mismatch"
-            );
+            assert_eq!(row.bits(), protocol.input_bits(), "input width mismatch");
         }
     }
 
     let m = members.len();
     let t_len = horizon as usize;
-    let mut acc = Accumulator {
-        mixture_tv_by_depth: vec![0.0; t_len + 1],
-        progress_by_depth: vec![0.0; t_len + 1],
-        per_member_tv: vec![0.0; m],
-        mean_fraction: vec![0.0; t_len],
-        mass_below: vec![[0.0; FRACTION_THRESHOLDS]; t_len],
-    };
-
-    // Alive index sets: indices into each support's point list.
-    let mut alive_members: Vec<Vec<Vec<u32>>> = members
-        .iter()
-        .map(|inp| {
-            (0..n)
-                .map(|i| (0..inp.row(i).len() as u32).collect())
-                .collect()
-        })
-        .collect();
-    let mut alive_base: Vec<Vec<u32>> = (0..n)
-        .map(|i| (0..baseline.row(i).len() as u32).collect())
-        .collect();
-
-    let probs = vec![1.0f64; m];
-    walk(
+    let ctx = Ctx {
         protocol,
         members,
         baseline,
+        horizon,
+        split: SPLIT_DEPTH.min(horizon),
+    };
+
+    let mut acc = Accumulator::zeros(t_len, m);
+    let mut state = AliveState {
+        members: members
+            .iter()
+            .map(|inp| (0..n).map(|i| BitVec::ones(inp.row(i).len())).collect())
+            .collect(),
+        base: (0..n)
+            .map(|i| BitVec::ones(baseline.row(i).len()))
+            .collect(),
+    };
+
+    // Phase 1: sequential walk of the prefix above the frontier, recording
+    // every live frontier node as an independent task.
+    let mut frontier = Vec::new();
+    let probs = vec![1.0f64; m];
+    walk(
+        &ctx,
         TurnTranscript::empty(),
-        &mut alive_members,
-        &mut alive_base,
+        &mut state,
         &probs,
         1.0,
         &mut acc,
+        Some(&mut frontier),
     );
+
+    // Phase 2: run the subtree tasks. `collect` preserves frontier order,
+    // so the reduction below adds task results in a schedule-independent
+    // order and the two modes agree bitwise.
+    let task_accs: Vec<Accumulator> = match mode {
+        ExecMode::Parallel => frontier
+            .into_par_iter()
+            .map(|task| run_task(&ctx, task))
+            .collect(),
+        ExecMode::Sequential => frontier
+            .into_iter()
+            .map(|task| run_task(&ctx, task))
+            .collect(),
+    };
+    for task_acc in &task_accs {
+        acc.add(task_acc);
+    }
 
     MixtureComparison {
         horizon,
@@ -206,6 +280,31 @@ pub fn exact_mixture_comparison<P: TurnProtocol + ?Sized>(
     }
 }
 
+/// Shared read-only context of one exact walk.
+struct Ctx<'a, P: ?Sized> {
+    protocol: &'a P,
+    members: &'a [ProductInput],
+    baseline: &'a ProductInput,
+    horizon: u32,
+    split: u32,
+}
+
+/// The consistent sets `D_p^{(t)}`, one mask per (distribution, row) over
+/// that row's support points.
+#[derive(Clone)]
+struct AliveState {
+    members: Vec<Vec<BitVec>>,
+    base: Vec<BitVec>,
+}
+
+/// A live frontier node: everything a subtree walk needs.
+struct SubtreeTask {
+    transcript: TurnTranscript,
+    state: AliveState,
+    probs: Vec<f64>,
+    prob_base: f64,
+}
+
 struct Accumulator {
     mixture_tv_by_depth: Vec<f64>,
     progress_by_depth: Vec<f64>,
@@ -214,20 +313,94 @@ struct Accumulator {
     mass_below: Vec<[f64; FRACTION_THRESHOLDS]>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn walk<P: TurnProtocol + ?Sized>(
+impl Accumulator {
+    fn zeros(t_len: usize, m: usize) -> Self {
+        Accumulator {
+            mixture_tv_by_depth: vec![0.0; t_len + 1],
+            progress_by_depth: vec![0.0; t_len + 1],
+            per_member_tv: vec![0.0; m],
+            mean_fraction: vec![0.0; t_len],
+            mass_below: vec![[0.0; FRACTION_THRESHOLDS]; t_len],
+        }
+    }
+
+    fn add(&mut self, other: &Accumulator) {
+        let pairs = [
+            (&mut self.mixture_tv_by_depth, &other.mixture_tv_by_depth),
+            (&mut self.progress_by_depth, &other.progress_by_depth),
+            (&mut self.per_member_tv, &other.per_member_tv),
+            (&mut self.mean_fraction, &other.mean_fraction),
+        ];
+        for (dst, src) in pairs {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        for (dst, src) in self.mass_below.iter_mut().zip(&other.mass_below) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+}
+
+fn run_task<P: TurnProtocol + ?Sized>(ctx: &Ctx<'_, P>, mut task: SubtreeTask) -> Accumulator {
+    let mut acc = Accumulator::zeros(ctx.horizon as usize, ctx.members.len());
+    walk(
+        ctx,
+        task.transcript,
+        &mut task.state,
+        &task.probs,
+        task.prob_base,
+        &mut acc,
+        None,
+    );
+    acc
+}
+
+/// Splits the speaker's consistent set on the broadcast bit: returns the
+/// `(zero, one)` masks over `points`.
+fn split_on_bit<P: TurnProtocol + ?Sized>(
     protocol: &P,
-    members: &[ProductInput],
-    baseline: &ProductInput,
+    speaker: usize,
+    points: &[u64],
+    alive: &BitVec,
+    transcript: &TurnTranscript,
+) -> (BitVec, BitVec) {
+    let mut ones = BitVec::zeros(points.len());
+    for idx in alive.iter_ones() {
+        if protocol.bit(speaker, points[idx], transcript) {
+            ones.set(idx, true);
+        }
+    }
+    (alive.and_not(&ones), ones)
+}
+
+fn walk<P: TurnProtocol + ?Sized>(
+    ctx: &Ctx<'_, P>,
     transcript: TurnTranscript,
-    alive_members: &mut [Vec<Vec<u32>>],
-    alive_base: &mut [Vec<u32>],
+    state: &mut AliveState,
     probs: &[f64],
     prob_base: f64,
     acc: &mut Accumulator,
+    mut frontier: Option<&mut Vec<SubtreeTask>>,
 ) {
     let t = transcript.len() as usize;
-    let m = members.len();
+    let m = ctx.members.len();
+
+    // Frontier cut: hand the subtree to a task instead of walking it (its
+    // own depth-t contribution is accumulated by the task).
+    if let Some(tasks) = frontier.as_deref_mut() {
+        if transcript.len() == ctx.split && transcript.len() < ctx.horizon {
+            tasks.push(SubtreeTask {
+                transcript,
+                state: state.clone(),
+                probs: probs.to_vec(),
+                prob_base,
+            });
+            return;
+        }
+    }
 
     // Depth-t prefix accumulation.
     let avg: f64 = probs.iter().sum::<f64>() / m as f64;
@@ -238,18 +411,19 @@ fn walk<P: TurnProtocol + ?Sized>(
     }
     acc.progress_by_depth[t] += progress / (2.0 * m as f64);
 
-    if transcript.len() == protocol.horizon() {
+    if transcript.len() == ctx.horizon {
         for (i, &p) in probs.iter().enumerate() {
             acc.per_member_tv[i] += (p - prob_base).abs() / 2.0;
         }
         return;
     }
 
-    let speaker = protocol.speaker(transcript.len());
+    let speaker = ctx.protocol.speaker(transcript.len());
 
     // Consistent-set statistics of the speaker, weighted by the baseline.
     if prob_base > 0.0 {
-        let fraction = alive_base[speaker].len() as f64 / baseline.row(speaker).len() as f64;
+        let fraction =
+            state.base[speaker].count_ones() as f64 / ctx.baseline.row(speaker).len() as f64;
         acc.mean_fraction[t] += prob_base * fraction;
         for (j, slot) in acc.mass_below[t].iter_mut().enumerate() {
             if fraction < 2f64.powi(-(j as i32)) {
@@ -258,37 +432,41 @@ fn walk<P: TurnProtocol + ?Sized>(
         }
     }
 
-    // Partition the speaker's alive sets by the broadcast bit.
-    let partition = |support: &[u64], alive: &[u32]| -> (Vec<u32>, Vec<u32>) {
-        let mut zero = Vec::new();
-        let mut one = Vec::new();
-        for &idx in alive {
-            if protocol.bit(speaker, support[idx as usize], &transcript) {
-                one.push(idx);
-            } else {
-                zero.push(idx);
-            }
-        }
-        (zero, one)
-    };
+    let base_parts = split_on_bit(
+        ctx.protocol,
+        speaker,
+        ctx.baseline.row(speaker).points(),
+        &state.base[speaker],
+        &transcript,
+    );
+    let member_parts: Vec<(BitVec, BitVec)> = (0..m)
+        .map(|i| {
+            split_on_bit(
+                ctx.protocol,
+                speaker,
+                ctx.members[i].row(speaker).points(),
+                &state.members[i][speaker],
+                &transcript,
+            )
+        })
+        .collect();
 
-    let base_parts = partition(baseline.row(speaker).points(), &alive_base[speaker]);
-    let member_parts: Vec<(Vec<u32>, Vec<u32>)> = (0..m)
-        .map(|i| partition(members[i].row(speaker).points(), &alive_members[i][speaker]))
+    // Set sizes are invariant across the two branch iterations.
+    let base_total = state.base[speaker].count_ones();
+    let member_totals: Vec<usize> = (0..m)
+        .map(|i| state.members[i][speaker].count_ones())
         .collect();
 
     for bit in [false, true] {
-        let base_total = alive_base[speaker].len();
         let base_part = if bit { &base_parts.1 } else { &base_parts.0 };
         let child_prob_base = if base_total == 0 {
             0.0
         } else {
-            prob_base * base_part.len() as f64 / base_total as f64
+            prob_base * base_part.count_ones() as f64 / base_total as f64
         };
 
         let mut child_probs = Vec::with_capacity(m);
-        for i in 0..m {
-            let total = alive_members[i][speaker].len();
+        for (i, &total) in member_totals.iter().enumerate() {
             let part = if bit {
                 &member_parts[i].1
             } else {
@@ -297,7 +475,7 @@ fn walk<P: TurnProtocol + ?Sized>(
             child_probs.push(if total == 0 {
                 0.0
             } else {
-                probs[i] * part.len() as f64 / total as f64
+                probs[i] * part.count_ones() as f64 / total as f64
             });
         }
 
@@ -306,19 +484,19 @@ fn walk<P: TurnProtocol + ?Sized>(
             continue;
         }
 
-        // Swap in the children's alive sets, recurse, restore.
+        // Swap in the children's consistent sets, recurse, restore.
         let saved_base = std::mem::replace(
-            &mut alive_base[speaker],
+            &mut state.base[speaker],
             if bit {
                 base_parts.1.clone()
             } else {
                 base_parts.0.clone()
             },
         );
-        let saved_members: Vec<Vec<u32>> = (0..m)
+        let saved_members: Vec<BitVec> = (0..m)
             .map(|i| {
                 std::mem::replace(
-                    &mut alive_members[i][speaker],
+                    &mut state.members[i][speaker],
                     if bit {
                         member_parts[i].1.clone()
                     } else {
@@ -329,24 +507,21 @@ fn walk<P: TurnProtocol + ?Sized>(
             .collect();
 
         walk(
-            protocol,
-            members,
-            baseline,
+            ctx,
             transcript.child(bit),
-            alive_members,
-            alive_base,
+            state,
             &child_probs,
             child_prob_base,
             acc,
+            frontier.as_deref_mut(),
         );
 
-        alive_base[speaker] = saved_base;
+        state.base[speaker] = saved_base;
         for (i, saved) in saved_members.into_iter().enumerate() {
-            alive_members[i][speaker] = saved;
+            state.members[i][speaker] = saved;
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,7 +534,9 @@ mod tests {
 
     #[test]
     fn input_oblivious_protocol_has_zero_distance() {
-        let p = FnProtocol::new(3, 4, 6, |proc, _, tr| (proc + tr.len() as usize).is_multiple_of(2));
+        let p = FnProtocol::new(3, 4, 6, |proc, _, tr| {
+            (proc + tr.len() as usize).is_multiple_of(2)
+        });
         let a = uniform(3, 4);
         let b = ProductInput::new(vec![
             RowSupport::explicit(4, vec![0]),
@@ -442,9 +619,7 @@ mod tests {
 
     #[test]
     fn per_member_tv_matches_individual_runs() {
-        let p = FnProtocol::new(2, 2, 4, |_, input, tr| {
-            (input >> (tr.len() / 2)) & 1 == 1
-        });
+        let p = FnProtocol::new(2, 2, 4, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
         let members = vec![
             ProductInput::new(vec![
                 RowSupport::explicit(2, vec![1, 3]),
@@ -470,9 +645,7 @@ mod tests {
     fn speaker_fraction_halves_per_spoken_bit() {
         // Processor 0 broadcasts a fresh uniform input bit on each of its
         // turns: before its (j+1)-th turn the consistent fraction is 2^-j.
-        let p = FnProtocol::new(2, 4, 8, |_, input, tr| {
-            (input >> (tr.len() / 2)) & 1 == 1
-        });
+        let p = FnProtocol::new(2, 4, 8, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
         let a = uniform(2, 4);
         let cmp = exact_comparison(&p, &a, &a);
         // Turns 0,2,4,6 are processor 0's; before turn 2t it has spoken t

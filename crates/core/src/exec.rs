@@ -1,0 +1,510 @@
+//! The unified execution backend for transcript-distance experiments.
+//!
+//! Every experiment in this workspace ultimately estimates the same
+//! object: the depth profile of `‖P_family^{(t)} − P_baseline^{(t)}‖` for
+//! a turn protocol, a decomposition family `{A_I}` and a baseline. Before
+//! this module existed the callers in `bcc-prg`, `bcc-planted` and
+//! `bcc-bench` each chose by hand among the exact walk
+//! ([`crate::engine`]), the Monte-Carlo sampler ([`crate::sample`]) and
+//! ad-hoc replay loops. Now they ask an [`Estimator`]:
+//!
+//! * [`ExactEstimator`] — the engine's exact walk, parallel by default
+//!   (subtree fan-out over rayon, deterministic reduction);
+//! * [`SampledEstimator`] — seeded Monte-Carlo over the packed-`u64`
+//!   histogram arena, with the whole depth profile from one sort per
+//!   side.
+//!
+//! Both return a [`DepthProfile`], which carries its [`Provenance`] so
+//! downstream code can ask for the [`DepthProfile::noise_floor`] without
+//! knowing how the numbers were produced.
+//!
+//! ```
+//! use bcc_congest::FnProtocol;
+//! use bcc_core::exec::{Estimator, ExactEstimator, SampledEstimator};
+//! use bcc_core::ProductInput;
+//!
+//! let p = FnProtocol::new(2, 3, 6, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
+//! let family = vec![ProductInput::uniform(2, 3)];
+//! let baseline = ProductInput::uniform(2, 3);
+//!
+//! let exact = ExactEstimator::default().estimate_full(&p, &family, &baseline);
+//! let sampled = SampledEstimator::new(4_000, 1).estimate_full(&p, &family, &baseline);
+//! assert!((exact.tv() - sampled.tv()).abs() <= sampled.noise_floor());
+//! ```
+
+use bcc_congest::{TurnProtocol, TurnTranscript};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::engine::{exact_mixture_comparison_mode, SpeakerStats};
+use crate::input::ProductInput;
+use crate::sample::{collect_sorted_keys, sorted_support_union, sorted_tv_at_depth};
+
+pub use crate::engine::ExecMode;
+
+/// How a [`DepthProfile`]'s numbers were produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// The exact engine: zero statistical error.
+    Exact,
+    /// Monte-Carlo estimation.
+    Sampled {
+        /// Samples drawn per family member and for the baseline.
+        samples_per_side: usize,
+        /// Distinct transcripts observed across all sides.
+        support_seen: usize,
+    },
+}
+
+/// The estimated (or exact) transcript-distance profile of a family
+/// against a baseline, by prefix depth.
+#[derive(Debug, Clone)]
+pub struct DepthProfile {
+    /// The number of turns walked or simulated.
+    pub horizon: u32,
+    /// `‖ avg_I P_I^{(t)} − P_base^{(t)} ‖` for `t = 0 ..= horizon`.
+    pub mixture_tv_by_depth: Vec<f64>,
+    /// The progress function `L_progress^{(t)} = E_I ‖P_I^{(t)} − P_base^{(t)}‖`.
+    pub progress_by_depth: Vec<f64>,
+    /// Final distance per family member.
+    pub per_member_tv: Vec<f64>,
+    /// Speaker consistent-set statistics per turn (exact runs only;
+    /// empty for sampled runs).
+    pub speaker_stats: Vec<SpeakerStats>,
+    /// How the numbers were produced.
+    pub provenance: Provenance,
+}
+
+impl DepthProfile {
+    /// The final mixture distance.
+    pub fn tv(&self) -> f64 {
+        *self
+            .mixture_tv_by_depth
+            .last()
+            .expect("depth profile includes depth 0")
+    }
+
+    /// The final progress value.
+    pub fn progress(&self) -> f64 {
+        *self
+            .progress_by_depth
+            .last()
+            .expect("depth profile includes depth 0")
+    }
+
+    /// The per-turn increments of the progress function.
+    pub fn progress_increments(&self) -> Vec<f64> {
+        self.progress_by_depth
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect()
+    }
+
+    /// Whether the numbers are exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.provenance, Provenance::Exact)
+    }
+
+    /// The statistical resolution of the estimate: `0` for exact runs,
+    /// the plug-in histogram scale `sqrt(support / samples)` for sampled
+    /// runs — and [`f64::INFINITY`] for a sampled run with no samples.
+    /// Distances below this are indistinguishable from zero.
+    pub fn noise_floor(&self) -> f64 {
+        match self.provenance {
+            Provenance::Exact => 0.0,
+            Provenance::Sampled {
+                samples_per_side,
+                support_seen,
+            } => {
+                if samples_per_side == 0 {
+                    f64::INFINITY
+                } else {
+                    (support_seen as f64 / samples_per_side as f64).sqrt()
+                }
+            }
+        }
+    }
+}
+
+/// A strategy for estimating the depth profile of a family-vs-baseline
+/// comparison. Implementations must honour `horizon` exactly: the profile
+/// has `horizon + 1` entries for the prefix lengths `0 ..= horizon`.
+pub trait Estimator {
+    /// Estimates `‖ avg_I P_I^{(t)} − P_baseline^{(t)} ‖` for
+    /// `t = 0 ..= horizon`, with the progress function and per-member
+    /// distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, dimensions disagree with the
+    /// protocol, or `horizon > protocol.horizon()`.
+    fn estimate<P: TurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> DepthProfile;
+
+    /// [`estimate`](Estimator::estimate) over the protocol's full horizon.
+    fn estimate_full<P: TurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+    ) -> DepthProfile {
+        self.estimate(protocol, members, baseline, protocol.horizon())
+    }
+
+    /// Convenience for the two-distribution case (`{A}` vs `B`).
+    fn estimate_pair<P: TurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        a: &ProductInput,
+        b: &ProductInput,
+    ) -> DepthProfile {
+        self.estimate_full(protocol, std::slice::from_ref(a), b)
+    }
+}
+
+/// A protocol truncated to a shorter horizon (prefixes are protocols too:
+/// the bit functions never look past the transcript they are given).
+struct Truncated<'a, P: ?Sized> {
+    inner: &'a P,
+    horizon: u32,
+}
+
+impl<P: TurnProtocol + ?Sized> TurnProtocol for Truncated<'_, P> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn input_bits(&self) -> u32 {
+        self.inner.input_bits()
+    }
+
+    fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    fn speaker(&self, t: u32) -> usize {
+        self.inner.speaker(t)
+    }
+
+    fn bit(&self, proc: usize, input: u64, transcript: &TurnTranscript) -> bool {
+        self.inner.bit(proc, input, transcript)
+    }
+}
+
+/// The exact engine as an [`Estimator`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEstimator {
+    /// How subtree tasks execute; [`ExecMode::Parallel`] by default.
+    pub mode: ExecMode,
+}
+
+impl ExactEstimator {
+    /// An estimator running subtree tasks on the rayon pool.
+    pub fn parallel() -> Self {
+        ExactEstimator {
+            mode: ExecMode::Parallel,
+        }
+    }
+
+    /// An estimator running everything on the calling thread. Bitwise
+    /// equal to [`ExactEstimator::parallel`] results, only slower.
+    pub fn sequential() -> Self {
+        ExactEstimator {
+            mode: ExecMode::Sequential,
+        }
+    }
+}
+
+impl Estimator for ExactEstimator {
+    fn estimate<P: TurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> DepthProfile {
+        assert!(
+            horizon <= protocol.horizon(),
+            "horizon {horizon} beyond the protocol's {}",
+            protocol.horizon()
+        );
+        let truncated = Truncated {
+            inner: protocol,
+            horizon,
+        };
+        let cmp = exact_mixture_comparison_mode(&truncated, members, baseline, self.mode);
+        DepthProfile {
+            horizon: cmp.horizon,
+            mixture_tv_by_depth: cmp.mixture_tv_by_depth,
+            progress_by_depth: cmp.progress_by_depth,
+            per_member_tv: cmp.per_member_tv,
+            speaker_stats: cmp.speaker_stats,
+            provenance: Provenance::Exact,
+        }
+    }
+}
+
+/// Seeded Monte-Carlo estimation as an [`Estimator`].
+///
+/// Draws `samples_per_side` transcripts from every family member and from
+/// the baseline, batches them into sorted packed-`u64` histograms (one
+/// [`TranscriptArena`], no per-sample hashing) and reads the whole depth
+/// profile off the sorted keys. The estimator owns its randomness — a
+/// ChaCha stream seeded from `seed` — so results are reproducible
+/// regardless of the calling context.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledEstimator {
+    /// Samples drawn per family member and for the baseline.
+    pub samples_per_side: usize,
+    /// The root seed of the estimator's private randomness.
+    pub seed: u64,
+}
+
+impl SampledEstimator {
+    /// An estimator drawing `samples_per_side` transcripts per side from
+    /// the ChaCha stream seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_side == 0` (an estimate from nothing: its
+    /// noise floor would be infinite).
+    pub fn new(samples_per_side: usize, seed: u64) -> Self {
+        assert!(samples_per_side > 0, "need at least one sample per side");
+        SampledEstimator {
+            samples_per_side,
+            seed,
+        }
+    }
+}
+
+impl Estimator for SampledEstimator {
+    fn estimate<P: TurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> DepthProfile {
+        assert!(!members.is_empty(), "need at least one family member");
+        assert!(
+            horizon <= protocol.horizon(),
+            "horizon {horizon} beyond the protocol's {}",
+            protocol.horizon()
+        );
+        // Re-checked here because the fields are public: a zero-sample
+        // estimate would silently poison the profile with NaNs.
+        assert!(
+            self.samples_per_side > 0,
+            "need at least one sample per side"
+        );
+        let truncated = Truncated {
+            inner: protocol,
+            horizon,
+        };
+        let samples = self.samples_per_side;
+        let m = members.len();
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+
+        let mut base_keys = Vec::new();
+        collect_sorted_keys(
+            &truncated,
+            |r| baseline.sample(r),
+            samples,
+            &mut rng,
+            &mut base_keys,
+        );
+
+        let depths = horizon as usize + 1;
+        let side_weight = 1.0 / samples as f64;
+        let mut progress_by_depth = vec![0.0; depths];
+        let mut per_member_tv = Vec::with_capacity(m);
+        let mut mixture_keys: Vec<u64> = Vec::with_capacity(m * samples);
+        let mut member_keys = Vec::new();
+        for member in members {
+            collect_sorted_keys(
+                &truncated,
+                |r| member.sample(r),
+                samples,
+                &mut rng,
+                &mut member_keys,
+            );
+            let mut member_final_tv = 0.0;
+            for (t, slot) in progress_by_depth.iter_mut().enumerate() {
+                let tv = sorted_tv_at_depth(
+                    &member_keys,
+                    &base_keys,
+                    side_weight,
+                    side_weight,
+                    t as u32,
+                );
+                *slot += tv / m as f64;
+                member_final_tv = tv;
+            }
+            per_member_tv.push(member_final_tv);
+            mixture_keys.append(&mut member_keys);
+        }
+        mixture_keys.sort_unstable();
+
+        let mixture_weight = 1.0 / (m * samples) as f64;
+        let mixture_tv_by_depth: Vec<f64> = (0..depths)
+            .map(|t| {
+                sorted_tv_at_depth(
+                    &mixture_keys,
+                    &base_keys,
+                    mixture_weight,
+                    side_weight,
+                    t as u32,
+                )
+            })
+            .collect();
+        let support_seen = sorted_support_union(&mixture_keys, &base_keys);
+
+        DepthProfile {
+            horizon,
+            mixture_tv_by_depth,
+            progress_by_depth,
+            per_member_tv,
+            speaker_stats: Vec::new(),
+            provenance: Provenance::Sampled {
+                samples_per_side: samples,
+                support_seen,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::exact_mixture_comparison;
+    use crate::input::RowSupport;
+    use bcc_congest::FnProtocol;
+
+    fn reveal_protocol(n: usize, bits: u32, horizon: u32) -> impl TurnProtocol {
+        FnProtocol::new(n, bits, horizon, |_, input, tr| {
+            (input >> (tr.len() as usize / 2)) & 1 == 1
+        })
+    }
+
+    fn family() -> (Vec<ProductInput>, ProductInput) {
+        let members = vec![
+            ProductInput::new(vec![
+                RowSupport::explicit(3, vec![1, 3, 5, 7]),
+                RowSupport::uniform(3),
+            ]),
+            ProductInput::new(vec![
+                RowSupport::uniform(3),
+                RowSupport::explicit(3, vec![0, 2]),
+            ]),
+        ];
+        (members, ProductInput::uniform(2, 3))
+    }
+
+    #[test]
+    fn exact_estimator_matches_engine() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let engine = exact_mixture_comparison(&p, &members, &baseline);
+        let profile = ExactEstimator::default().estimate_full(&p, &members, &baseline);
+        assert!(profile.is_exact());
+        assert_eq!(profile.noise_floor(), 0.0);
+        assert_eq!(
+            profile.mixture_tv_by_depth, engine.mixture_tv_by_depth,
+            "estimator must be a thin wrapper over the engine"
+        );
+        assert_eq!(profile.per_member_tv, engine.per_member_tv);
+        assert_eq!(profile.speaker_stats.len(), engine.speaker_stats.len());
+    }
+
+    #[test]
+    fn truncated_horizon_prefixes_the_full_profile() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let full = ExactEstimator::default().estimate_full(&p, &members, &baseline);
+        let half = ExactEstimator::default().estimate(&p, &members, &baseline, 3);
+        assert_eq!(half.horizon, 3);
+        assert_eq!(half.mixture_tv_by_depth.len(), 4);
+        for t in 0..=3 {
+            assert!(
+                (half.mixture_tv_by_depth[t] - full.mixture_tv_by_depth[t]).abs() < 1e-12,
+                "depth {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_estimator_is_reproducible_and_close_to_exact() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let exact = ExactEstimator::default().estimate_full(&p, &members, &baseline);
+        let est = SampledEstimator::new(20_000, 0x5EED);
+        let a = est.estimate_full(&p, &members, &baseline);
+        let b = est.estimate_full(&p, &members, &baseline);
+        assert_eq!(
+            a.tv().to_bits(),
+            b.tv().to_bits(),
+            "seeded reruns must agree"
+        );
+        assert!(!a.is_exact());
+        assert!(
+            (a.tv() - exact.tv()).abs() <= a.noise_floor() + 0.02,
+            "sampled {} vs exact {} (floor {})",
+            a.tv(),
+            exact.tv(),
+            a.noise_floor()
+        );
+        // Structural invariants survive sampling.
+        for t in 0..a.mixture_tv_by_depth.len() {
+            assert!(a.mixture_tv_by_depth[t] <= a.progress_by_depth[t] + 1e-12);
+        }
+        let avg: f64 = a.per_member_tv.iter().sum::<f64>() / a.per_member_tv.len() as f64;
+        assert!((a.progress() - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_profile_shape_matches_request() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let profile = SampledEstimator::new(2_000, 1).estimate(&p, &members, &baseline, 4);
+        assert_eq!(profile.horizon, 4);
+        assert_eq!(profile.mixture_tv_by_depth.len(), 5);
+        assert_eq!(profile.progress_by_depth.len(), 5);
+        assert_eq!(profile.per_member_tv.len(), 2);
+        assert!(profile.speaker_stats.is_empty());
+        assert!(profile.noise_floor() > 0.0);
+        assert!(profile.mixture_tv_by_depth[0].abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_sample_estimator_rejected() {
+        let _ = SampledEstimator::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_sample_struct_literal_rejected_at_estimate() {
+        // The fields are public, so the constructor check can be
+        // bypassed; estimate() must re-check rather than emit NaNs.
+        let p = reveal_protocol(2, 3, 4);
+        let (members, baseline) = family();
+        let est = SampledEstimator {
+            samples_per_side: 0,
+            seed: 1,
+        };
+        let _ = est.estimate_full(&p, &members, &baseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the protocol")]
+    fn over_long_horizon_rejected() {
+        let p = reveal_protocol(2, 3, 4);
+        let (members, baseline) = family();
+        let _ = ExactEstimator::default().estimate(&p, &members, &baseline, 5);
+    }
+}

@@ -27,16 +27,27 @@
 //! Input distributions enter as [`input::ProductInput`] — one uniform
 //! support per processor ([`input::RowSupport`]); `bcc-planted` and
 //! `bcc-prg` build these for the planted-clique and PRG families.
+//!
+//! Callers normally go through the unified execution backend in [`exec`]:
+//! an [`exec::Estimator`] (exact or sampled) turns a `(protocol, family,
+//! baseline, horizon)` query into a [`exec::DepthProfile`], so experiment
+//! code never chooses between the engine and the sampler by hand.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod exec;
 pub mod input;
 pub mod sample;
 pub mod wide;
 pub mod yao;
 
-pub use engine::{exact_comparison, exact_mixture_comparison, ExactComparison, MixtureComparison};
+pub use engine::{
+    exact_comparison, exact_mixture_comparison, exact_mixture_comparison_mode, ExactComparison,
+    ExecMode, MixtureComparison,
+};
+pub use exec::{DepthProfile, Estimator, ExactEstimator, Provenance, SampledEstimator};
 pub use input::{ProductInput, RowSupport};
+pub use sample::{sampled_comparison, sampled_comparison_with, TranscriptArena};
 pub use wide::{exact_wide_comparison, WideComparison};

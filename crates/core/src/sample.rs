@@ -5,14 +5,132 @@
 //! transcript histograms are exact objects and the only error is sampling
 //! noise (`≈ sqrt(|support| / samples)` upward bias on TV). Every estimate
 //! reports a Hoeffding-style radius through the returned sample counts.
+//!
+//! # Histogram representation
+//!
+//! Transcripts are batched into a reusable [`TranscriptArena`] of packed
+//! `u64` keys and *sorted* — no per-sample hashing. A key stores turn `t`
+//! at bit `63 − t` (the bit-reversed packing), so the keys of any prefix
+//! length group contiguously under the full-key sort order: one sort pays
+//! for TV merges at every depth, which is what
+//! [`crate::exec::SampledEstimator`] exploits for whole depth profiles.
 
 use bcc_congest::turn::run_turn_protocol;
 use bcc_congest::TurnProtocol;
 use bcc_stats::sampling::MeanEstimator;
-use bcc_stats::Dist;
 use rand::Rng;
 
 use crate::input::ProductInput;
+
+/// Reusable buffers of packed transcript keys: hold one across a sweep of
+/// comparisons to amortize allocations.
+#[derive(Debug, Default)]
+pub struct TranscriptArena {
+    side_a: Vec<u64>,
+    side_b: Vec<u64>,
+}
+
+impl TranscriptArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        TranscriptArena::default()
+    }
+}
+
+/// Packs a transcript's bits with turn `t` at bit `63 − t`, so prefixes
+/// order contiguously (see the module docs).
+#[inline]
+pub(crate) fn prefix_key(packed_transcript: u64) -> u64 {
+    packed_transcript.reverse_bits()
+}
+
+/// Fills `out` with `samples` sorted prefix keys of `protocol` run on
+/// inputs drawn from `sampler`.
+pub(crate) fn collect_sorted_keys<P, R, F>(
+    protocol: &P,
+    mut sampler: F,
+    samples: usize,
+    rng: &mut R,
+    out: &mut Vec<u64>,
+) where
+    P: TurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> Vec<u64>,
+{
+    out.clear();
+    out.reserve(samples);
+    for _ in 0..samples {
+        out.push(prefix_key(
+            run_turn_protocol(protocol, &sampler(rng)).as_u64(),
+        ));
+    }
+    out.sort_unstable();
+}
+
+/// Empirical TV between two sorted key arrays at prefix depth `depth`,
+/// with per-sample weights `weight_a` / `weight_b` (normally `1/len`; the
+/// mixture side of [`crate::exec::SampledEstimator`] passes `1/(m·len)`).
+pub(crate) fn sorted_tv_at_depth(
+    a: &[u64],
+    b: &[u64],
+    weight_a: f64,
+    weight_b: f64,
+    depth: u32,
+) -> f64 {
+    if depth == 0 {
+        // A single group holding all mass on both sides.
+        return (a.len() as f64 * weight_a - b.len() as f64 * weight_b).abs() / 2.0;
+    }
+    let shift = 64 - depth;
+    let group = |key: u64| key >> shift;
+    let mut total = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let ga = a.get(i).map(|&k| group(k));
+        let gb = b.get(j).map(|&k| group(k));
+        let g = match (ga, gb) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (None, None) => unreachable!("loop condition"),
+        };
+        let mut count_a = 0usize;
+        while i < a.len() && group(a[i]) == g {
+            count_a += 1;
+            i += 1;
+        }
+        let mut count_b = 0usize;
+        while j < b.len() && group(b[j]) == g {
+            count_b += 1;
+            j += 1;
+        }
+        total += (count_a as f64 * weight_a - count_b as f64 * weight_b).abs();
+    }
+    total / 2.0
+}
+
+/// The number of distinct full-depth keys in the union of two sorted
+/// arrays.
+pub(crate) fn sorted_support_union(a: &[u64], b: &[u64]) -> usize {
+    let mut count = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let key = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!("loop condition"),
+        };
+        count += 1;
+        while i < a.len() && a[i] == key {
+            i += 1;
+        }
+        while j < b.len() && b[j] == key {
+            j += 1;
+        }
+    }
+    count
+}
 
 /// An estimated transcript distance with its provenance.
 #[derive(Debug, Clone)]
@@ -29,7 +147,14 @@ impl SampledComparison {
     /// A crude upper bound on the sampling bias of the TV estimate:
     /// `sqrt(support_seen / samples_per_side)` — the usual plug-in
     /// histogram-TV error scale. Treat estimates below this as zero.
+    ///
+    /// With zero samples there is no information at all, so the floor is
+    /// [`f64::INFINITY`] (rather than the `NaN` a bare division would
+    /// produce).
     pub fn noise_floor(&self) -> f64 {
+        if self.samples_per_side == 0 {
+            return f64::INFINITY;
+        }
         (self.support_seen as f64 / self.samples_per_side as f64).sqrt()
     }
 }
@@ -62,8 +187,28 @@ where
 /// paper's §9 discussion).
 pub fn sampled_comparison_with<P, R, FA, FB>(
     protocol: &P,
-    mut sample_a: FA,
-    mut sample_b: FB,
+    sample_a: FA,
+    sample_b: FB,
+    samples: usize,
+    rng: &mut R,
+) -> SampledComparison
+where
+    P: TurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+    FA: FnMut(&mut R) -> Vec<u64>,
+    FB: FnMut(&mut R) -> Vec<u64>,
+{
+    let mut arena = TranscriptArena::new();
+    sampled_comparison_with_in(&mut arena, protocol, sample_a, sample_b, samples, rng)
+}
+
+/// [`sampled_comparison_with`] writing through a caller-held
+/// [`TranscriptArena`], for sweeps that run many comparisons.
+pub fn sampled_comparison_with_in<P, R, FA, FB>(
+    arena: &mut TranscriptArena,
+    protocol: &P,
+    sample_a: FA,
+    sample_b: FB,
     samples: usize,
     rng: &mut R,
 ) -> SampledComparison
@@ -74,20 +219,19 @@ where
     FB: FnMut(&mut R) -> Vec<u64>,
 {
     assert!(samples > 0, "need at least one sample");
-    let ta: Vec<u64> = (0..samples)
-        .map(|_| run_turn_protocol(protocol, &sample_a(rng)).as_u64())
-        .collect();
-    let tb: Vec<u64> = (0..samples)
-        .map(|_| run_turn_protocol(protocol, &sample_b(rng)).as_u64())
-        .collect();
-    let da = Dist::uniform(ta.iter().copied());
-    let db = Dist::uniform(tb.iter().copied());
-    let mut seen: std::collections::HashSet<u64> = ta.iter().copied().collect();
-    seen.extend(tb.iter().copied());
+    collect_sorted_keys(protocol, sample_a, samples, rng, &mut arena.side_a);
+    collect_sorted_keys(protocol, sample_b, samples, rng, &mut arena.side_b);
+    let weight = 1.0 / samples as f64;
     SampledComparison {
-        tv: da.tv_distance(&db),
+        tv: sorted_tv_at_depth(
+            &arena.side_a,
+            &arena.side_b,
+            weight,
+            weight,
+            protocol.horizon(),
+        ),
         samples_per_side: samples,
-        support_seen: seen.len(),
+        support_seen: sorted_support_union(&arena.side_a, &arena.side_b),
     }
 }
 
@@ -125,9 +269,7 @@ mod tests {
 
     #[test]
     fn sampled_matches_exact_on_small_instance() {
-        let p = FnProtocol::new(2, 3, 4, |_, input, tr| {
-            (input >> (tr.len() / 2)) & 1 == 1
-        });
+        let p = FnProtocol::new(2, 3, 4, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
         let a = ProductInput::uniform(2, 3);
         let b = ProductInput::new(vec![
             RowSupport::explicit(3, vec![1, 3, 5, 7]),
@@ -145,13 +287,84 @@ mod tests {
 
     #[test]
     fn identical_inputs_fall_below_noise_floor() {
-        let p = FnProtocol::new(2, 2, 4, |_, input, tr| {
-            (input >> (tr.len() % 2)) & 1 == 1
-        });
+        let p = FnProtocol::new(2, 2, 4, |_, input, tr| (input >> (tr.len() % 2)) & 1 == 1);
         let a = ProductInput::uniform(2, 2);
         let mut rng = StdRng::seed_from_u64(2);
         let s = sampled_comparison(&p, &a, &a, 20_000, &mut rng);
-        assert!(s.tv <= s.noise_floor(), "tv {} floor {}", s.tv, s.noise_floor());
+        assert!(
+            s.tv <= s.noise_floor(),
+            "tv {} floor {}",
+            s.tv,
+            s.noise_floor()
+        );
+    }
+
+    #[test]
+    fn noise_floor_of_zero_samples_is_infinite() {
+        // Degenerate provenance (constructed directly; the samplers
+        // reject samples == 0): the floor must be +inf, not NaN.
+        let s = SampledComparison {
+            tv: 0.0,
+            samples_per_side: 0,
+            support_seen: 0,
+        };
+        assert_eq!(s.noise_floor(), f64::INFINITY);
+        assert!(!s.noise_floor().is_nan());
+    }
+
+    #[test]
+    fn arena_reuse_reproduces_one_shot_results() {
+        let p = FnProtocol::new(2, 3, 6, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
+        let a = ProductInput::uniform(2, 3);
+        let b = ProductInput::new(vec![
+            RowSupport::explicit(3, vec![0, 1, 2]),
+            RowSupport::uniform(3),
+        ]);
+        let one_shot = {
+            let mut rng = StdRng::seed_from_u64(7);
+            sampled_comparison(&p, &a, &b, 5_000, &mut rng)
+        };
+        let mut arena = TranscriptArena::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Run twice through the same arena; the second run must be
+        // unaffected by leftover buffer contents.
+        let first = sampled_comparison_with_in(
+            &mut arena,
+            &p,
+            |r| a.sample(r),
+            |r| b.sample(r),
+            5_000,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let second = sampled_comparison_with_in(
+            &mut arena,
+            &p,
+            |r| a.sample(r),
+            |r| b.sample(r),
+            5_000,
+            &mut rng,
+        );
+        assert_eq!(one_shot.tv.to_bits(), first.tv.to_bits());
+        assert_eq!(first.tv.to_bits(), second.tv.to_bits());
+        assert_eq!(first.support_seen, second.support_seen);
+    }
+
+    #[test]
+    fn sorted_tv_handles_disjoint_and_identical_histograms() {
+        let a = vec![prefix_key(0b00), prefix_key(0b01)];
+        let b = vec![prefix_key(0b10), prefix_key(0b11)];
+        let mut a = a;
+        let mut b = b;
+        a.sort_unstable();
+        b.sort_unstable();
+        let w = 0.5;
+        // Depth 2 separates them fully; depth 0 sees equal total mass.
+        assert!((sorted_tv_at_depth(&a, &b, w, w, 2) - 1.0).abs() < 1e-12);
+        assert!(sorted_tv_at_depth(&a, &b, w, w, 0).abs() < 1e-12);
+        assert!(sorted_tv_at_depth(&a, &a, w, w, 2).abs() < 1e-12);
+        assert_eq!(sorted_support_union(&a, &b), 4);
+        assert_eq!(sorted_support_union(&a, &a), 2);
     }
 
     #[test]

@@ -224,12 +224,8 @@ mod tests {
     fn width_one_matches_bit_engine() {
         // A BCAST(1) protocol expressed through both engines gives the
         // same distances.
-        let bitp = FnProtocol::new(2, 3, 4, |_, input, tr| {
-            (input >> (tr.len() / 2)) & 1 == 1
-        });
-        let widep = FnWideProtocol::new(2, 3, 1, 4, |_, input, tr| {
-            (input >> (tr.len() / 2)) & 1
-        });
+        let bitp = FnProtocol::new(2, 3, 4, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
+        let widep = FnWideProtocol::new(2, 3, 1, 4, |_, input, tr| (input >> (tr.len() / 2)) & 1);
         let a = ProductInput::new(vec![
             RowSupport::explicit(3, vec![0, 2, 5, 7]),
             RowSupport::uniform(3),
@@ -238,7 +234,10 @@ mod tests {
         let bit = exact_mixture_comparison(&bitp, std::slice::from_ref(&a), &b);
         let wide = exact_wide_comparison(&widep, std::slice::from_ref(&a), &b);
         assert!((bit.tv() - wide.tv()).abs() < 1e-12);
-        assert_eq!(bit.mixture_tv_by_depth.len(), wide.mixture_tv_by_depth.len());
+        assert_eq!(
+            bit.mixture_tv_by_depth.len(),
+            wide.mixture_tv_by_depth.len()
+        );
         for (x, y) in bit
             .mixture_tv_by_depth
             .iter()
@@ -308,9 +307,7 @@ mod tests {
 
     #[test]
     fn mixture_below_progress_wide() {
-        let wide = FnWideProtocol::new(1, 3, 2, 2, |_, input, tr| {
-            (input >> tr.len()) & 0b11
-        });
+        let wide = FnWideProtocol::new(1, 3, 2, 2, |_, input, tr| (input >> tr.len()) & 0b11);
         let m0 = ProductInput::new(vec![RowSupport::explicit(3, vec![0, 1])]);
         let m1 = ProductInput::new(vec![RowSupport::explicit(3, vec![6, 7])]);
         let base = ProductInput::uniform(1, 3);

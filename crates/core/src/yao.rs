@@ -42,7 +42,7 @@ pub struct YaoReduction {
 ///
 /// Panics if the family is empty, lengths mismatch, or weights do not sum
 /// to ≈ 1.
-pub fn yao_reduction<P: TurnProtocol>(
+pub fn yao_reduction<P: TurnProtocol + Sync>(
     protocols: &[P],
     weights: &[f64],
     a: &ProductInput,
@@ -75,7 +75,7 @@ mod tests {
     use crate::input::RowSupport;
     use bcc_congest::FnProtocol;
 
-    type BitFn = Box<dyn Fn(usize, u64, &bcc_congest::TurnTranscript) -> bool>;
+    type BitFn = Box<dyn Fn(usize, u64, &bcc_congest::TurnTranscript) -> bool + Sync>;
     type Proto = FnProtocol<BitFn>;
 
     fn family() -> Vec<Proto> {

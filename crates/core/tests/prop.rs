@@ -3,11 +3,17 @@
 //! protocols and input families.
 
 use bcc_congest::FnProtocol;
+use bcc_core::exec::{Estimator, ExactEstimator, SampledEstimator};
 use bcc_core::{exact_comparison, exact_mixture_comparison, ProductInput, RowSupport};
 use proptest::prelude::*;
 
 /// An arbitrary deterministic protocol seeded by `seed`.
-fn protocol(n: usize, bits: u32, horizon: u32, seed: u64) -> FnProtocol<impl Fn(usize, u64, &bcc_congest::TurnTranscript) -> bool> {
+fn protocol(
+    n: usize,
+    bits: u32,
+    horizon: u32,
+    seed: u64,
+) -> FnProtocol<impl Fn(usize, u64, &bcc_congest::TurnTranscript) -> bool> {
     FnProtocol::new(n, bits, horizon, move |proc, input, tr| {
         let mut z = seed
             .wrapping_add(input.wrapping_mul(0x9E3779B97F4A7C15))
@@ -139,5 +145,92 @@ proptest! {
             sampled.tv,
             sampled.noise_floor()
         );
+    }
+
+    #[test]
+    fn estimator_backends_agree_within_noise_floor(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        base in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        // The unified-backend contract: on any small random protocol and
+        // family, the sampled estimator's TV lands within its own noise
+        // floor (plus Hoeffding slack) of the exact estimator's TV.
+        let p = protocol(2, 3, 6, seed);
+        let members = vec![a, b];
+        let exact = ExactEstimator::default().estimate_full(&p, &members, &base);
+        let sampled = SampledEstimator::new(20_000, seed).estimate_full(&p, &members, &base);
+        prop_assert!(
+            (sampled.tv() - exact.tv()).abs() <= sampled.noise_floor() + 0.05,
+            "sampled {} vs exact {} (floor {})",
+            sampled.tv(),
+            exact.tv(),
+            sampled.noise_floor()
+        );
+        // The whole profile stays close, not just the endpoint.
+        for t in 0..exact.mixture_tv_by_depth.len() {
+            prop_assert!(
+                (sampled.mixture_tv_by_depth[t] - exact.mixture_tv_by_depth[t]).abs()
+                    <= sampled.noise_floor() + 0.05,
+                "depth {t}"
+            );
+        }
+        prop_assert!((sampled.progress() - exact.progress()).abs() <= sampled.noise_floor() + 0.05);
+    }
+
+    #[test]
+    fn parallel_walk_is_bitwise_deterministic(
+        base in arb_input(2, 4),
+        seed in any::<u64>(),
+    ) {
+        // An 8-member family over a 12-turn horizon: deep enough that the
+        // walk actually fans subtree tasks out over rayon. The parallel
+        // run must be bitwise identical to the forced single-thread run.
+        let p = protocol(2, 4, 12, seed);
+        let members: Vec<ProductInput> = (0..8u64)
+            .map(|i| {
+                let lo: Vec<u64> = (0..16).filter(|x| (x ^ i) % 3 != 0).collect();
+                ProductInput::new(vec![
+                    RowSupport::explicit(4, lo),
+                    RowSupport::uniform(4),
+                ])
+            })
+            .collect();
+        let par = ExactEstimator::parallel().estimate_full(&p, &members, &base);
+        let seq = ExactEstimator::sequential().estimate_full(&p, &members, &base);
+        for t in 0..par.mixture_tv_by_depth.len() {
+            prop_assert_eq!(
+                par.mixture_tv_by_depth[t].to_bits(),
+                seq.mixture_tv_by_depth[t].to_bits(),
+                "mixture tv differs at depth {}", t
+            );
+            prop_assert_eq!(
+                par.progress_by_depth[t].to_bits(),
+                seq.progress_by_depth[t].to_bits(),
+                "progress differs at depth {}", t
+            );
+        }
+        for i in 0..par.per_member_tv.len() {
+            prop_assert_eq!(
+                par.per_member_tv[i].to_bits(),
+                seq.per_member_tv[i].to_bits(),
+                "member {} differs", i
+            );
+        }
+        for t in 0..par.speaker_stats.len() {
+            prop_assert_eq!(
+                par.speaker_stats[t].mean_fraction.to_bits(),
+                seq.speaker_stats[t].mean_fraction.to_bits(),
+                "speaker fraction differs at turn {}", t
+            );
+            for j in 0..par.speaker_stats[t].mass_below.len() {
+                prop_assert_eq!(
+                    par.speaker_stats[t].mass_below[j].to_bits(),
+                    seq.speaker_stats[t].mass_below[j].to_bits(),
+                    "mass_below[{}] differs at turn {}", j, t
+                );
+            }
+        }
     }
 }

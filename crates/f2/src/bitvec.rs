@@ -224,9 +224,31 @@ impl BitVec {
         (0..self.len).map(move |i| self.get(i))
     }
 
-    /// Iterates over the indices of the one coordinates.
+    /// Iterates over the indices of the one coordinates, word-parallel:
+    /// cost is `O(words + ones)` rather than `O(len)`.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors((word != 0).then_some(word), |&w| {
+                let next = w & (w - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |w| wi * WORD_BITS + w.trailing_zeros() as usize)
+        })
+    }
+
+    /// Returns `self AND NOT other` (set difference of the one sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_not(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "and_not of mismatched lengths");
+        let mut out = self.clone();
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        out.mask_tail();
+        out
     }
 
     /// Access to the packed words (low-level; trailing bits are zero).
@@ -440,6 +462,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let v = BitVec::random(&mut rng, 300);
         assert_eq!(v.iter_ones().count(), v.count_ones());
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_set_indices() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for len in [1usize, 63, 64, 65, 129, 300] {
+            let v = BitVec::random(&mut rng, len);
+            let ones: Vec<usize> = v.iter_ones().collect();
+            let naive: Vec<usize> = (0..len).filter(|&i| v.get(i)).collect();
+            assert_eq!(ones, naive, "len {len}");
+        }
+    }
+
+    #[test]
+    fn and_not_is_set_difference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = BitVec::random(&mut rng, 170);
+        let b = BitVec::random(&mut rng, 170);
+        let diff = a.and_not(&b);
+        for i in 0..170 {
+            assert_eq!(diff.get(i), a.get(i) && !b.get(i), "bit {i}");
+        }
+        // Partition identity: (a AND b) + (a AND NOT b) = a.
+        assert_eq!((&a & &b).count_ones() + diff.count_ones(), a.count_ones());
     }
 
     #[test]

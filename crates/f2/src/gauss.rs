@@ -72,7 +72,11 @@ pub fn rank(a: &BitMatrix) -> usize {
 ///
 /// Panics if `a` is not square.
 pub fn is_full_rank(a: &BitMatrix) -> bool {
-    assert_eq!(a.nrows(), a.ncols(), "is_full_rank requires a square matrix");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "is_full_rank requires a square matrix"
+    );
     rank(a) == a.nrows()
 }
 

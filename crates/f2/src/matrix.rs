@@ -233,7 +233,10 @@ impl BitMatrix {
     ///
     /// Panics if `r > nrows` or `c > ncols`.
     pub fn submatrix(&self, r: usize, c: usize) -> BitMatrix {
-        assert!(r <= self.nrows() && c <= self.ncols, "submatrix out of range");
+        assert!(
+            r <= self.nrows() && c <= self.ncols,
+            "submatrix out of range"
+        );
         let rows = self.rows[..r].iter().map(|row| row.slice(0, c)).collect();
         BitMatrix::from_rows(rows, c)
     }

@@ -122,7 +122,11 @@ mod tests {
         let k = 180;
         let inst = sample_planted(&mut rng, n, k);
         let out = degree_protocol(&inst.graph, k);
-        assert!(out.recall(&inst.clique) > 0.95, "recall {}", out.recall(&inst.clique));
+        assert!(
+            out.recall(&inst.clique) > 0.95,
+            "recall {}",
+            out.recall(&inst.clique)
+        );
     }
 
     #[test]

@@ -67,11 +67,7 @@ pub fn activation_probability(n: usize, k: usize) -> f64 {
 /// # Panics
 ///
 /// Panics if `p ∉ (0, 1]` or the graph has fewer than 2 vertices.
-pub fn find_planted_clique<R: Rng + ?Sized>(
-    graph: &DiGraph,
-    p: f64,
-    rng: &mut R,
-) -> FindOutcome {
+pub fn find_planted_clique<R: Rng + ?Sized>(graph: &DiGraph, p: f64, rng: &mut R) -> FindOutcome {
     let n = graph.n();
     assert!(n >= 2, "need at least two vertices");
     find_planted_clique_in(Model::bcast1(n), graph, p, rng)
@@ -91,7 +87,10 @@ pub fn find_planted_clique_in<R: Rng + ?Sized>(
     p: f64,
     rng: &mut R,
 ) -> FindOutcome {
-    assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0,1]");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "activation probability must be in (0,1]"
+    );
     let n = graph.n();
     assert!(n >= 2, "need at least two vertices");
     assert_eq!(model.n(), n, "model size must match the graph");

@@ -52,10 +52,7 @@ pub fn clique_family(n: u32, k: usize) -> Vec<ProductInput> {
         "family of {} members too large for the exact walk",
         subsets.len()
     );
-    subsets
-        .iter()
-        .map(|c| clique_input(n, c))
-        .collect()
+    subsets.iter().map(|c| clique_input(n, c)).collect()
 }
 
 #[cfg(test)]

@@ -79,9 +79,7 @@ pub fn lemma_1_8_sampled<R: Rng + ?Sized>(
 /// Panics if `D` is empty.
 pub fn lemma_4_4_mean(f: &TruthTable, domain: &[u64]) -> f64 {
     let n = f.arity();
-    let base = f
-        .mean_on_domain(domain)
-        .expect("domain must be non-empty");
+    let base = f.mean_on_domain(domain).expect("domain must be non-empty");
     let mut total = 0.0;
     for i in 0..n {
         let restricted: Vec<u64> = domain
@@ -108,9 +106,7 @@ pub fn lemma_4_3_sampled<R: Rng + ?Sized>(
 ) -> f64 {
     assert!(samples > 0, "need at least one sample");
     let n = f.arity();
-    let base = f
-        .mean_on_domain(domain)
-        .expect("domain must be non-empty");
+    let base = f.mean_on_domain(domain).expect("domain must be non-empty");
     let total: f64 = (0..samples)
         .map(|_| {
             let c = sample_subset(rng, n as usize, k);
@@ -215,10 +211,7 @@ mod tests {
         for n in [9u32, 15, 21] {
             let f = TruthTable::majority(n);
             let scaled = lemma_1_10_mean(&f) * (n as f64).sqrt();
-            assert!(
-                (0.3..1.2).contains(&scaled),
-                "n={n}: scaled value {scaled}"
-            );
+            assert!((0.3..1.2).contains(&scaled), "n={n}: scaled value {scaled}");
         }
     }
 
@@ -256,10 +249,7 @@ mod tests {
         let n = 14u32;
         for t in [1u32, 3, 5] {
             let domain = random_domain(n, t, &mut rng);
-            for f in [
-                TruthTable::majority(n),
-                TruthTable::random(&mut rng, n),
-            ] {
+            for f in [TruthTable::majority(n), TruthTable::random(&mut rng, n)] {
                 let got = lemma_4_4_mean(&f, &domain);
                 let bound = bounds::lemma_4_4(n as usize, t as usize);
                 assert!(got <= bound, "n={n}, t={t}: {got} > {bound}");

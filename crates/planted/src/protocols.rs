@@ -19,16 +19,12 @@
 //!   "generic" protocol for average-case behaviour.
 
 use bcc_congest::{FnProtocol, TurnProtocol, TurnTranscript};
-use bcc_core::{exact_mixture_comparison, MixtureComparison};
+use bcc_core::exec::{DepthProfile, Estimator, ExactEstimator};
 
 use crate::inputs::{clique_family, rand_input};
 
 /// Broadcast 1 iff the row weight (out-degree) is at least `threshold`.
-pub fn degree_threshold(
-    n: u32,
-    rounds: u32,
-    threshold: u32,
-) -> impl TurnProtocol {
+pub fn degree_threshold(n: u32, rounds: u32, threshold: u32) -> impl TurnProtocol {
     FnProtocol::new(n as usize, n, rounds * n, move |_, input, _| {
         input.count_ones() >= threshold
     })
@@ -78,25 +74,41 @@ pub fn random_mask_parity(n: u32, rounds: u32, seed: u64) -> impl TurnProtocol {
     })
 }
 
-/// Runs the full Theorem 1.6 / 4.1 experiment for one protocol: the exact
-/// mixture walk of `A_k = avg_C A_C` against `A_rand`.
+/// Runs the full Theorem 1.6 / 4.1 experiment for one protocol through an
+/// arbitrary [`Estimator`]: the mixture `A_k = avg_C A_C` against
+/// `A_rand`.
 ///
-/// The returned [`MixtureComparison`] carries the real distance (the
-/// theorem's left-hand side), the progress function, and the
-/// consistent-set statistics of Claim 2.
+/// The returned [`DepthProfile`] carries the real distance (the theorem's
+/// left-hand side), the progress function, and — for exact estimators —
+/// the consistent-set statistics of Claim 2.
 ///
 /// # Panics
 ///
-/// Panics if the instance is too large for the exact walk (horizon > 26
-/// turns or more than 5000 cliques).
-pub fn exact_experiment<P: TurnProtocol + ?Sized>(
+/// Panics if the instance is out of the estimator's reach (for the exact
+/// walk: horizon > 26 turns or more than 5000 cliques).
+pub fn experiment<P: TurnProtocol + Sync + ?Sized, E: Estimator>(
     protocol: &P,
     n: u32,
     k: usize,
-) -> MixtureComparison {
+    estimator: &E,
+) -> DepthProfile {
     let members = clique_family(n, k);
     let baseline = rand_input(n);
-    exact_mixture_comparison(protocol, &members, &baseline)
+    estimator.estimate_full(protocol, &members, &baseline)
+}
+
+/// [`experiment`] through the default exact estimator (the parallel exact
+/// mixture walk).
+///
+/// # Panics
+///
+/// As [`experiment`].
+pub fn exact_experiment<P: TurnProtocol + Sync + ?Sized>(
+    protocol: &P,
+    n: u32,
+    k: usize,
+) -> DepthProfile {
+    experiment(protocol, n, k, &ExactEstimator::default())
 }
 
 /// A generic transcript test for sampled experiments: accept iff at least

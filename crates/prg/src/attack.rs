@@ -176,8 +176,7 @@ mod tests {
         let mut accepted = 0;
         let trials = 400;
         for _ in 0..trials {
-            let uniform: Vec<BitVec> =
-                (0..n).map(|_| BitVec::random(&mut rng, 10)).collect();
+            let uniform: Vec<BitVec> = (0..n).map(|_| BitVec::random(&mut rng, 10)).collect();
             if attack_matrix_prg(k, &uniform).verdict == Verdict::Pseudorandom {
                 accepted += 1;
             }
@@ -214,8 +213,7 @@ mod tests {
         let trials = 4000;
         let mut accepted = 0;
         for _ in 0..trials {
-            let uniform: Vec<BitVec> =
-                (0..n).map(|_| BitVec::random(&mut rng, 5)).collect();
+            let uniform: Vec<BitVec> = (0..n).map(|_| BitVec::random(&mut rng, 5)).collect();
             if attack_matrix_prg(k, &uniform).verdict == Verdict::Pseudorandom {
                 accepted += 1;
             }

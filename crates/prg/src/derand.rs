@@ -178,7 +178,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn estimator(rng: &mut StdRng, n: usize, bits: usize, samples: usize) -> SamplingWeightEstimator {
+    fn estimator(
+        rng: &mut StdRng,
+        n: usize,
+        bits: usize,
+        samples: usize,
+    ) -> SamplingWeightEstimator {
         SamplingWeightEstimator {
             inputs: (0..n).map(|_| BitVec::random(rng, bits)).collect(),
             samples,

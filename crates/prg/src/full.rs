@@ -141,9 +141,7 @@ impl MatrixPrg {
         let seeds: Vec<BitVec> = (0..self.n)
             .map(|_| BitVec::random(rng, self.k as usize))
             .collect();
-        let shares: Vec<BitVec> = (0..self.n)
-            .map(|_| BitVec::random(rng, per_proc))
-            .collect();
+        let shares: Vec<BitVec> = (0..self.n).map(|_| BitVec::random(rng, per_proc)).collect();
 
         // Broadcast the shares; everyone assembles M from the first
         // k*(m-k) of the n*per_proc received bits (processor-major order).
@@ -246,11 +244,7 @@ pub fn family(n: usize, k: u32, m: u32) -> Vec<ProductInput> {
             let mut mat = BitMatrix::zeros(k as usize, (m - k) as usize);
             for idx in 0..bits {
                 if (packed >> idx) & 1 == 1 {
-                    mat.set(
-                        (idx / (m - k)) as usize,
-                        (idx % (m - k)) as usize,
-                        true,
-                    );
+                    mat.set((idx / (m - k)) as usize, (idx % (m - k)) as usize, true);
                 }
             }
             pseudo_input(n, k, m, &mat)
@@ -350,6 +344,7 @@ pub fn lemma_7_2_mean(k: u32, m: u32, table: &[f64], domain: &[u64]) -> f64 {
 mod tests {
     use super::*;
     use bcc_congest::FnProtocol;
+    use bcc_core::exec::{Estimator, ExactEstimator};
     use bcc_f2::gauss;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -430,10 +425,7 @@ mod tests {
         let fam = family(2, 2, 4); // 2*(4-2) = 4 bits -> 16 matrices
         assert_eq!(fam.len(), 16);
         // Members are pairwise distinct as supports.
-        let mut sets: Vec<Vec<u64>> = fam
-            .iter()
-            .map(|inp| inp.row(0).points().to_vec())
-            .collect();
+        let mut sets: Vec<Vec<u64>> = fam.iter().map(|inp| inp.row(0).points().to_vec()).collect();
         sets.sort();
         sets.dedup();
         assert_eq!(sets.len(), 16);
@@ -449,7 +441,7 @@ mod tests {
         });
         let members = family(n, k, m);
         let baseline = uniform_input(n, m);
-        let cmp = bcc_core::exact_mixture_comparison(&proto, &members, &baseline);
+        let cmp = ExactEstimator::default().estimate_full(&proto, &members, &baseline);
         assert!(cmp.tv() <= cmp.progress() + 1e-12);
         assert!(cmp.tv() < 0.3, "distance {}", cmp.tv());
     }
@@ -529,7 +521,9 @@ mod tests {
             });
             let members = family(n, k, m);
             let baseline = uniform_input(n, m);
-            bcc_core::exact_mixture_comparison(&proto, &members, &baseline).tv()
+            ExactEstimator::default()
+                .estimate_full(&proto, &members, &baseline)
+                .tv()
         };
         let d2 = distance_at(2);
         let d5 = distance_at(5);

@@ -171,9 +171,7 @@ impl PublicCoinProtocol for AllEqual {
         let mut all_agree = true;
         for j in 0..self.repetitions {
             let r = coins.slice(j * len, (j + 1) * len);
-            let messages: Vec<u64> = (0..n)
-                .map(|i| u64::from(self.inputs[i].dot(&r)))
-                .collect();
+            let messages: Vec<u64> = (0..n).map(|i| u64::from(self.inputs[i].dot(&r))).collect();
             let heard = net.broadcast_round(&messages);
             if heard.iter().any(|&m| m != heard[0]) {
                 all_agree = false;

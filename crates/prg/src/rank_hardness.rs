@@ -74,8 +74,7 @@ pub fn theorem_1_4_error_bound(eps: f64, distance: f64, n: usize) -> f64 {
     // at the scales we run).
     let mass_high_rank: f64 = (0..3).map(limit_q).sum();
     let wrong_mass = 1.0 - q0 - eps - distance - (1.0 - mass_high_rank);
-    (wrong_mass / 8.0).max(0.0)
-        * if n >= 2 { 1.0 } else { 0.0 }
+    (wrong_mass / 8.0).max(0.0) * if n >= 2 { 1.0 } else { 0.0 }
 }
 
 /// Measured acceptance statistics of a Boolean matrix test under the two
@@ -161,10 +160,8 @@ mod tests {
         let mut high = 0;
         for _ in 0..trials {
             let m = sample_pseudo_matrix(&mut rng, n);
-            let first_cols = BitMatrix::from_rows(
-                (0..n).map(|i| m.row(i).slice(0, n - 1)).collect(),
-                n - 1,
-            );
+            let first_cols =
+                BitMatrix::from_rows((0..n).map(|i| m.row(i).slice(0, n - 1)).collect(), n - 1);
             if gauss::rank(&first_cols) >= n - 3 {
                 high += 1;
             }
@@ -216,13 +213,7 @@ mod tests {
         let profile = profile_test(
             16,
             2000,
-            |m| {
-                m.iter_rows()
-                    .map(|r| r.count_ones())
-                    .sum::<usize>()
-                    % 2
-                    == 0
-            },
+            |m| m.iter_rows().map(|r| r.count_ones()).sum::<usize>() % 2 == 0,
             &mut rng,
         );
         assert!(

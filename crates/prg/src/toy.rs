@@ -89,9 +89,7 @@ impl ToyPrg {
 /// Panics if `k > 24` (the support is enumerated).
 pub fn row_support(k: u32, b: u64) -> RowSupport {
     assert!(k <= 24, "support too large to enumerate");
-    let points = (0..(1u64 << k))
-        .map(|x| x | (parity(x & b) << k))
-        .collect();
+    let points = (0..(1u64 << k)).map(|x| x | (parity(x & b) << k)).collect();
     RowSupport::explicit(k + 1, points)
 }
 
@@ -186,7 +184,7 @@ fn parity(x: u64) -> u64 {
 mod tests {
     use super::*;
     use bcc_congest::FnProtocol;
-    use bcc_core::exact_comparison;
+    use bcc_core::exec::{Estimator, ExactEstimator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -214,8 +212,7 @@ mod tests {
     fn supports_partition_the_cube_in_pairs() {
         // For any x, exactly one of (x,0),(x,1) is on the coset.
         let r = row_support(4, 0b1010);
-        let xs: std::collections::HashSet<u64> =
-            r.points().iter().map(|&p| p & 0xF).collect();
+        let xs: std::collections::HashSet<u64> = r.points().iter().map(|&p| p & 0xF).collect();
         assert_eq!(xs.len(), 16);
     }
 
@@ -237,7 +234,7 @@ mod tests {
         });
         let members = family(n, k);
         let baseline = uniform_input(n, k);
-        let cmp = bcc_core::exact_mixture_comparison(&proto, &members, &baseline);
+        let cmp = ExactEstimator::default().estimate_full(&proto, &members, &baseline);
         let bound = n as f64 / 2f64.powf(k as f64 / 2.0);
         assert!(
             cmp.tv() <= bound,
@@ -259,12 +256,10 @@ mod tests {
         // broadcast whether the extra bit matches <x, b*>.
         let k = 5u32;
         let bstar = 0b10011u64;
-        let proto = FnProtocol::new(1, k + 1, 1, move |_, input, _| {
-            on_coset(input, bstar, k)
-        });
+        let proto = FnProtocol::new(1, k + 1, 1, move |_, input, _| on_coset(input, bstar, k));
         let pseudo = pseudo_input(1, k, bstar);
         let baseline = uniform_input(1, k);
-        let cmp = exact_comparison(&proto, &pseudo, &baseline);
+        let cmp = ExactEstimator::default().estimate_pair(&proto, &pseudo, &baseline);
         assert!((cmp.tv() - 0.5).abs() < 1e-12, "tv = {}", cmp.tv());
     }
 
@@ -344,7 +339,8 @@ mod tests {
         let trials = 16;
         for _ in 0..trials {
             let b = rng.gen::<u64>() & ((1 << k) - 1);
-            let cmp = exact_comparison(&proto, &pseudo_input(n, k, b), &baseline);
+            let cmp =
+                ExactEstimator::default().estimate_pair(&proto, &pseudo_input(n, k, b), &baseline);
             total += cmp.tv();
         }
         let avg = total / trials as f64;

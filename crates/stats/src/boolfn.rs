@@ -151,7 +151,11 @@ impl TruthTable {
     /// Restricts to the points inside `cube` that also lie in `domain`
     /// (a sorted list), returning the subdomain.
     pub fn restrict_domain(domain: &[u64], cube: &Subcube64) -> Vec<u64> {
-        domain.iter().copied().filter(|&x| cube.contains(x)).collect()
+        domain
+            .iter()
+            .copied()
+            .filter(|&x| cube.contains(x))
+            .collect()
     }
 }
 
@@ -201,9 +205,7 @@ impl Family {
             Family::Dictator => TruthTable::dictator(n, 0),
             Family::Parity => TruthTable::parity(n, (1u64 << n) - 1),
             Family::And3 => TruthTable::and(n, 0b111),
-            Family::Random(seed) => {
-                TruthTable::random(&mut StdRng::seed_from_u64(seed), n)
-            }
+            Family::Random(seed) => TruthTable::random(&mut StdRng::seed_from_u64(seed), n),
         }
     }
 

@@ -143,11 +143,7 @@ mod tests {
         assert!(fail.union() < (n as f64).powf(-1.5), "{fail:?}");
         let big = 1u64 << 30;
         let log_big = (big as f64).log2();
-        let fail_big = appendix_b_failure(
-            big as usize,
-            (log_big * log_big * 2.0) as usize,
-            0.5,
-        );
+        let fail_big = appendix_b_failure(big as usize, (log_big * log_big * 2.0) as usize, 0.5);
         assert!(
             fail_big.union() < 1.0 / (big as f64 * big as f64),
             "{fail_big:?}"

@@ -183,15 +183,13 @@ impl<T: Eq + Hash + Clone> Dist<(T, T)> {
         if mass <= 0.0 {
             return None;
         }
-        Some(Dist::from_weights(self.iter().filter_map(
-            |((x, y), p)| {
-                if x == a {
-                    Some((y.clone(), p))
-                } else {
-                    None
-                }
-            },
-        )))
+        Some(Dist::from_weights(self.iter().filter_map(|((x, y), p)| {
+            if x == a {
+                Some((y.clone(), p))
+            } else {
+                None
+            }
+        })))
     }
 
     /// The right-hand side of **Lemma 1.9**:
@@ -305,15 +303,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let support = [0u32, 1, 2, 3];
         for _ in 0..20 {
-            let family: Vec<Dist<u32>> =
-                (0..5).map(|_| random_dist(&mut rng, &support)).collect();
+            let family: Vec<Dist<u32>> = (0..5).map(|_| random_dist(&mut rng, &support)).collect();
             let target = random_dist(&mut rng, &support);
             let mixed = Dist::uniform_mixture(family.iter());
-            let avg: f64 = family
-                .iter()
-                .map(|d| d.tv_distance(&target))
-                .sum::<f64>()
-                / family.len() as f64;
+            let avg: f64 =
+                family.iter().map(|d| d.tv_distance(&target)).sum::<f64>() / family.len() as f64;
             assert!(mixed.tv_distance(&target) <= avg + 1e-12);
         }
     }

@@ -311,10 +311,7 @@ mod tests {
                     .map(|p| (p, rng.gen::<f64>() + 1e-9))
                     .collect::<Vec<_>>(),
             );
-            assert!(
-                joint.entropy_joint()
-                    <= joint.entropy_first() + joint.entropy_second() + 1e-9
-            );
+            assert!(joint.entropy_joint() <= joint.entropy_first() + joint.entropy_second() + 1e-9);
         }
     }
 

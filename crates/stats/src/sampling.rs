@@ -90,9 +90,7 @@ pub fn empirical_tv<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
 }
 
 /// Counts occurrences of each value.
-pub fn histogram<T: Eq + Hash + Clone, I: IntoIterator<Item = T>>(
-    samples: I,
-) -> HashMap<T, usize> {
+pub fn histogram<T: Eq + Hash + Clone, I: IntoIterator<Item = T>>(samples: I) -> HashMap<T, usize> {
     let mut h = HashMap::new();
     for s in samples {
         *h.entry(s).or_insert(0) += 1;

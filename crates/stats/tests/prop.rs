@@ -7,9 +7,8 @@ use bcc_stats::TruthTable;
 use proptest::prelude::*;
 
 fn arb_dist(support: usize) -> impl Strategy<Value = Dist<u32>> {
-    proptest::collection::vec(1e-6f64..1.0, support).prop_map(|ws| {
-        Dist::from_weights(ws.into_iter().enumerate().map(|(i, w)| (i as u32, w)))
-    })
+    proptest::collection::vec(1e-6f64..1.0, support)
+        .prop_map(|ws| Dist::from_weights(ws.into_iter().enumerate().map(|(i, w)| (i as u32, w))))
 }
 
 fn arb_table(n: u32) -> impl Strategy<Value = Vec<f64>> {

@@ -9,9 +9,7 @@
 
 use bcc::congest::{Model, Network};
 use bcc::f2::BitVec;
-use bcc::prg::derand::{
-    run_derandomized, run_with_true_randomness, SamplingWeightEstimator,
-};
+use bcc::prg::derand::{run_derandomized, run_with_true_randomness, SamplingWeightEstimator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,7 +20,9 @@ fn main() {
     let samples = 20;
 
     let algo = SamplingWeightEstimator {
-        inputs: (0..n).map(|_| BitVec::random(&mut rng, input_bits)).collect(),
+        inputs: (0..n)
+            .map(|_| BitVec::random(&mut rng, input_bits))
+            .collect(),
         samples,
     };
     println!(

@@ -30,7 +30,10 @@ fn main() {
     let cmp = exact_mixture_comparison(&proto, &members, &baseline);
 
     println!("\nturn-by-turn (exact):");
-    println!("{:>5} {:>12} {:>12} {:>16}", "turn", "L_progress", "mixture TV", "speaker E[|D_p|]");
+    println!(
+        "{:>5} {:>12} {:>12} {:>16}",
+        "turn", "L_progress", "mixture TV", "speaker E[|D_p|]"
+    );
     for t in 0..cmp.progress_by_depth.len() {
         let frac = if t < cmp.speaker_stats.len() {
             format!("{:.4}", cmp.speaker_stats[t].mean_fraction)
@@ -48,7 +51,10 @@ fn main() {
         .iter()
         .cloned()
         .fold(f64::NEG_INFINITY, f64::max);
-    println!("\nper-clique distances: max {best:.5}, mean {:.5}", cmp.progress());
+    println!(
+        "\nper-clique distances: max {best:.5}, mean {:.5}",
+        cmp.progress()
+    );
     println!(
         "final: mixture TV = {:.5}  <=  L_progress = {:.5}  <=  bound {:.5}",
         cmp.tv(),

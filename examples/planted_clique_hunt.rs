@@ -39,7 +39,11 @@ fn main() {
             println!(
                 "claimed {} vertices — {}",
                 out.claimed.len(),
-                if ok { "exact recovery ✓" } else { "MISMATCH ✗" }
+                if ok {
+                    "exact recovery ✓"
+                } else {
+                    "MISMATCH ✗"
+                }
             );
         }
         Some(reason) => println!("aborted: {reason:?}"),

@@ -19,7 +19,10 @@ fn main() {
     println!("== a BCAST(1) round ==");
     let mut net = Network::new(Model::bcast1(4));
     let heard = net.broadcast_round(&[1, 0, 1, 1]).to_vec();
-    println!("processors heard {heard:?} after {} round", net.rounds_used());
+    println!(
+        "processors heard {heard:?} after {} round",
+        net.rounds_used()
+    );
 
     // --- 2. A turn-based protocol and its exact transcript distance. ---
     // Each processor broadcasts the majority of its 5 input bits; we ask
@@ -35,7 +38,10 @@ fn main() {
     ]);
     let cmp = exact_comparison(&protocol, &biased, &uniform);
     println!("prefix distance by turn: {:?}", cmp.tv_by_depth);
-    println!("optimal distinguisher advantage after 3 turns: {:.4}", cmp.tv());
+    println!(
+        "optimal distinguisher advantage after 3 turns: {:.4}",
+        cmp.tv()
+    );
 
     // --- 3. The paper's PRG: k seed bits -> m pseudorandom bits. --------
     // Theorem 1.3's regime is m = O(n): with n = 64 processors, k = 16

@@ -38,7 +38,10 @@ fn main() {
             gauss::rank(&m) < n
         })
         .count();
-    println!("  200/200 pseudo samples rank-deficient: {}", deficient == 200);
+    println!(
+        "  200/200 pseudo samples rank-deficient: {}",
+        deficient == 200
+    );
 
     println!("\n== strategies on 'is it full rank?' (uniform inputs) ==");
     type Strategy = Box<dyn Fn(&BitMatrix) -> bool>;
@@ -46,9 +49,7 @@ fn main() {
         ("always say NO", Box::new(|_| false)),
         (
             "parity of entries",
-            Box::new(|m: &BitMatrix| {
-                m.iter_rows().map(|r| r.count_ones()).sum::<usize>() % 2 == 0
-            }),
+            Box::new(|m: &BitMatrix| m.iter_rows().map(|r| r.count_ones()).sum::<usize>() % 2 == 0),
         ),
         (
             "full rank test (unbounded rounds)",

@@ -197,9 +197,7 @@ fn mixture_decomposition_identity() {
 #[test]
 fn engine_two_sided_symmetry() {
     // ||P_A - P_B|| = ||P_B - P_A||.
-    let proto = FnProtocol::new(2, 3, 4, |_, input, tr| {
-        (input >> (tr.len() / 2)) & 1 == 1
-    });
+    let proto = FnProtocol::new(2, 3, 4, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
     let a = ProductInput::uniform(2, 3);
     let b = ProductInput::new(vec![
         bcc::core::RowSupport::explicit(3, vec![0, 1, 2]),

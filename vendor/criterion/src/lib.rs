@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/rand_core` for
+//! why this workspace vendors dependencies).
+//!
+//! Provides the harness subset the workspace's micro-benchmarks use:
+//! [`Criterion`], [`criterion_group!`] / [`criterion_main!`], benchmark
+//! groups, `iter` and `iter_batched`. Measurement is a simple
+//! warmup-then-sample wall-clock loop printing a mean time per iteration —
+//! no statistics, plots or HTML reports. `--test` runs every benchmark
+//! body exactly once (the smoke mode CI uses); any other CLI arguments are
+//! accepted and ignored so `cargo bench` invocations stay compatible.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped; accepted for API compatibility, the
+/// stand-in measures every batch individually either way.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            warmup: Duration::from_millis(60),
+            measure: Duration::from_millis(240),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` enables smoke mode; all
+    /// other flags are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            warmup: self.warmup,
+            measure: self.measure,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(ns) => println!("bench {id:<40} {:>12.1} ns/iter", ns),
+            None => println!("bench {id:<40} smoke-tested"),
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Times closures.
+pub struct Bencher {
+    test_mode: bool,
+    warmup: Duration,
+    measure: Duration,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std_black_box(routine());
+            self.report = None;
+            return;
+        }
+        let mut iterations = 0u64;
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.warmup {
+            std_black_box(routine());
+            iterations += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / iterations.max(1) as f64;
+        let samples = ((self.measure.as_secs_f64() / per_iter) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..samples {
+            std_black_box(routine());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.report = Some(elapsed / samples as f64 * 1e9);
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std_black_box(routine(setup()));
+            self.report = None;
+            return;
+        }
+        let mut iterations = 0u64;
+        let mut spent = Duration::ZERO;
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.warmup {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            spent += start.elapsed();
+            iterations += 1;
+        }
+        let per_iter = (spent.as_secs_f64() / iterations.max(1) as f64).max(1e-9);
+        let samples = ((self.measure.as_secs_f64() / per_iter) as u64).clamp(1, 10_000_000);
+        let mut total = Duration::ZERO;
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.report = Some(total.as_secs_f64() / samples as f64 * 1e9);
+    }
+}
+
+/// Declares a group function running several benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut bencher = Bencher {
+            test_mode: true,
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            report: None,
+        };
+        let mut count = 0;
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(bencher.report.is_none());
+    }
+
+    #[test]
+    fn measurement_reports_positive_time() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            report: None,
+        };
+        bencher.iter(|| std::hint::black_box(2u64.pow(10)));
+        assert!(bencher.report.expect("measured") > 0.0);
+    }
+
+    #[test]
+    fn batched_setup_is_untimed_but_runs() {
+        let mut bencher = Bencher {
+            test_mode: true,
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            report: None,
+        };
+        let mut setups = 0;
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                7u64
+            },
+            |x| x * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand_chacha` crate: deterministic RNGs built
+//! on the ChaCha stream cipher (D. J. Bernstein), with 8, 12 and 20
+//! rounds.
+//!
+//! The block function is the real ChaCha permutation; the word-level
+//! output order is *not* guaranteed to match the published crate (which
+//! this workspace cannot fetch — see `vendor/rand_core`). Everything in
+//! this repository that needs reproducibility seeds its own generator, so
+//! only self-consistency matters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand_core::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // Stream (nonce) words stay zero: one stream per generator.
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index == 16 {
+                    self.buffer = chacha_block(&self.key, self.counter, $rounds);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.index = 0;
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "A ChaCha RNG with 8 rounds.");
+chacha_rng!(ChaCha12Rng, 12, "A ChaCha RNG with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "A ChaCha RNG with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_block_matches_rfc7539_shape() {
+        // RFC 7539 test vector uses a nonce; ours is the zero-nonce
+        // variant, so check structural properties instead: determinism and
+        // full-state diffusion between consecutive blocks.
+        let key = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let b0 = chacha_block(&key, 0, 20);
+        let b0_again = chacha_block(&key, 0, 20);
+        let b1 = chacha_block(&key, 1, 20);
+        assert_eq!(b0, b0_again);
+        let differing = b0.iter().zip(b1.iter()).filter(|(a, b)| a != b).count();
+        assert!(differing >= 14, "blocks barely differ: {differing}");
+    }
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let mean = ones as f64 / 1000.0;
+        assert!((mean - 32.0).abs() < 1.0, "bit bias: mean weight {mean}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/rand_core` for why
+//! this workspace vendors dependencies).
+//!
+//! Implements the data-parallel subset the workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `map(...).collect::<Vec<_>>()`, plus
+//! [`join`] and [`current_num_threads`] — on top of `std::thread::scope`
+//! with a shared atomic work queue. Scheduling is dynamic (threads pull
+//! the next unclaimed item), so unbalanced workloads still spread across
+//! cores, and `collect` preserves input order. There is no work-stealing
+//! pool reuse; each parallel call spawns OS threads, which is fine for the
+//! coarse-grained tasks (subtree walks, per-member estimates) this
+//! workspace fans out.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads a parallel call will use: the real
+/// crate's `RAYON_NUM_THREADS` override when set, otherwise the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
+}
+
+/// Order-preserving parallel map with dynamic scheduling.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    {
+        let (f, slots, results, next) = (&f, &slots, &results, &next);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let out = f(item);
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker dropped an item")
+        })
+        .collect()
+}
+
+/// Parallel iterator support (eager, order-preserving).
+pub mod iter {
+    use super::par_map_vec;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The concrete parallel iterator.
+        type Iter;
+
+        /// Starts a parallel pipeline over `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Borrowing conversion, mirroring `rayon`'s `par_iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed element type.
+        type Item: Send + 'a;
+        /// The concrete parallel iterator.
+        type Iter;
+
+        /// Starts a parallel pipeline over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// A pending parallel pipeline holding the source items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps every item through `f` in parallel.
+        pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item in parallel.
+        pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+            par_map_vec(self.items, |x| f(x));
+        }
+    }
+
+    /// A mapped parallel pipeline.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+        /// Executes the pipeline, preserving input order.
+        pub fn collect<C: FromParallel<U>>(self) -> C {
+            C::from_ordered_vec(par_map_vec(self.items, self.f))
+        }
+
+        /// Executes the pipeline and sums the results.
+        pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+            par_map_vec(self.items, self.f).into_iter().sum()
+        }
+    }
+
+    /// Collection types a parallel pipeline can produce.
+    pub trait FromParallel<U> {
+        /// Builds the collection from items in pipeline order.
+        fn from_ordered_vec(items: Vec<U>) -> Self;
+    }
+
+    impl<U> FromParallel<U> for Vec<U> {
+        fn from_ordered_vec(items: Vec<U>) -> Self {
+            items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<T>;
+
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParIter<usize>;
+
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParIter<&'a T>;
+
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<&'a T>;
+
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+/// The traits a caller needs in scope.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0..1000usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| (i * i) as u64)
+            .collect();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "ok");
+        assert_eq!(a, 2);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn uneven_workloads_complete() {
+        let out: Vec<usize> = (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}
