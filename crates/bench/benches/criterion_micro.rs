@@ -1,15 +1,16 @@
 //! Criterion micro-benchmarks for the computational substrate: PRG
-//! expansion, F₂ rank, the exact engine walk, and Bron–Kerbosch on the
-//! Appendix B active subgraph.
+//! expansion, F₂ rank, the exact engine walk, Bron–Kerbosch on the
+//! Appendix B active subgraph, and the transcript-key sort at the heart
+//! of the sampled estimator (comparison sort vs the LSD radix sort).
 
 use bcc_congest::FnProtocol;
-use bcc_core::{exact_comparison, ProductInput};
+use bcc_core::{exact_comparison, radix_sort_u64, ProductInput};
 use bcc_f2::{gauss, BitMatrix, BitVec};
 use bcc_graphs::clique::max_clique;
 use bcc_graphs::digraph::UGraph;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn bench_prg_expand(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -50,6 +51,43 @@ fn bench_engine_walk(c: &mut Criterion) {
     });
 }
 
+fn bench_transcript_sort(c: &mut Criterion) {
+    // The sampled estimator's hot loop sorts packed prefix keys: a
+    // horizon-T protocol leaves only the top T bits varying (the
+    // bit-reversed packing), which is exactly the shape the radix sort's
+    // constant-byte skip exploits. "before" is the comparison sort the
+    // arena used previously; "after" is bcc_core::radix_sort_u64.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("transcript_sort");
+    for &(len, horizon) in &[(1usize << 14, 12u32), (1 << 17, 12), (1 << 17, 48)] {
+        let keys: Vec<u64> = (0..len)
+            .map(|_| (rng.gen::<u64>() & ((1u64 << horizon) - 1)).reverse_bits())
+            .collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_function(format!("std_unstable/{len}keys_h{horizon}"), |b| {
+            b.iter_batched(
+                || keys.clone(),
+                |mut v| {
+                    v.sort_unstable();
+                    v
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("radix_lsd/{len}keys_h{horizon}"), |b| {
+            b.iter_batched(
+                || keys.clone(),
+                |mut v| {
+                    radix_sort_u64(&mut v);
+                    v
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_max_clique(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     // The Appendix B active-subgraph shape: density 1/4 with a planted
@@ -73,6 +111,7 @@ criterion_group!(
     bench_prg_expand,
     bench_rank,
     bench_engine_walk,
+    bench_transcript_sort,
     bench_max_clique
 );
 criterion_main!(benches);

@@ -11,12 +11,14 @@
 //! Part 3: the counting argument — assuming 99% accuracy forces an error
 //! bound that contradicts it.
 
-use bcc_bench::{banner, check, f, print_table, sci};
+use bcc_bench::{banner, check, f, print_table, rate, sci};
 use bcc_congest::FnProtocol;
 use bcc_core::{Estimator, ExactEstimator};
 use bcc_f2::rank_dist::{empirical_rank_pmf, limit_q, rank_probability};
+use bcc_lab::{Scenario, Workload};
 use bcc_prg::rank_hardness::{constant_guess_accuracy, theorem_1_4_error_bound};
 use bcc_prg::toy;
+use criterion::Throughput;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -96,5 +98,56 @@ fn main() {
         "\nShape check: implied error ≈ 0.087 >> the assumed 0.01 — the\n\
          paper derives > 0.05 at the same point; no n/20-round protocol\n\
          reaches 99% accuracy."
+    );
+
+    println!("\n-- scaled: pseudo vs uniform at n in the thousands (bcc-lab sweep) --");
+    let members = 4usize;
+    let scenario = Scenario::builder("e09-rank-scaled")
+        .workload(Workload::RankDistance { members })
+        .n(&[1024, 2048, 4096])
+        .k(&[6, 8])
+        .rounds(&[12])
+        .seeds(&[bcc_bench::SEED])
+        .tolerance(0.25)
+        .initial_samples(4096)
+        .max_samples(1 << 17)
+        .build();
+    let sweep = scenario.sweep_ephemeral();
+    let mut rows = Vec::new();
+    for r in &sweep.records {
+        // Effective end-to-end rate: final-budget transcripts (samples per
+        // side × (members + baseline)) over the point's full wall-clock,
+        // which includes the earlier, smaller adaptive batches — the rate
+        // that matters when planning a sweep, below raw simulator speed.
+        let transcripts = r.samples * (members as u64 + 1);
+        rows.push(vec![
+            r.n.to_string(),
+            r.k.to_string(),
+            r.rounds.to_string(),
+            f(r.estimate),
+            f(r.noise_floor),
+            r.samples.to_string(),
+            format!("{:.0}", r.wall_ms),
+            rate(Throughput::Elements(transcripts), r.wall_ms / 1e3),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "k",
+            "turns",
+            "mixture TV",
+            "floor",
+            "samples/side",
+            "ms",
+            "eff transcripts/s",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: every floor <= 0.25 (adaptive budget; met = {}),\n\
+         and measured TV stays at the floor — the rank-deficient family is\n\
+         indistinguishable at scales the exact engine cannot reach.",
+        sweep.all_met_tolerance()
     );
 }

@@ -62,6 +62,16 @@ pub fn check(ok: bool) -> String {
     }
 }
 
+/// Formats the rate a [`criterion::Throughput`] implies over `secs`
+/// seconds of wall clock — the elements/sec column of the scaled
+/// experiment tables (e.g. transcripts simulated or trials run per
+/// second).
+pub fn rate(throughput: criterion::Throughput, secs: f64) -> String {
+    // rate_string takes ns per "iteration"; the whole measured stretch is
+    // one iteration here.
+    throughput.rate_string(secs.max(1e-12) * 1e9)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +90,17 @@ mod tests {
         assert_eq!(check(true), "ok");
         assert_eq!(check(false), "VIOLATED");
         assert!(sci(1234.0).contains('e'));
+    }
+
+    #[test]
+    fn rate_column_formats_elements_per_second() {
+        assert_eq!(
+            rate(criterion::Throughput::Elements(2_000_000), 1.0),
+            "2.0 Melem/s"
+        );
+        assert_eq!(
+            rate(criterion::Throughput::Elements(500), 2.0),
+            "250.0 elem/s"
+        );
     }
 }

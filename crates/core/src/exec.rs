@@ -35,12 +35,34 @@
 use bcc_congest::{TurnProtocol, TurnTranscript};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
 
 use crate::engine::{exact_mixture_comparison_mode, SpeakerStats};
 use crate::input::ProductInput;
-use crate::sample::{collect_sorted_keys, sorted_support_union, sorted_tv_at_depth};
+use crate::sample::{
+    collect_sorted_keys, radix_sort_u64, sorted_support_union, sorted_tv_at_depth,
+};
 
 pub use crate::engine::ExecMode;
+
+/// Derives the seed of an independent child stream from a root seed and a
+/// stream index (a SplitMix64 step and finalizer).
+///
+/// This is how every seeded fan-out in the workspace names its streams:
+/// the [`SampledEstimator`] gives side `i` of a family comparison the
+/// stream `derive_seed(seed, i)`, and `bcc-lab` gives every scenario
+/// point its own root the same way. Distinct `(root, stream)` pairs give
+/// statistically independent ChaCha streams, and the derivation is pure,
+/// so a consumer can be computed in any order — or skipped entirely —
+/// without disturbing the others.
+pub fn derive_seed(root: u64, stream: u64) -> u64 {
+    let mut z = root
+        .wrapping_add(0x9E3779B97F4A7C15)
+        .wrapping_add(stream.wrapping_mul(0xD1B54A32D192ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
 
 /// How a [`DepthProfile`]'s numbers were produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -252,22 +274,29 @@ impl Estimator for ExactEstimator {
 /// Seeded Monte-Carlo estimation as an [`Estimator`].
 ///
 /// Draws `samples_per_side` transcripts from every family member and from
-/// the baseline, batches them into sorted packed-`u64` histograms (one
-/// [`TranscriptArena`], no per-sample hashing) and reads the whole depth
-/// profile off the sorted keys. The estimator owns its randomness — a
-/// ChaCha stream seeded from `seed` — so results are reproducible
-/// regardless of the calling context.
+/// the baseline, batches them into sorted packed-`u64` histograms (no
+/// per-sample hashing) and reads the whole depth profile off the sorted
+/// keys. The estimator owns its randomness: side `i` of the comparison
+/// (the baseline is side 0, member `i` is side `i + 1`) draws from the
+/// independent ChaCha stream seeded by [`derive_seed`]`(seed, i)`, so
+/// sides can be sampled in any order — which is what lets
+/// [`ExecMode::Parallel`] fan the family out over rayon while staying
+/// bitwise identical to the sequential run.
 #[derive(Debug, Clone, Copy)]
 pub struct SampledEstimator {
     /// Samples drawn per family member and for the baseline.
     pub samples_per_side: usize,
     /// The root seed of the estimator's private randomness.
     pub seed: u64,
+    /// How the per-side sampling executes; [`ExecMode::Parallel`] by
+    /// default. Both modes produce bitwise-identical profiles.
+    pub mode: ExecMode,
 }
 
 impl SampledEstimator {
     /// An estimator drawing `samples_per_side` transcripts per side from
-    /// the ChaCha stream seeded by `seed`.
+    /// ChaCha streams derived from `seed`, sampling family members in
+    /// parallel.
     ///
     /// # Panics
     ///
@@ -278,6 +307,16 @@ impl SampledEstimator {
         SampledEstimator {
             samples_per_side,
             seed,
+            mode: ExecMode::Parallel,
+        }
+    }
+
+    /// The same estimator forced onto the calling thread. Bitwise equal
+    /// to the parallel results, only slower.
+    pub fn sequential(samples_per_side: usize, seed: u64) -> Self {
+        SampledEstimator {
+            mode: ExecMode::Sequential,
+            ..SampledEstimator::new(samples_per_side, seed)
         }
     }
 }
@@ -308,31 +347,44 @@ impl Estimator for SampledEstimator {
         };
         let samples = self.samples_per_side;
         let m = members.len();
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
 
-        let mut base_keys = Vec::new();
-        collect_sorted_keys(
-            &truncated,
-            |r| baseline.sample(r),
-            samples,
-            &mut rng,
-            &mut base_keys,
-        );
+        // Each side owns the stream derive_seed(seed, side): the key
+        // arrays depend only on (side, seed), never on execution order,
+        // so the parallel map is bitwise identical to the sequential one
+        // (the vendored rayon's collect preserves input order).
+        let sample_side = |side: usize| -> Vec<u64> {
+            let input = if side == 0 {
+                baseline
+            } else {
+                &members[side - 1]
+            };
+            let mut rng = ChaCha12Rng::seed_from_u64(derive_seed(self.seed, side as u64));
+            let mut keys = Vec::new();
+            collect_sorted_keys(
+                &truncated,
+                |r| input.sample(r),
+                samples,
+                &mut rng,
+                &mut keys,
+            );
+            keys
+        };
+        let mut side_keys: Vec<Vec<u64>> = match self.mode {
+            ExecMode::Parallel => (0..=m)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(sample_side)
+                .collect(),
+            ExecMode::Sequential => (0..=m).map(sample_side).collect(),
+        };
+        let base_keys = side_keys.remove(0);
 
         let depths = horizon as usize + 1;
         let side_weight = 1.0 / samples as f64;
         let mut progress_by_depth = vec![0.0; depths];
         let mut per_member_tv = Vec::with_capacity(m);
         let mut mixture_keys: Vec<u64> = Vec::with_capacity(m * samples);
-        let mut member_keys = Vec::new();
-        for member in members {
-            collect_sorted_keys(
-                &truncated,
-                |r| member.sample(r),
-                samples,
-                &mut rng,
-                &mut member_keys,
-            );
+        for mut member_keys in side_keys {
             let mut member_final_tv = 0.0;
             for (t, slot) in progress_by_depth.iter_mut().enumerate() {
                 let tv = sorted_tv_at_depth(
@@ -348,7 +400,7 @@ impl Estimator for SampledEstimator {
             per_member_tv.push(member_final_tv);
             mixture_keys.append(&mut member_keys);
         }
-        mixture_keys.sort_unstable();
+        radix_sort_u64(&mut mixture_keys);
 
         let mixture_weight = 1.0 / (m * samples) as f64;
         let mixture_tv_by_depth: Vec<f64> = (0..depths)
@@ -375,6 +427,142 @@ impl Estimator for SampledEstimator {
                 support_seen,
             },
         }
+    }
+}
+
+/// How an [`AdaptiveEstimator`] run spent its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveReport {
+    /// Seeded batches run before stopping (each a fresh estimate at a
+    /// larger budget).
+    pub batches: usize,
+    /// The per-side budget of the final (returned) estimate.
+    pub samples_per_side: usize,
+    /// Whether the final noise floor met the requested tolerance (when
+    /// `false`, the hard cap stopped the growth first).
+    pub met_tolerance: bool,
+}
+
+/// Monte-Carlo estimation that grows its sample budget until the noise
+/// floor meets a tolerance, as an [`Estimator`].
+///
+/// Runs a [`SampledEstimator`] in seeded batches of geometrically growing
+/// budget — starting at `initial_samples`, at least doubling each batch,
+/// and jumping straight to the budget the observed support projects
+/// (`support_seen / tolerance²`) when that is larger — until
+/// [`DepthProfile::noise_floor`] is at most `tolerance` or the budget
+/// reaches `max_samples_per_side`. Every batch reuses the same root seed,
+/// so the returned profile is **bitwise identical** to a one-shot
+/// [`SampledEstimator`] at the final budget: an adaptive run is exactly
+/// reproducible from its recorded sample count, which is what lets
+/// `bcc-lab` resume interrupted sweeps bit-for-bit. Geometric growth
+/// bounds the total work at roughly twice the final batch.
+///
+/// Big sweeps spend samples only where they are needed: a point whose
+/// distances resolve at the first budget stops immediately, while a point
+/// near the noise floor escalates toward the cap.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveEstimator {
+    /// The target noise-floor half-width. Non-positive tolerances are
+    /// allowed and simply spend the whole cap.
+    pub tolerance: f64,
+    /// The first batch's per-side budget.
+    pub initial_samples: usize,
+    /// The hard cap on the per-side budget.
+    pub max_samples_per_side: usize,
+    /// The root seed shared by every batch.
+    pub seed: u64,
+    /// How per-side sampling executes within each batch.
+    pub mode: ExecMode,
+}
+
+impl AdaptiveEstimator {
+    /// An adaptive estimator growing from `initial_samples` per side
+    /// toward `max_samples_per_side` until the noise floor is at most
+    /// `tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_samples == 0`, if the cap is below the initial
+    /// budget, or if `tolerance` is NaN.
+    pub fn new(
+        tolerance: f64,
+        initial_samples: usize,
+        max_samples_per_side: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(initial_samples > 0, "need at least one sample per side");
+        assert!(
+            max_samples_per_side >= initial_samples,
+            "cap {max_samples_per_side} below the initial budget {initial_samples}"
+        );
+        assert!(!tolerance.is_nan(), "tolerance must not be NaN");
+        AdaptiveEstimator {
+            tolerance,
+            initial_samples,
+            max_samples_per_side,
+            seed,
+            mode: ExecMode::Parallel,
+        }
+    }
+
+    /// [`Estimator::estimate`] plus the [`AdaptiveReport`] saying how the
+    /// budget grew and whether the tolerance was met.
+    pub fn estimate_with_report<P: TurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> (DepthProfile, AdaptiveReport) {
+        let mut samples = self.initial_samples.min(self.max_samples_per_side);
+        let mut batches = 0usize;
+        loop {
+            batches += 1;
+            let est = SampledEstimator {
+                samples_per_side: samples,
+                seed: self.seed,
+                mode: self.mode,
+            };
+            let profile = est.estimate(protocol, members, baseline, horizon);
+            let floor = profile.noise_floor();
+            let met = floor <= self.tolerance;
+            if met || samples >= self.max_samples_per_side {
+                let report = AdaptiveReport {
+                    batches,
+                    samples_per_side: samples,
+                    met_tolerance: met,
+                };
+                return (profile, report);
+            }
+            // floor = sqrt(support / samples), so the support seen at this
+            // budget projects the budget the tolerance needs. The support
+            // itself can still grow, hence the loop; doubling guarantees
+            // progress when the projection stalls.
+            let projected = match profile.provenance {
+                Provenance::Sampled { support_seen, .. } if self.tolerance > 0.0 => {
+                    (support_seen as f64 / (self.tolerance * self.tolerance)).ceil() as usize
+                }
+                _ => usize::MAX,
+            };
+            samples = samples
+                .saturating_mul(2)
+                .max(projected)
+                .min(self.max_samples_per_side);
+        }
+    }
+}
+
+impl Estimator for AdaptiveEstimator {
+    fn estimate<P: TurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> DepthProfile {
+        self.estimate_with_report(protocol, members, baseline, horizon)
+            .0
     }
 }
 
@@ -496,8 +684,111 @@ mod tests {
         let est = SampledEstimator {
             samples_per_side: 0,
             seed: 1,
+            mode: ExecMode::Parallel,
         };
         let _ = est.estimate_full(&p, &members, &baseline);
+    }
+
+    #[test]
+    fn sampled_parallel_matches_sequential_bitwise() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let par = SampledEstimator::new(4_000, 9).estimate_full(&p, &members, &baseline);
+        let seq = SampledEstimator::sequential(4_000, 9).estimate_full(&p, &members, &baseline);
+        for t in 0..par.mixture_tv_by_depth.len() {
+            assert_eq!(
+                par.mixture_tv_by_depth[t].to_bits(),
+                seq.mixture_tv_by_depth[t].to_bits(),
+                "mixture tv differs at depth {t}"
+            );
+            assert_eq!(
+                par.progress_by_depth[t].to_bits(),
+                seq.progress_by_depth[t].to_bits(),
+                "progress differs at depth {t}"
+            );
+        }
+        for i in 0..par.per_member_tv.len() {
+            assert_eq!(
+                par.per_member_tv[i].to_bits(),
+                seq.per_member_tv[i].to_bits(),
+                "member {i} differs"
+            );
+        }
+        assert_eq!(par.provenance, seq.provenance);
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+        assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+        assert_ne!(derive_seed(7, 3), derive_seed(8, 3));
+        // The root itself is never a stream seed (side 0 is derived too).
+        assert_ne!(derive_seed(7, 0), 7);
+    }
+
+    #[test]
+    fn adaptive_stops_at_tolerance_and_matches_one_shot() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let adaptive = AdaptiveEstimator::new(0.2, 100, 1 << 20, 0x5EED);
+        let (profile, report) = adaptive.estimate_with_report(&p, &members, &baseline, 6);
+        assert!(report.met_tolerance, "report: {report:?}");
+        assert!(profile.noise_floor() <= 0.2);
+        assert!(report.samples_per_side < 1 << 20, "cap should not bind");
+        // The adaptive result is bitwise the one-shot estimate at the
+        // final budget — the property sweep resumption relies on.
+        let one_shot = SampledEstimator::new(report.samples_per_side, 0x5EED)
+            .estimate_full(&p, &members, &baseline);
+        assert_eq!(profile.tv().to_bits(), one_shot.tv().to_bits());
+        assert_eq!(profile.progress().to_bits(), one_shot.progress().to_bits());
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_under_a_fixed_seed() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let adaptive = AdaptiveEstimator::new(0.15, 64, 1 << 18, 42);
+        let (a, ra) = adaptive.estimate_with_report(&p, &members, &baseline, 6);
+        let (b, rb) = adaptive.estimate_with_report(&p, &members, &baseline, 6);
+        assert_eq!(ra, rb);
+        assert_eq!(a.tv().to_bits(), b.tv().to_bits());
+    }
+
+    #[test]
+    fn adaptive_terminates_at_the_cap_when_tolerance_is_unreachable() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        // Tolerance no sampled run can meet: the cap must stop the growth.
+        let adaptive = AdaptiveEstimator::new(1e-6, 50, 400, 3);
+        let (profile, report) = adaptive.estimate_with_report(&p, &members, &baseline, 6);
+        assert!(!report.met_tolerance);
+        assert_eq!(report.samples_per_side, 400);
+        assert!(profile.noise_floor() > 1e-6);
+        match profile.provenance {
+            Provenance::Sampled {
+                samples_per_side, ..
+            } => assert_eq!(samples_per_side, 400),
+            Provenance::Exact => panic!("adaptive runs are sampled"),
+        }
+    }
+
+    #[test]
+    fn adaptive_with_zero_tolerance_spends_the_whole_cap() {
+        let p = reveal_protocol(2, 3, 4);
+        let (members, baseline) = family();
+        let adaptive = AdaptiveEstimator::new(0.0, 32, 128, 5);
+        let (_, report) = adaptive.estimate_with_report(&p, &members, &baseline, 4);
+        assert_eq!(report.samples_per_side, 128);
+        assert!(!report.met_tolerance);
+        // Growth is geometric (with projection jumps), so the batch count
+        // stays logarithmic in cap/initial.
+        assert!(report.batches <= 4, "batches: {}", report.batches);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the initial budget")]
+    fn adaptive_rejects_cap_below_initial() {
+        let _ = AdaptiveEstimator::new(0.1, 100, 50, 1);
     }
 
     #[test]

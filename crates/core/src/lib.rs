@@ -47,7 +47,10 @@ pub use engine::{
     exact_comparison, exact_mixture_comparison, exact_mixture_comparison_mode, ExactComparison,
     ExecMode, MixtureComparison,
 };
-pub use exec::{DepthProfile, Estimator, ExactEstimator, Provenance, SampledEstimator};
+pub use exec::{
+    derive_seed, AdaptiveEstimator, AdaptiveReport, DepthProfile, Estimator, ExactEstimator,
+    Provenance, SampledEstimator,
+};
 pub use input::{ProductInput, RowSupport};
-pub use sample::{sampled_comparison, sampled_comparison_with, TranscriptArena};
+pub use sample::{radix_sort_u64, sampled_comparison, sampled_comparison_with, TranscriptArena};
 pub use wide::{exact_wide_comparison, WideComparison};

@@ -14,6 +14,8 @@
 //! length group contiguously under the full-key sort order: one sort pays
 //! for TV merges at every depth, which is what
 //! [`crate::exec::SampledEstimator`] exploits for whole depth profiles.
+//! The sort itself is [`radix_sort_u64`], an LSD radix sort that skips
+//! the constant low bytes the bit-reversed packing produces.
 
 use bcc_congest::turn::run_turn_protocol;
 use bcc_congest::TurnProtocol;
@@ -64,7 +66,73 @@ pub(crate) fn collect_sorted_keys<P, R, F>(
             run_turn_protocol(protocol, &sampler(rng)).as_u64(),
         ));
     }
-    out.sort_unstable();
+    radix_sort_u64(out);
+}
+
+/// Below this length the comparison sort's cache behaviour beats the
+/// counting passes, and the scratch allocation is not worth it.
+const RADIX_CUTOFF: usize = 256;
+
+/// Beyond this many varying bytes the counting passes' scattered writes
+/// cost more than a comparison sort (measured in
+/// `criterion_micro/transcript_sort`), so the hybrid falls back.
+const RADIX_MAX_VARYING_BYTES: u32 = 4;
+
+/// Sorts packed transcript keys ascending with an LSD radix sort (byte
+/// digits, stable counting passes), producing exactly the order
+/// `sort_unstable` would.
+///
+/// The win over a comparison sort comes from the key shape: a prefix key
+/// stores turn `t` at bit `63 − t` (see [`prefix_key`]), so a horizon-`T`
+/// protocol leaves the low `64 − T` bits zero and only `⌈T/8⌉` of the 8
+/// counting passes touch varying bytes. A cheap OR/AND pre-scan finds the
+/// bytes that are constant across the whole array, and their passes are
+/// skipped outright — a 12-turn workload sorts in two counting passes
+/// over the data. Shapes radix handles badly (short arrays, or more than
+/// [`RADIX_MAX_VARYING_BYTES`] varying bytes, where scattered writes
+/// outweigh the comparison sort) fall back to `sort_unstable`.
+pub fn radix_sort_u64(keys: &mut Vec<u64>) {
+    let n = keys.len();
+    if n < RADIX_CUTOFF {
+        keys.sort_unstable();
+        return;
+    }
+    // A byte is constant across the array iff every key agrees with every
+    // other there, i.e. the OR and the AND of all keys coincide on it.
+    let (mut ones, mut zeros) = (0u64, u64::MAX);
+    for &key in keys.iter() {
+        ones |= key;
+        zeros &= key;
+    }
+    let varying = ones ^ zeros;
+    let varying_bytes = (0..8).filter(|p| (varying >> (p * 8)) & 0xFF != 0).count() as u32;
+    if varying_bytes > RADIX_MAX_VARYING_BYTES {
+        keys.sort_unstable();
+        return;
+    }
+    let mut scratch = vec![0u64; n];
+    for pass in 0..8 {
+        let shift = pass * 8;
+        if (varying >> shift) & 0xFF == 0 {
+            continue;
+        }
+        let mut hist = [0usize; 256];
+        for &key in keys.iter() {
+            hist[((key >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut running = 0usize;
+        for (offset, &count) in offsets.iter_mut().zip(hist.iter()) {
+            *offset = running;
+            running += count;
+        }
+        for &key in keys.iter() {
+            let byte = ((key >> shift) & 0xFF) as usize;
+            scratch[offsets[byte]] = key;
+            offsets[byte] += 1;
+        }
+        std::mem::swap(keys, &mut scratch);
+    }
 }
 
 /// Empirical TV between two sorted key arrays at prefix depth `depth`,
@@ -365,6 +433,29 @@ mod tests {
         assert!(sorted_tv_at_depth(&a, &a, w, w, 2).abs() < 1e-12);
         assert_eq!(sorted_support_union(&a, &b), 4);
         assert_eq!(sorted_support_union(&a, &a), 2);
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_sort() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Below and above the cutoff; uniform keys and prefix-key-shaped
+        // keys (only the top bytes vary), plus heavy duplication.
+        for &len in &[0usize, 1, 100, 300, 5_000] {
+            for shape in 0..4u32 {
+                let mut keys: Vec<u64> = (0..len)
+                    .map(|_| match shape {
+                        0 => rng.gen::<u64>(),                     // 8 varying bytes: fallback path
+                        1 => prefix_key(rng.gen::<u64>() & 0xFFF), // 2 bytes, reversed
+                        2 => rng.gen::<u64>() & 0xFF_FFFF,         // 3 low bytes: 3 passes
+                        _ => rng.gen::<u64>() % 7,                 // heavy duplication, 1 pass
+                    })
+                    .collect();
+                let mut expected = keys.clone();
+                expected.sort_unstable();
+                radix_sort_u64(&mut keys);
+                assert_eq!(keys, expected, "len {len} shape {shape}");
+            }
+        }
     }
 
     #[test]

@@ -180,6 +180,73 @@ proptest! {
     }
 
     #[test]
+    fn parallel_sampler_is_bitwise_deterministic(
+        base in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        // The sampler's analogue of the exact-walk property below: with
+        // every side on its own derived ChaCha stream, fanning family
+        // members out over rayon must be bitwise identical to the forced
+        // single-thread run — profile, members, provenance and all.
+        let p = protocol(2, 3, 8, seed);
+        let members: Vec<ProductInput> = (0..6u64)
+            .map(|i| {
+                let points: Vec<u64> = (0..8).filter(|x| (x ^ i) % 3 != 0).collect();
+                ProductInput::new(vec![
+                    RowSupport::explicit(3, points),
+                    RowSupport::uniform(3),
+                ])
+            })
+            .collect();
+        let par = SampledEstimator::new(2_000, seed).estimate_full(&p, &members, &base);
+        let seq = SampledEstimator::sequential(2_000, seed).estimate_full(&p, &members, &base);
+        for t in 0..par.mixture_tv_by_depth.len() {
+            prop_assert_eq!(
+                par.mixture_tv_by_depth[t].to_bits(),
+                seq.mixture_tv_by_depth[t].to_bits(),
+                "mixture tv differs at depth {}", t
+            );
+            prop_assert_eq!(
+                par.progress_by_depth[t].to_bits(),
+                seq.progress_by_depth[t].to_bits(),
+                "progress differs at depth {}", t
+            );
+        }
+        for i in 0..par.per_member_tv.len() {
+            prop_assert_eq!(
+                par.per_member_tv[i].to_bits(),
+                seq.per_member_tv[i].to_bits(),
+                "member {} differs", i
+            );
+        }
+        prop_assert_eq!(par.provenance, seq.provenance);
+    }
+
+    #[test]
+    fn adaptive_estimator_meets_tolerance_or_cap(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        base in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        use bcc_core::exec::AdaptiveEstimator;
+        let p = protocol(2, 3, 6, seed);
+        let members = vec![a, b];
+        let est = AdaptiveEstimator::new(0.25, 64, 1 << 16, seed);
+        let (profile, report) = est.estimate_with_report(&p, &members, &base, 6);
+        prop_assert!(report.samples_per_side <= 1 << 16);
+        if report.met_tolerance {
+            prop_assert!(profile.noise_floor() <= 0.25);
+        } else {
+            prop_assert_eq!(report.samples_per_side, 1 << 16);
+        }
+        // Deterministic under the fixed seed.
+        let (again, report_again) = est.estimate_with_report(&p, &members, &base, 6);
+        prop_assert_eq!(report, report_again);
+        prop_assert_eq!(profile.tv().to_bits(), again.tv().to_bits());
+    }
+
+    #[test]
     fn parallel_walk_is_bitwise_deterministic(
         base in arb_input(2, 4),
         seed in any::<u64>(),

@@ -1,0 +1,304 @@
+//! A minimal flat-JSON reader/writer for run records and manifests.
+//!
+//! The lab's on-disk records are one-level JSON objects whose values are
+//! strings (restricted to manifest-safe characters), numbers and
+//! booleans — nothing nested, escaped or null. That tiny dialect is easy
+//! to hand-roll, which keeps the workspace hermetic (no `serde` in the
+//! container; see `vendor/rand_core` for the vendoring policy).
+//!
+//! Numbers round-trip exactly: integers are written in full decimal (a
+//! JSON number is arbitrary-precision text, so `u64` seeds survive), and
+//! floats use Rust's shortest-round-trip `Display`, so parsing a written
+//! record reproduces the original bits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed flat-JSON value. Numbers keep their source text so the caller
+/// can parse them at full precision as `u64` or `f64` per field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string (no escape sequences).
+    Str(String),
+    /// A number, unparsed.
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// A pre-serialized JSON fragment, emitted verbatim by
+    /// [`write_object`] (e.g. the axis arrays of a scenario
+    /// fingerprint). Write-only: [`parse_object`] never produces it —
+    /// fingerprints are compared as raw strings, not re-parsed.
+    Raw(String),
+}
+
+impl Value {
+    /// The value as a `u64`, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`: a number, or one of the non-finite marker
+    /// strings [`float_lenient`] writes.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            Value::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes `fields` as one flat JSON object (no trailing newline).
+///
+/// # Panics
+///
+/// Panics if a string value contains a character outside the manifest-safe
+/// set `[A-Za-z0-9._-]` (the writer has no escaping).
+pub fn write_object(fields: &[(&str, Value)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{key}\":");
+        match value {
+            Value::Str(s) => {
+                assert!(
+                    s.chars().all(is_safe_char),
+                    "string {s:?} needs escaping, which this writer does not do"
+                );
+                let _ = write!(out, "\"{s}\"");
+            }
+            Value::Num(n) => out.push_str(n),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Raw(fragment) => out.push_str(fragment),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A number value from anything `Display`-able as a JSON number.
+pub fn num(x: impl std::fmt::Display) -> Value {
+    Value::Num(x.to_string())
+}
+
+/// A float value; non-finite floats (which JSON cannot express) are
+/// rejected.
+///
+/// # Panics
+///
+/// Panics if `x` is NaN or infinite.
+pub fn float(x: f64) -> Value {
+    assert!(x.is_finite(), "JSON cannot express {x}");
+    Value::Num(x.to_string())
+}
+
+/// Like [`float`], but non-finite values become the marker strings
+/// `"inf"` / `"-inf"` / `"nan"`, which [`Value::as_f64`] maps back. For
+/// fields that can legitimately be infinite (an uncertainty with no
+/// information behind it).
+pub fn float_lenient(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Num(x.to_string())
+    } else if x.is_nan() {
+        Value::Str("nan".into())
+    } else if x > 0.0 {
+        Value::Str("inf".into())
+    } else {
+        Value::Str("-inf".into())
+    }
+}
+
+fn is_safe_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')
+}
+
+/// Parses one flat JSON object. Returns `None` on anything malformed —
+/// the store treats an unparseable line as a torn write and recomputes
+/// the point.
+pub fn parse_object(line: &str) -> Option<BTreeMap<String, Value>> {
+    let text = line.trim();
+    let mut chars = text.char_indices().peekable();
+    let mut fields = BTreeMap::new();
+
+    fn next_non_ws(
+        chars: &mut std::iter::Peekable<std::str::CharIndices>,
+    ) -> Option<(usize, char)> {
+        loop {
+            match chars.next() {
+                Some((_, c)) if c.is_ascii_whitespace() => continue,
+                other => return other,
+            }
+        }
+    }
+
+    match next_non_ws(&mut chars) {
+        Some((_, '{')) => {}
+        _ => return None,
+    }
+    loop {
+        // Key (or the end of an empty/trailing object).
+        let (key_start, c) = next_non_ws(&mut chars)?;
+        match c {
+            '}' => {
+                return if chars.next().is_none() && !fields.is_empty() || text == "{}" {
+                    Some(fields)
+                } else {
+                    None
+                }
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key_end = loop {
+            match chars.next()? {
+                (i, '"') => break i,
+                (_, '\\') => return None,
+                _ => {}
+            }
+        };
+        let key = text.get(key_start + 1..key_end)?.to_string();
+
+        match next_non_ws(&mut chars)? {
+            (_, ':') => {}
+            _ => return None,
+        }
+
+        // Value: string, bool or number.
+        let (value_start, c) = next_non_ws(&mut chars)?;
+        let (value, terminator) = match c {
+            '"' => {
+                let end = loop {
+                    match chars.next()? {
+                        (i, '"') => break i,
+                        (_, '\\') => return None,
+                        _ => {}
+                    }
+                };
+                let v = Value::Str(text.get(value_start + 1..end)?.to_string());
+                (v, next_non_ws(&mut chars)?.1)
+            }
+            _ => {
+                // Bare token: scan to ',' or '}'.
+                let (end, terminator) = loop {
+                    if let (i, c @ (',' | '}')) = chars.next()? {
+                        break (i, c);
+                    }
+                };
+                let token = text.get(value_start..end)?.trim();
+                let v = match token {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    n if !n.is_empty()
+                        && n.chars().all(|c| {
+                            c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                        }) =>
+                    {
+                        Value::Num(n.to_string())
+                    }
+                    _ => return None,
+                };
+                (v, terminator)
+            }
+        };
+        fields.insert(key, value);
+        match terminator {
+            ',' => continue,
+            '}' => {
+                return if chars.next().is_none() {
+                    Some(fields)
+                } else {
+                    None
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_value_kind() {
+        let line = write_object(&[
+            ("name", Value::Str("rank-sweep_v1.2".into())),
+            ("seed", num(u64::MAX)),
+            ("estimate", float(0.1 + 0.2)),
+            ("met", Value::Bool(true)),
+        ]);
+        let parsed = parse_object(&line).expect("own output parses");
+        assert_eq!(parsed["name"], Value::Str("rank-sweep_v1.2".into()));
+        assert_eq!(parsed["seed"].as_u64(), Some(u64::MAX));
+        assert_eq!(
+            parsed["estimate"].as_f64().unwrap().to_bits(),
+            (0.1f64 + 0.2).to_bits(),
+            "floats must round-trip bitwise"
+        );
+        assert_eq!(parsed["met"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn torn_lines_are_rejected_not_misparsed() {
+        let line = write_object(&[("a", num(1)), ("b", float(2.5))]);
+        for cut in 1..line.len() {
+            assert_eq!(parse_object(&line[..cut]), None, "prefix of length {cut}");
+        }
+        assert!(parse_object("").is_none());
+        assert!(parse_object("{\"a\":}").is_none());
+        assert!(parse_object("not json").is_none());
+        assert!(parse_object(&format!("{line}garbage")).is_none());
+    }
+
+    #[test]
+    fn negative_and_exponent_floats_parse() {
+        let parsed = parse_object("{\"x\":-1.5e-3,\"y\":3}").unwrap();
+        assert_eq!(parsed["x"].as_f64(), Some(-1.5e-3));
+        assert_eq!(parsed["y"].as_u64(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs escaping")]
+    fn unsafe_strings_are_rejected_at_write_time() {
+        let _ = write_object(&[("s", Value::Str("has \"quotes\"".into()))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot express")]
+    fn non_finite_floats_are_rejected() {
+        let _ = float(f64::INFINITY);
+    }
+
+    #[test]
+    fn lenient_floats_round_trip_non_finite_markers() {
+        let line = write_object(&[
+            ("a", float_lenient(f64::INFINITY)),
+            ("b", float_lenient(f64::NEG_INFINITY)),
+            ("c", float_lenient(f64::NAN)),
+            ("d", float_lenient(1.5)),
+        ]);
+        let parsed = parse_object(&line).unwrap();
+        assert_eq!(parsed["a"].as_f64(), Some(f64::INFINITY));
+        assert_eq!(parsed["b"].as_f64(), Some(f64::NEG_INFINITY));
+        assert!(parsed["c"].as_f64().unwrap().is_nan());
+        assert_eq!(parsed["d"].as_f64(), Some(1.5));
+    }
+}

@@ -1,0 +1,370 @@
+//! Executing one scenario point: the bridge from a declarative
+//! [`Workload`] to the estimator backends.
+//!
+//! Every workload follows the same adaptive-precision discipline: run a
+//! seeded batch, read off an estimate and an uncertainty half-width, and
+//! grow the budget (at least doubling) until the half-width meets the
+//! scenario's tolerance or the hard cap binds. Distance workloads
+//! delegate that loop to [`bcc_core::AdaptiveEstimator`]; the others use
+//! the same restart-doubling locally. Because batches share one seed
+//! root, growing the budget replays the earlier draws and extends them,
+//! so the final record is exactly the one-shot run at the final budget —
+//! which is what makes interrupted sweeps resumable bit-for-bit (timing
+//! workloads excepted: wall clocks are not replayable).
+
+use std::time::Instant;
+
+use bcc_congest::FnProtocol;
+use bcc_core::{derive_seed, AdaptiveEstimator};
+use bcc_f2::{BitMatrix, BitVec};
+use bcc_planted::find::{activation_probability, measure_find};
+use bcc_prg::toy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scenario::{Precision, Scenario, ScenarioPoint, Workload};
+
+/// The persisted outcome of one scenario point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// The point's index in the grid's canonical enumeration.
+    pub point_id: usize,
+    /// The point's `n` coordinate.
+    pub n: usize,
+    /// The point's `k` coordinate.
+    pub k: u32,
+    /// The point's `rounds` coordinate.
+    pub rounds: u32,
+    /// The point's `bandwidth` coordinate.
+    pub bandwidth: u32,
+    /// The point's replication seed.
+    pub seed: u64,
+    /// The workload's headline estimate (transcript TV, success rate, or
+    /// output Mbit/s).
+    pub estimate: f64,
+    /// The uncertainty half-width of the estimate (the sampled noise
+    /// floor, a success-rate half-width, or a relative standard error).
+    pub noise_floor: f64,
+    /// The budget the adaptive layer settled on (samples per side,
+    /// trials, or timed repetitions).
+    pub samples: u64,
+    /// Whether `noise_floor` met the scenario's tolerance (`false` means
+    /// the cap stopped the growth first).
+    pub met_tolerance: bool,
+    /// Wall-clock spent on the point, in milliseconds. Never replayed on
+    /// resume.
+    pub wall_ms: f64,
+}
+
+impl PointRecord {
+    /// Whether the recorded parameters are the grid point `point`.
+    pub fn matches(&self, point: &ScenarioPoint) -> bool {
+        self.n == point.n
+            && self.k == point.k
+            && self.rounds == point.rounds
+            && self.bandwidth == point.bandwidth
+            && self.seed == point.seed
+    }
+}
+
+/// The estimate half of a record, before params and wall-clock attach.
+struct Outcome {
+    estimate: f64,
+    noise_floor: f64,
+    samples: u64,
+    met_tolerance: bool,
+}
+
+/// Runs one grid point of `scenario` and stamps the record.
+pub fn run_point(scenario: &Scenario, point_id: usize, point: &ScenarioPoint) -> PointRecord {
+    let start = Instant::now();
+    let precision = scenario.precision();
+    let outcome = match scenario.workload() {
+        Workload::RankDistance { members } => rank_distance(point, members, &precision),
+        Workload::FindClique => find_clique(point, &precision),
+        Workload::PrgThroughput => prg_throughput(point, &precision),
+    };
+    PointRecord {
+        point_id,
+        n: point.n,
+        k: point.k,
+        rounds: point.rounds,
+        bandwidth: point.bandwidth,
+        seed: point.seed,
+        estimate: outcome.estimate,
+        noise_floor: outcome.noise_floor,
+        samples: outcome.samples,
+        met_tolerance: outcome.met_tolerance,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The toy-PRG coset family vs uniform under a transcript-dependent
+/// parity protocol.
+///
+/// The transcript law of a *product* input depends only on the speaking
+/// processors' rows (a turn bit is a function of the speaker's own input
+/// and the transcript so far), so only `min(n, turns)` rows are
+/// materialized; the logical `n` still enters through the protocol's bit
+/// functions. That is what makes points at `n` in the thousands cost the
+/// same as points at `n = 64`.
+fn rank_distance(point: &ScenarioPoint, members: usize, precision: &Precision) -> Outcome {
+    let turns = point.rounds * point.bandwidth;
+    let k = point.k;
+    let n_speak = point.n.min(turns as usize).max(1);
+    let n_logical = point.n as u64;
+    let protocol = FnProtocol::new(n_speak, k + 1, turns, move |proc, input, tr| {
+        let mask =
+            (0x9D ^ n_logical ^ tr.as_u64() ^ ((proc as u64) << 1)) & ((1u64 << (k + 1)) - 1);
+        (input & mask).count_ones() % 2 == 1
+    });
+
+    // The family: `members` distinct secrets from the point's own stream.
+    let root = point.stream_root();
+    let mut rng = StdRng::seed_from_u64(derive_seed(root, 1));
+    let secret_space = 1u64 << k;
+    let want = members.min(secret_space as usize);
+    let mut secrets: Vec<u64> = Vec::with_capacity(want);
+    while secrets.len() < want {
+        let b = rng.gen::<u64>() & (secret_space - 1);
+        if !secrets.contains(&b) {
+            secrets.push(b);
+        }
+    }
+    let family: Vec<_> = secrets
+        .iter()
+        .map(|&b| toy::pseudo_input(n_speak, k, b))
+        .collect();
+    let baseline = toy::uniform_input(n_speak, k);
+
+    let estimator = AdaptiveEstimator::new(
+        precision.tolerance,
+        precision.initial_samples,
+        precision.max_samples,
+        derive_seed(root, 2),
+    );
+    let (profile, report) = estimator.estimate_with_report(&protocol, &family, &baseline, turns);
+    Outcome {
+        estimate: profile.tv(),
+        noise_floor: profile.noise_floor(),
+        samples: report.samples_per_side as u64,
+        met_tolerance: report.met_tolerance,
+    }
+}
+
+/// Success rate of the Appendix B finder, with trials grown until the
+/// smoothed Wald half-width `sqrt(p̃(1−p̃)/t)`, `p̃ = (s+1)/(t+2)`, meets
+/// the tolerance.
+fn find_clique(point: &ScenarioPoint, precision: &Precision) -> Outcome {
+    let n = point.n;
+    let k = point.k as usize;
+    let p = activation_probability(n, k);
+    let seed = derive_seed(point.stream_root(), 3);
+    let mut trials = precision.initial_samples.min(precision.max_samples);
+    loop {
+        // One seed for every budget: a larger run replays the smaller
+        // run's instances and extends them, so the loop is deterministic
+        // and the final result is the one-shot run at the final budget.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = measure_find(n, k, p, trials, &mut rng);
+        let successes = (stats.success_rate * trials as f64).round();
+        let smoothed = (successes + 1.0) / (trials as f64 + 2.0);
+        let half_width = (smoothed * (1.0 - smoothed) / trials as f64).sqrt();
+        let met = half_width <= precision.tolerance;
+        if met || trials >= precision.max_samples {
+            return Outcome {
+                estimate: stats.success_rate,
+                noise_floor: half_width,
+                samples: trials as u64,
+                met_tolerance: met,
+            };
+        }
+        trials = trials.saturating_mul(2).min(precision.max_samples);
+    }
+}
+
+/// `xᵀM` expansion throughput in output Mbit/s, with repetitions grown
+/// until the relative standard error across timing chunks meets the
+/// tolerance.
+fn prg_throughput(point: &ScenarioPoint, precision: &Precision) -> Outcome {
+    const CHUNKS: usize = 8;
+    let k = point.k as usize;
+    let m = point.n;
+    let out_bits = (m - k) as f64;
+    let mut rng = StdRng::seed_from_u64(derive_seed(point.stream_root(), 4));
+    let matrix = BitMatrix::random(&mut rng, k, m - k);
+    let seeds: Vec<BitVec> = (0..64).map(|_| BitVec::random(&mut rng, k)).collect();
+
+    // Warm-up pass (untimed), also defeats dead-code elimination below.
+    let mut sink = 0usize;
+    for s in &seeds {
+        sink += matrix.left_mul_vec(s).count_ones();
+    }
+
+    let cap = precision.max_samples;
+    let mut reps = precision.initial_samples.min(cap);
+    loop {
+        // Small budgets get fewer (or single) chunks so `timed` never
+        // exceeds the cap; a single chunk has no spread, leaving the
+        // stderr infinite (the tolerance then cannot be met — correct:
+        // one timing gives no uncertainty information).
+        let chunks = reps.min(CHUNKS);
+        let per_chunk = reps / chunks;
+        let mut chunk_rates = vec![0.0f64; chunks];
+        let mut total_secs = 0.0f64;
+        for (chunk, rate) in chunk_rates.iter_mut().enumerate() {
+            let start = Instant::now();
+            for r in 0..per_chunk {
+                let s = &seeds[(chunk * per_chunk + r) % seeds.len()];
+                sink += matrix.left_mul_vec(s).count_ones();
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            total_secs += secs;
+            *rate = per_chunk as f64 * out_bits / secs;
+        }
+        let mean = chunk_rates.iter().sum::<f64>() / chunks as f64;
+        let rel_stderr = if chunks < 2 {
+            f64::INFINITY
+        } else {
+            let var = chunk_rates
+                .iter()
+                .map(|r| (r - mean) * (r - mean))
+                .sum::<f64>()
+                / (chunks - 1) as f64;
+            (var / chunks as f64).sqrt() / mean.max(1e-9)
+        };
+        let met = rel_stderr <= precision.tolerance;
+        let timed = per_chunk * chunks;
+        if met || reps >= cap {
+            std::hint::black_box(sink);
+            return Outcome {
+                estimate: timed as f64 * out_bits / total_secs / 1e6,
+                noise_floor: rel_stderr,
+                samples: timed as u64,
+                met_tolerance: met,
+            };
+        }
+        reps = reps.saturating_mul(2).min(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn point(n: usize, k: u32, rounds: u32, seed: u64) -> ScenarioPoint {
+        ScenarioPoint {
+            n,
+            k,
+            rounds,
+            bandwidth: 1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn rank_distance_is_deterministic_and_meets_tolerance() {
+        let scenario = Scenario::builder("t")
+            .workload(Workload::RankDistance { members: 2 })
+            .n(&[2048])
+            .k(&[4])
+            .rounds(&[8])
+            .tolerance(0.3)
+            .initial_samples(256)
+            .max_samples(1 << 15)
+            .build();
+        let p = point(2048, 4, 8, 7);
+        let a = run_point(&scenario, 0, &p);
+        let b = run_point(&scenario, 0, &p);
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.noise_floor.to_bits(), b.noise_floor.to_bits());
+        assert_eq!(a.samples, b.samples);
+        assert!(
+            a.met_tolerance,
+            "floor {} at {} samples",
+            a.noise_floor, a.samples
+        );
+        assert!(a.noise_floor <= 0.3);
+        assert!((0.0..=1.0).contains(&a.estimate));
+    }
+
+    #[test]
+    fn rank_distance_records_cap_when_tolerance_unreachable() {
+        let scenario = Scenario::builder("t")
+            .workload(Workload::RankDistance { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[12])
+            .tolerance(1e-9)
+            .initial_samples(64)
+            .max_samples(256)
+            .build();
+        let rec = run_point(&scenario, 0, &point(1024, 4, 12, 1));
+        assert!(!rec.met_tolerance);
+        assert_eq!(rec.samples, 256);
+        assert!(rec.noise_floor > 1e-9);
+    }
+
+    #[test]
+    fn find_clique_succeeds_at_forgiving_parameters() {
+        let scenario = Scenario::builder("t")
+            .workload(Workload::FindClique)
+            .n(&[128])
+            .k(&[80])
+            .tolerance(0.25)
+            .initial_samples(4)
+            .max_samples(8)
+            .build();
+        let p = point(128, 80, 1, 5);
+        let a = run_point(&scenario, 0, &p);
+        let b = run_point(&scenario, 0, &p);
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "deterministic");
+        assert_eq!(a.samples, b.samples);
+        assert!(a.estimate > 0.5, "success rate {} too low", a.estimate);
+        assert!(a.samples <= 8);
+    }
+
+    #[test]
+    fn prg_throughput_respects_tiny_budget_caps() {
+        // Cap below the chunk count: the loop must shrink its chunking
+        // rather than overshoot the hard cap; a single-repetition budget
+        // records infinite uncertainty (no spread to estimate from).
+        for &(initial, cap) in &[(2usize, 4usize), (1, 1)] {
+            let scenario = Scenario::builder("t")
+                .workload(Workload::PrgThroughput)
+                .n(&[1024])
+                .k(&[64])
+                .tolerance(0.0)
+                .initial_samples(initial)
+                .max_samples(cap)
+                .build();
+            let rec = run_point(&scenario, 0, &point(1024, 64, 1, 1));
+            assert!(
+                rec.samples <= cap as u64,
+                "samples {} > cap {cap}",
+                rec.samples
+            );
+            assert!(!rec.met_tolerance);
+            if cap == 1 {
+                assert!(rec.noise_floor.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn prg_throughput_reports_positive_rate() {
+        let scenario = Scenario::builder("t")
+            .workload(Workload::PrgThroughput)
+            .n(&[2048])
+            .k(&[64])
+            .tolerance(0.5)
+            .initial_samples(16)
+            .max_samples(64)
+            .build();
+        let rec = run_point(&scenario, 0, &point(2048, 64, 1, 1));
+        assert!(rec.estimate > 0.0, "Mbit/s must be positive");
+        assert!(rec.samples >= 16);
+        assert!(rec.wall_ms >= 0.0);
+    }
+}

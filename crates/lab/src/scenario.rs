@@ -1,0 +1,581 @@
+//! Declarative scenario specifications: what to measure, over which
+//! parameter grid, to which precision.
+//!
+//! A [`Scenario`] names a [`Workload`] (a protocol family plus its input
+//! distributions, parameterized by a grid point), a [`ParamGrid`] over
+//! `(n, k, rounds, bandwidth, seed)`, and a [`Precision`] target for the
+//! adaptive estimator. [`ScenarioBuilder`] assembles one with validation;
+//! `crate::sweep` executes it.
+//!
+//! ## Axis semantics
+//!
+//! The five axes are shared vocabulary; each workload documents what it
+//! reads:
+//!
+//! * `n` — the system scale: processors for distance and clique
+//!   workloads, output width `m` for [`Workload::PrgThroughput`].
+//! * `k` — the secret scale: PRG seed bits, or the planted clique size.
+//! * `rounds` — broadcast turns of the protocol under test.
+//! * `bandwidth` — bits per broadcast (`BCAST(b)`). A `b`-bit message is
+//!   `b` consecutive one-bit turns by the same speaker, so distance
+//!   workloads walk `rounds × bandwidth` transcript turns.
+//! * `seed` — the replication axis: same parameters, fresh randomness.
+//!
+//! Axes a workload ignores should be pinned to one value so they do not
+//! multiply the grid.
+
+use bcc_core::derive_seed;
+
+use crate::jsonl::{float, num, write_object, Value};
+
+/// The largest transcript the sampled backend can walk (`u64`-packed
+/// prefix keys: turn `t` lives at bit `63 − t`).
+pub const MAX_TRANSCRIPT_TURNS: u32 = 64;
+
+/// One cell of a scenario's parameter grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioPoint {
+    /// System scale (processors, or output bits for throughput).
+    pub n: usize,
+    /// Secret scale (seed bits, or clique size).
+    pub k: u32,
+    /// Broadcast turns.
+    pub rounds: u32,
+    /// Bits per broadcast.
+    pub bandwidth: u32,
+    /// Replication seed.
+    pub seed: u64,
+}
+
+impl ScenarioPoint {
+    /// The root of this point's private ChaCha randomness: a pure hash of
+    /// the coordinates, so a point's streams do not depend on its position
+    /// in the grid, on scheduling order, or on which other points exist —
+    /// the invariant that makes interrupted sweeps resume bit-for-bit.
+    pub fn stream_root(&self) -> u64 {
+        let mut root = derive_seed(self.seed, 0x6C_61_62); // "lab"
+        root = derive_seed(root, self.n as u64);
+        root = derive_seed(root, u64::from(self.k));
+        root = derive_seed(root, u64::from(self.rounds));
+        root = derive_seed(root, u64::from(self.bandwidth));
+        root
+    }
+}
+
+/// The cartesian parameter grid of a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamGrid {
+    /// The `n` axis (see the module docs for axis semantics).
+    pub n: Vec<usize>,
+    /// The `k` axis.
+    pub k: Vec<u32>,
+    /// The `rounds` axis.
+    pub rounds: Vec<u32>,
+    /// The `bandwidth` axis.
+    pub bandwidth: Vec<u32>,
+    /// The replication-seed axis.
+    pub seeds: Vec<u64>,
+}
+
+impl ParamGrid {
+    /// The number of grid points.
+    pub fn len(&self) -> usize {
+        self.n.len() * self.k.len() * self.rounds.len() * self.bandwidth.len() * self.seeds.len()
+    }
+
+    /// Whether the grid is empty (never true for a built scenario).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates the grid in its canonical order — lexicographic over
+    /// `(n, k, rounds, bandwidth, seed)` with `seed` fastest. A point's
+    /// index in this enumeration is its `point_id` in run records.
+    pub fn points(&self) -> Vec<ScenarioPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for &n in &self.n {
+            for &k in &self.k {
+                for &rounds in &self.rounds {
+                    for &bandwidth in &self.bandwidth {
+                        for &seed in &self.seeds {
+                            out.push(ScenarioPoint {
+                                n,
+                                k,
+                                rounds,
+                                bandwidth,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The adaptive-precision target of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Precision {
+    /// The per-point noise-floor tolerance the adaptive layer aims for.
+    pub tolerance: f64,
+    /// The first batch's budget (samples or trials, per workload).
+    pub initial_samples: usize,
+    /// The hard per-point budget cap.
+    pub max_samples: usize,
+}
+
+/// A protocol family plus input distributions, parameterized by a grid
+/// point. This is the declarative half of a workload; `crate::run` holds
+/// the executable half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Theorem 1.4's shape at scale: the toy-PRG coset family `U_{[b]}`
+    /// (the rank-deficient pseudo distribution) against uniform inputs,
+    /// under a transcript-dependent parity protocol, measured as a
+    /// transcript-distance depth profile by the adaptive sampled backend.
+    ///
+    /// Axes: `n` = processors (the transcript law of a product input
+    /// depends only on the speaking processors' rows, so only
+    /// `min(n, rounds × bandwidth)` rows are materialized; `n` still
+    /// parameterizes the protocol's bit functions). `k` = seed bits per
+    /// processor (≤ 12: coset supports are enumerated). `rounds ×
+    /// bandwidth` = transcript turns (≤ [`MAX_TRANSCRIPT_TURNS`]).
+    RankDistance {
+        /// Family members (secrets `b`) drawn per point, from the point's
+        /// own stream. Clamped to the `2^k` distinct secrets.
+        members: usize,
+    },
+    /// Theorem B.1 at scale: success rate of the Appendix B
+    /// planted-clique finder over fresh `A_k` instances, with the trial
+    /// count grown adaptively until the success-rate half-width meets the
+    /// tolerance.
+    ///
+    /// Axes: `n` = vertices, `k` = planted clique size (`2 ≤ k ≤ n`);
+    /// `rounds` and `bandwidth` are ignored (pin to 1).
+    FindClique,
+    /// Section 1.2's "computationally very cheap" claim at scale:
+    /// `xᵀM` PRG expansion throughput in output megabits per second, with
+    /// the repetition count grown until the relative standard error meets
+    /// the tolerance. Wall-clock measurements are inherently
+    /// non-deterministic, so resumed records keep their recorded values
+    /// rather than reproducing them bit-for-bit, and the scheduler runs
+    /// these points one at a time (see [`Workload::times_wall_clock`])
+    /// so concurrent points cannot skew each other's timings.
+    ///
+    /// Axes: `n` = output bits `m`, `k` = seed bits (`k < n`); `rounds`
+    /// and `bandwidth` are ignored (pin to 1).
+    PrgThroughput,
+}
+
+impl Workload {
+    /// The manifest tag naming this workload on disk.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Workload::RankDistance { .. } => "rank_distance",
+            Workload::FindClique => "find_clique",
+            Workload::PrgThroughput => "prg_throughput",
+        }
+    }
+
+    /// Whether this workload's estimate is a wall-clock measurement. The
+    /// scheduler runs such points one at a time — timing chunks while
+    /// other points compete for the same cores would corrupt every
+    /// point's numbers.
+    pub fn times_wall_clock(&self) -> bool {
+        matches!(self, Workload::PrgThroughput)
+    }
+}
+
+/// A complete, validated scenario specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    workload: Workload,
+    grid: ParamGrid,
+    precision: Precision,
+}
+
+impl Scenario {
+    /// Starts a [`ScenarioBuilder`] for a named scenario. Names must be
+    /// non-empty and drawn from `[A-Za-z0-9._-]` (they become directory
+    /// names and manifest strings).
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            workload: None,
+            grid: ParamGrid {
+                n: Vec::new(),
+                k: Vec::new(),
+                rounds: vec![1],
+                bandwidth: vec![1],
+                seeds: vec![1],
+            },
+            precision: Precision {
+                tolerance: 0.25,
+                initial_samples: 1024,
+                max_samples: 1 << 17,
+            },
+        }
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload under measurement.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The parameter grid.
+    pub fn grid(&self) -> &ParamGrid {
+        &self.grid
+    }
+
+    /// The precision target.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The default persisted-run directory, `target/lab/<name>` relative
+    /// to the working directory.
+    pub fn default_dir(&self) -> std::path::PathBuf {
+        std::path::Path::new("target").join("lab").join(&self.name)
+    }
+
+    /// A canonical one-line JSON description of the full specification.
+    /// Stored as the run manifest; a resumed run must present the same
+    /// fingerprint, which is how the store refuses to mix records from
+    /// different specs in one directory.
+    pub fn fingerprint(&self) -> String {
+        let axis = |v: &[u64]| {
+            let cells: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            Value::Raw(format!("[{}]", cells.join(",")))
+        };
+        let members = match self.workload {
+            Workload::RankDistance { members } => members as u64,
+            _ => 0,
+        };
+        write_object(&[
+            ("format", num(1u32)),
+            ("name", Value::Str(self.name.clone())),
+            ("workload", Value::Str(self.workload.tag().into())),
+            ("members", num(members)),
+            (
+                "grid_n",
+                axis(&self.grid.n.iter().map(|&x| x as u64).collect::<Vec<_>>()),
+            ),
+            (
+                "grid_k",
+                axis(
+                    &self
+                        .grid
+                        .k
+                        .iter()
+                        .map(|&x| u64::from(x))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "grid_rounds",
+                axis(
+                    &self
+                        .grid
+                        .rounds
+                        .iter()
+                        .map(|&x| u64::from(x))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "grid_bandwidth",
+                axis(
+                    &self
+                        .grid
+                        .bandwidth
+                        .iter()
+                        .map(|&x| u64::from(x))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("grid_seeds", axis(&self.grid.seeds)),
+            ("tolerance", float(self.precision.tolerance)),
+            (
+                "initial_samples",
+                num(self.precision.initial_samples as u64),
+            ),
+            ("max_samples", num(self.precision.max_samples as u64)),
+        ])
+    }
+}
+
+/// Builds a [`Scenario`], validating the combination at [`build`]
+/// ([`ScenarioBuilder::build`]) time.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    workload: Option<Workload>,
+    grid: ParamGrid,
+    precision: Precision,
+}
+
+impl ScenarioBuilder {
+    /// Sets the workload (required).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the `n` axis (required, non-empty).
+    pub fn n(mut self, n: &[usize]) -> Self {
+        self.grid.n = n.to_vec();
+        self
+    }
+
+    /// Sets the `k` axis (required, non-empty).
+    pub fn k(mut self, k: &[u32]) -> Self {
+        self.grid.k = k.to_vec();
+        self
+    }
+
+    /// Sets the `rounds` axis (defaults to `[1]`).
+    pub fn rounds(mut self, rounds: &[u32]) -> Self {
+        self.grid.rounds = rounds.to_vec();
+        self
+    }
+
+    /// Sets the `bandwidth` axis (defaults to `[1]`).
+    pub fn bandwidth(mut self, bandwidth: &[u32]) -> Self {
+        self.grid.bandwidth = bandwidth.to_vec();
+        self
+    }
+
+    /// Sets the replication-seed axis (defaults to `[1]`).
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.grid.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the noise-floor tolerance (defaults to `0.25`).
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.precision.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the first batch's budget (defaults to `1024`).
+    pub fn initial_samples(mut self, initial: usize) -> Self {
+        self.precision.initial_samples = initial;
+        self
+    }
+
+    /// Sets the hard per-point budget cap (defaults to `2^17`).
+    pub fn max_samples(mut self, cap: usize) -> Self {
+        self.precision.max_samples = cap;
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid spec: a bad name, a missing workload, an
+    /// empty axis, a precision budget of zero (or a cap below the initial
+    /// budget, or a NaN tolerance), or grid values the workload cannot
+    /// execute — `rounds × bandwidth` beyond [`MAX_TRANSCRIPT_TURNS`] or
+    /// `k > 12` for [`Workload::RankDistance`], `k < 2` or `k > n` for
+    /// [`Workload::FindClique`], `k ≥ n` for [`Workload::PrgThroughput`].
+    pub fn build(self) -> Scenario {
+        assert!(
+            !self.name.is_empty()
+                && self
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')),
+            "scenario name {:?} must be non-empty [A-Za-z0-9._-]",
+            self.name
+        );
+        let workload = self.workload.expect("scenario needs a workload");
+        let grid = self.grid;
+        assert!(!grid.n.is_empty(), "the n axis is empty");
+        assert!(!grid.k.is_empty(), "the k axis is empty");
+        assert!(!grid.rounds.is_empty(), "the rounds axis is empty");
+        assert!(!grid.bandwidth.is_empty(), "the bandwidth axis is empty");
+        assert!(!grid.seeds.is_empty(), "the seeds axis is empty");
+        let precision = self.precision;
+        assert!(precision.initial_samples > 0, "initial budget is zero");
+        assert!(
+            precision.max_samples >= precision.initial_samples,
+            "budget cap {} below the initial budget {}",
+            precision.max_samples,
+            precision.initial_samples
+        );
+        assert!(!precision.tolerance.is_nan(), "tolerance is NaN");
+
+        match workload {
+            Workload::RankDistance { members } => {
+                assert!(members > 0, "need at least one family member");
+                // Every grid combination must be executable, so each axis
+                // value is checked, not just the extremes.
+                for &rounds in &grid.rounds {
+                    for &bandwidth in &grid.bandwidth {
+                        let turns = rounds * bandwidth;
+                        assert!(
+                            (1..=MAX_TRANSCRIPT_TURNS).contains(&turns),
+                            "rounds x bandwidth = {rounds} x {bandwidth} outside \
+                             1..={MAX_TRANSCRIPT_TURNS} (transcripts pack into a u64)"
+                        );
+                    }
+                }
+                for &k in &grid.k {
+                    assert!(
+                        (1..=12).contains(&k),
+                        "k = {k} outside 1..=12 (coset supports are enumerated)"
+                    );
+                }
+            }
+            Workload::FindClique => {
+                let min_n = *grid.n.iter().min().unwrap();
+                assert!(min_n >= 8, "find_clique needs n >= 8 (got {min_n})");
+                for &k in &grid.k {
+                    assert!(
+                        k >= 2 && grid.n.iter().all(|&n| (k as usize) <= n),
+                        "clique size k = {k} must satisfy 2 <= k <= n for every n"
+                    );
+                }
+            }
+            Workload::PrgThroughput => {
+                for &k in &grid.k {
+                    assert!(k >= 1, "need at least one seed bit");
+                    assert!(
+                        grid.n.iter().all(|&n| n > k as usize),
+                        "output width n must exceed seed bits k = {k}"
+                    );
+                }
+            }
+        }
+        Scenario {
+            name: self.name,
+            workload,
+            grid,
+            precision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario::builder("t")
+            .workload(Workload::RankDistance { members: 2 })
+            .n(&[64, 128])
+            .k(&[4])
+            .rounds(&[8, 12])
+            .seeds(&[1, 2, 3])
+            .build()
+    }
+
+    #[test]
+    fn grid_enumerates_lexicographically_with_seed_fastest() {
+        let s = tiny();
+        let points = s.grid().points();
+        assert_eq!(points.len(), 2 * 2 * 3);
+        assert_eq!(s.grid().len(), points.len());
+        assert_eq!(
+            points[0],
+            ScenarioPoint {
+                n: 64,
+                k: 4,
+                rounds: 8,
+                bandwidth: 1,
+                seed: 1
+            }
+        );
+        assert_eq!(points[1].seed, 2);
+        assert_eq!(points[3].rounds, 12);
+        assert_eq!(points[6].n, 128);
+    }
+
+    #[test]
+    fn stream_roots_differ_across_coordinates_and_reproduce() {
+        let points = tiny().grid().points();
+        let roots: Vec<u64> = points.iter().map(|p| p.stream_root()).collect();
+        let mut distinct = roots.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), roots.len(), "stream roots collide");
+        assert_eq!(points[0].stream_root(), points[0].stream_root());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_spec_sensitive() {
+        let a = tiny();
+        assert_eq!(a.fingerprint(), tiny().fingerprint());
+        let b = Scenario::builder("t")
+            .workload(Workload::RankDistance { members: 3 })
+            .n(&[64, 128])
+            .k(&[4])
+            .rounds(&[8, 12])
+            .seeds(&[1, 2, 3])
+            .build();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn over_long_transcripts_rejected() {
+        let _ = Scenario::builder("t")
+            .workload(Workload::RankDistance { members: 1 })
+            .n(&[64])
+            .k(&[4])
+            .rounds(&[40])
+            .bandwidth(&[2])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn zero_turn_grid_values_rejected_even_mixed_with_valid_ones() {
+        // Per-value validation: a maxima-only check would accept this.
+        let _ = Scenario::builder("t")
+            .workload(Workload::RankDistance { members: 1 })
+            .n(&[64])
+            .k(&[4])
+            .rounds(&[0, 8])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=12")]
+    fn zero_k_grid_values_rejected_even_mixed_with_valid_ones() {
+        let _ = Scenario::builder("t")
+            .workload(Workload::RankDistance { members: 1 })
+            .n(&[64])
+            .k(&[0, 6])
+            .rounds(&[8])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn bad_names_rejected() {
+        let _ = Scenario::builder("has space")
+            .workload(Workload::FindClique)
+            .n(&[64])
+            .k(&[8])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "2 <= k <= n")]
+    fn oversized_clique_rejected() {
+        let _ = Scenario::builder("t")
+            .workload(Workload::FindClique)
+            .n(&[16])
+            .k(&[32])
+            .build();
+    }
+}

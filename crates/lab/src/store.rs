@@ -1,0 +1,232 @@
+//! Persisted run directories: a manifest plus append-only JSONL records.
+//!
+//! A run directory holds two files:
+//!
+//! * `manifest.json` — the scenario's [`Scenario::fingerprint`], written
+//!   once when the directory is created and required to match on every
+//!   reopen, so records from different specs can never mix;
+//! * `records.jsonl` — one flat JSON object per *completed* point,
+//!   appended (and flushed) the moment the point finishes, in completion
+//!   order.
+//!
+//! Resume reads `records.jsonl` back, compacts it to its valid lines (a
+//! torn final line — the signature of a run killed mid-write — fails to
+//! parse, is dropped from the file, and its point recomputes), skips
+//! every point that already has a valid record, and recomputes the rest.
+//! Because every point's randomness is derived from its own
+//! coordinates ([`crate::ScenarioPoint::stream_root`]), the recomputed
+//! estimates are bitwise the ones the interrupted run would have written.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::jsonl::{self, float, float_lenient, num, Value};
+use crate::run::PointRecord;
+use crate::scenario::Scenario;
+
+/// An open run directory with an append handle on its record log.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    log: BufWriter<File>,
+}
+
+impl RunStore {
+    /// Opens (creating if needed) the run directory for `scenario`,
+    /// returning the store and every valid record already on disk, by
+    /// point id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on IO errors, or if the directory's manifest was written by
+    /// a different scenario specification.
+    pub fn open(dir: &Path, scenario: &Scenario) -> (RunStore, BTreeMap<usize, PointRecord>) {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create run directory {}: {e}", dir.display()));
+        let manifest_path = dir.join("manifest.json");
+        let fingerprint = scenario.fingerprint();
+        if manifest_path.exists() {
+            let mut found = String::new();
+            File::open(&manifest_path)
+                .and_then(|mut f| f.read_to_string(&mut found))
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest_path.display()));
+            assert!(
+                found.trim() == fingerprint,
+                "run directory {} belongs to a different scenario:\n  recorded: {}\n  requested: {}",
+                dir.display(),
+                found.trim(),
+                fingerprint
+            );
+        } else {
+            std::fs::write(&manifest_path, format!("{fingerprint}\n"))
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", manifest_path.display()));
+        }
+
+        let log_path = dir.join("records.jsonl");
+        let existing = if log_path.exists() {
+            let mut text = String::new();
+            File::open(&log_path)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", log_path.display()));
+            let records = parse_records(&text);
+            // Compact: rewrite exactly the valid records, one per line, in
+            // point order. This heals a torn final line (which would
+            // otherwise glue onto the next append) and drops duplicates.
+            // Written to a sibling file and renamed over the log so a
+            // crash mid-heal cannot destroy records the original run had
+            // already flushed.
+            let mut compacted = String::with_capacity(text.len());
+            for record in records.values() {
+                compacted.push_str(&encode_record(record));
+                compacted.push('\n');
+            }
+            if compacted != text {
+                let tmp_path = dir.join("records.jsonl.tmp");
+                std::fs::write(&tmp_path, compacted)
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", tmp_path.display()));
+                std::fs::rename(&tmp_path, &log_path)
+                    .unwrap_or_else(|e| panic!("cannot compact {}: {e}", log_path.display()));
+            }
+            records
+        } else {
+            BTreeMap::new()
+        };
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .unwrap_or_else(|e| panic!("cannot open {} for append: {e}", log_path.display()));
+        (
+            RunStore {
+                dir: dir.to_path_buf(),
+                log: BufWriter::new(log),
+            },
+            existing,
+        )
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one completed point and flushes, so an interruption can
+    /// lose at most the line being written (which resume detects as torn
+    /// and recomputes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on IO errors.
+    pub fn append(&mut self, record: &PointRecord) {
+        let line = encode_record(record);
+        writeln!(self.log, "{line}").expect("cannot append run record");
+        self.log.flush().expect("cannot flush run record");
+    }
+}
+
+/// Serializes one record as a JSONL line (no trailing newline).
+pub fn encode_record(r: &PointRecord) -> String {
+    jsonl::write_object(&[
+        ("point_id", num(r.point_id)),
+        ("n", num(r.n)),
+        ("k", num(r.k)),
+        ("rounds", num(r.rounds)),
+        ("bandwidth", num(r.bandwidth)),
+        ("seed", num(r.seed)),
+        ("estimate", float(r.estimate)),
+        // A point can legitimately record infinite uncertainty (e.g. a
+        // single-repetition timing has no spread to estimate from).
+        ("noise_floor", float_lenient(r.noise_floor)),
+        ("samples", num(r.samples)),
+        ("met_tolerance", Value::Bool(r.met_tolerance)),
+        ("wall_ms", float(r.wall_ms)),
+    ])
+}
+
+/// Parses one JSONL line back into a record; `None` for torn or foreign
+/// lines.
+pub fn decode_record(line: &str) -> Option<PointRecord> {
+    let fields = jsonl::parse_object(line)?;
+    Some(PointRecord {
+        point_id: fields.get("point_id")?.as_u64()? as usize,
+        n: fields.get("n")?.as_u64()? as usize,
+        k: fields.get("k")?.as_u64()? as u32,
+        rounds: fields.get("rounds")?.as_u64()? as u32,
+        bandwidth: fields.get("bandwidth")?.as_u64()? as u32,
+        seed: fields.get("seed")?.as_u64()?,
+        estimate: fields.get("estimate")?.as_f64()?,
+        noise_floor: fields.get("noise_floor")?.as_f64()?,
+        samples: fields.get("samples")?.as_u64()?,
+        met_tolerance: fields.get("met_tolerance")?.as_bool()?,
+        wall_ms: fields.get("wall_ms")?.as_f64()?,
+    })
+}
+
+fn parse_records(text: &str) -> BTreeMap<usize, PointRecord> {
+    let mut records = BTreeMap::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(record) = decode_record(line) {
+            // Last write wins, though duplicates only arise from races
+            // outside the scheduler.
+            records.insert(record.point_id, record);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize) -> PointRecord {
+        PointRecord {
+            point_id: id,
+            n: 1024,
+            k: 6,
+            rounds: 10,
+            bandwidth: 1,
+            seed: 3,
+            estimate: 0.125 + id as f64,
+            noise_floor: 0.06,
+            samples: 8192,
+            met_tolerance: true,
+            wall_ms: 12.75,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_bitwise() {
+        let r = record(5);
+        let decoded = decode_record(&encode_record(&r)).expect("own encoding decodes");
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.estimate.to_bits(), r.estimate.to_bits());
+    }
+
+    #[test]
+    fn infinite_noise_floors_survive_the_round_trip() {
+        let mut r = record(0);
+        r.noise_floor = f64::INFINITY;
+        let decoded = decode_record(&encode_record(&r)).expect("decodes");
+        assert!(decoded.noise_floor.is_infinite());
+    }
+
+    #[test]
+    fn torn_tails_are_dropped_and_earlier_lines_kept() {
+        let mut text = String::new();
+        for id in 0..3 {
+            text.push_str(&encode_record(&record(id)));
+            text.push('\n');
+        }
+        let full_line = encode_record(&record(3));
+        text.push_str(&full_line[..full_line.len() / 2]); // torn write
+        let parsed = parse_records(&text);
+        assert_eq!(parsed.len(), 3);
+        assert!(parsed.contains_key(&2));
+        assert!(!parsed.contains_key(&3));
+    }
+}

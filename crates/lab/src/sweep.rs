@@ -1,0 +1,142 @@
+//! The parallel sweep scheduler: grid points out over rayon, records back
+//! in canonical order.
+//!
+//! The scheduler enumerates the scenario's grid (the canonical
+//! lexicographic order of [`crate::ParamGrid::points`]), subtracts every
+//! point the run directory already has a valid record for, fans the rest
+//! out over the rayon pool, and appends each record to the store the
+//! moment its point completes. Because every point draws from streams
+//! derived purely from its own coordinates, scheduling order — and
+//! therefore thread count, interruption and resume history — cannot
+//! change a single bit of the estimates; the returned records are always
+//! in canonical `point_id` order regardless of completion order.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use crate::run::{run_point, PointRecord};
+use crate::scenario::Scenario;
+use crate::store::RunStore;
+
+/// The outcome of a sweep: every grid point's record, in canonical order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One record per grid point, ordered by `point_id`.
+    pub records: Vec<PointRecord>,
+    /// Points loaded from the run directory instead of recomputed.
+    pub resumed: usize,
+    /// Points computed by this invocation.
+    pub computed: usize,
+}
+
+impl SweepResult {
+    /// Whether every point's uncertainty met the scenario tolerance.
+    pub fn all_met_tolerance(&self) -> bool {
+        self.records.iter().all(|r| r.met_tolerance)
+    }
+
+    /// The worst per-point uncertainty in the sweep.
+    pub fn max_noise_floor(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.noise_floor)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total adaptive budget spent (samples/trials/repetitions), summed
+    /// over computed and resumed points alike.
+    pub fn total_samples(&self) -> u64 {
+        self.records.iter().map(|r| r.samples).sum()
+    }
+}
+
+impl Scenario {
+    /// Runs the sweep, persisting under [`Scenario::default_dir`]
+    /// (`target/lab/<name>`), resuming any records already there.
+    ///
+    /// # Panics
+    ///
+    /// Panics on IO errors, or if the directory belongs to a different
+    /// scenario (see [`run_sweep`]).
+    pub fn sweep(&self) -> SweepResult {
+        run_sweep(self, Some(&self.default_dir()))
+    }
+
+    /// Runs the sweep persisting under an explicit directory.
+    pub fn sweep_in(&self, dir: &Path) -> SweepResult {
+        run_sweep(self, Some(dir))
+    }
+
+    /// Runs the sweep without touching the filesystem.
+    pub fn sweep_ephemeral(&self) -> SweepResult {
+        run_sweep(self, None)
+    }
+}
+
+/// Executes `scenario`, persisting to (and resuming from) `dir` when
+/// given.
+///
+/// # Panics
+///
+/// Panics on IO errors, if `dir`'s manifest records a different scenario
+/// fingerprint, or if a record on disk carries parameters that disagree
+/// with the grid point of the same id (a corrupt or hand-edited log).
+pub fn run_sweep(scenario: &Scenario, dir: Option<&Path>) -> SweepResult {
+    let points = scenario.grid().points();
+    let (store, existing) = match dir {
+        Some(dir) => {
+            let (store, existing) = RunStore::open(dir, scenario);
+            (Some(Mutex::new(store)), existing)
+        }
+        None => (None, std::collections::BTreeMap::new()),
+    };
+    for (&id, record) in &existing {
+        let point = points.get(id).unwrap_or_else(|| {
+            panic!(
+                "record for point {id} beyond the {}-point grid",
+                points.len()
+            )
+        });
+        assert!(
+            record.matches(point),
+            "record for point {id} carries parameters {record:?} that disagree with the grid"
+        );
+    }
+
+    let pending: Vec<(usize, crate::ScenarioPoint)> = points
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| !existing.contains_key(id))
+        .map(|(id, point)| (id, *point))
+        .collect();
+    let computed = pending.len();
+    let one_point = |&(id, point): &(usize, crate::ScenarioPoint)| {
+        let record = run_point(scenario, id, &point);
+        if let Some(store) = &store {
+            store.lock().expect("store mutex poisoned").append(&record);
+        }
+        record
+    };
+    // Wall-clock workloads must not time their chunks while other points
+    // compete for the same cores — their points run one at a time.
+    let fresh: Vec<PointRecord> = if scenario.workload().times_wall_clock() {
+        pending.iter().map(one_point).collect()
+    } else {
+        pending.par_iter().map(one_point).collect()
+    };
+
+    let resumed = existing.len();
+    let mut by_id = existing;
+    for record in fresh {
+        by_id.insert(record.point_id, record);
+    }
+    let records: Vec<PointRecord> = by_id.into_values().collect();
+    debug_assert_eq!(records.len(), points.len());
+    SweepResult {
+        records,
+        resumed,
+        computed,
+    }
+}

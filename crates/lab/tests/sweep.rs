@@ -1,0 +1,184 @@
+//! End-to-end tests of the sweep scheduler and the persisted-run
+//! lifecycle: spec → scheduler → JSONL → interruption → resume.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bcc_lab::{run_sweep, Scenario, Workload};
+
+/// A fresh directory under the system temp dir (no tempfile crate in the
+/// hermetic workspace); removed by the returned guard.
+fn scratch_dir(tag: &str) -> (PathBuf, DirGuard) {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bcc-lab-test-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    (dir.clone(), DirGuard(dir))
+}
+
+struct DirGuard(PathBuf);
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn distance_scenario(name: &str) -> Scenario {
+    Scenario::builder(name)
+        .workload(Workload::RankDistance { members: 2 })
+        .n(&[1024, 2048])
+        .k(&[4])
+        .rounds(&[8])
+        .seeds(&[1, 2, 3])
+        .tolerance(0.35)
+        .initial_samples(256)
+        .max_samples(1 << 14)
+        .build()
+}
+
+#[test]
+fn ephemeral_sweeps_are_bitwise_deterministic() {
+    let scenario = distance_scenario("det");
+    let a = scenario.sweep_ephemeral();
+    let b = scenario.sweep_ephemeral();
+    assert_eq!(a.records.len(), 6);
+    assert_eq!(a.computed, 6);
+    assert_eq!(a.resumed, 0);
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.point_id, rb.point_id);
+        assert_eq!(
+            ra.estimate.to_bits(),
+            rb.estimate.to_bits(),
+            "point {} estimate differs across reruns",
+            ra.point_id
+        );
+        assert_eq!(ra.noise_floor.to_bits(), rb.noise_floor.to_bits());
+        assert_eq!(ra.samples, rb.samples);
+    }
+}
+
+#[test]
+fn persisted_runs_resume_without_recomputation() {
+    let scenario = distance_scenario("persist");
+    let (dir, _guard) = scratch_dir("persist");
+    let first = scenario.sweep_in(&dir);
+    assert_eq!(first.computed, 6);
+    assert!(dir.join("manifest.json").exists());
+    let log = std::fs::read_to_string(dir.join("records.jsonl")).unwrap();
+    assert_eq!(log.lines().count(), 6);
+
+    let second = scenario.sweep_in(&dir);
+    assert_eq!(second.computed, 0, "a complete run recomputes nothing");
+    assert_eq!(second.resumed, 6);
+    for (a, b) in first.records.iter().zip(&second.records) {
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.samples, b.samples);
+    }
+}
+
+#[test]
+fn interrupted_runs_resume_bit_for_bit() {
+    let scenario = distance_scenario("resume");
+    let (full_dir, _g1) = scratch_dir("resume-full");
+    let full = scenario.sweep_in(&full_dir);
+
+    // Simulate a run killed mid-write: keep the manifest, keep the first
+    // three records, and leave a torn final line.
+    let (half_dir, _g2) = scratch_dir("resume-half");
+    std::fs::create_dir_all(&half_dir).unwrap();
+    std::fs::copy(
+        full_dir.join("manifest.json"),
+        half_dir.join("manifest.json"),
+    )
+    .unwrap();
+    let log = std::fs::read_to_string(full_dir.join("records.jsonl")).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    let mut torn = lines[..3].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[3][..lines[3].len() / 2]);
+    std::fs::write(half_dir.join("records.jsonl"), torn).unwrap();
+
+    let resumed = run_sweep(&scenario, Some(&half_dir));
+    assert_eq!(resumed.resumed, 3, "three intact records are kept");
+    assert_eq!(resumed.computed, 3, "torn + missing points recompute");
+    assert_eq!(resumed.records.len(), full.records.len());
+    for (a, b) in full.records.iter().zip(&resumed.records) {
+        assert_eq!(a.point_id, b.point_id);
+        assert_eq!(
+            a.estimate.to_bits(),
+            b.estimate.to_bits(),
+            "point {} diverged across interruption",
+            a.point_id
+        );
+        assert_eq!(a.noise_floor.to_bits(), b.noise_floor.to_bits());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.met_tolerance, b.met_tolerance);
+    }
+    // The healed log holds every point exactly once.
+    let healed = std::fs::read_to_string(half_dir.join("records.jsonl")).unwrap();
+    let mut ids: Vec<usize> = healed
+        .lines()
+        .filter_map(bcc_lab::store::decode_record)
+        .map(|r| r.point_id)
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+#[should_panic(expected = "different scenario")]
+fn directories_refuse_foreign_scenarios() {
+    let (dir, _guard) = scratch_dir("foreign");
+    let a = Scenario::builder("same-name")
+        .workload(Workload::RankDistance { members: 2 })
+        .n(&[1024])
+        .k(&[4])
+        .rounds(&[8])
+        .initial_samples(64)
+        .max_samples(256)
+        .build();
+    a.sweep_in(&dir);
+    // Same name, different grid: the manifest must reject it.
+    let b = Scenario::builder("same-name")
+        .workload(Workload::RankDistance { members: 2 })
+        .n(&[1024, 2048])
+        .k(&[4])
+        .rounds(&[8])
+        .initial_samples(64)
+        .max_samples(256)
+        .build();
+    b.sweep_in(&dir);
+}
+
+#[test]
+fn find_clique_and_throughput_sweeps_run_end_to_end() {
+    let clique = Scenario::builder("clique-smoke")
+        .workload(Workload::FindClique)
+        .n(&[128])
+        .k(&[80])
+        .tolerance(0.3)
+        .initial_samples(4)
+        .max_samples(8)
+        .build()
+        .sweep_ephemeral();
+    assert_eq!(clique.records.len(), 1);
+    assert!((0.0..=1.0).contains(&clique.records[0].estimate));
+
+    let throughput = Scenario::builder("prg-smoke")
+        .workload(Workload::PrgThroughput)
+        .n(&[1024])
+        .k(&[64])
+        .tolerance(0.5)
+        .initial_samples(16)
+        .max_samples(64)
+        .build()
+        .sweep_ephemeral();
+    assert_eq!(throughput.records.len(), 1);
+    assert!(throughput.records[0].estimate > 0.0);
+}

@@ -18,6 +18,9 @@
 //!   derandomization transform, Newman's theorem, and the seed-length attack.
 //! * [`planted`] — planted-clique protocols (upper bounds) and the
 //!   lower-bound experiments.
+//! * [`lab`] — scenario-sweep orchestration: declarative parameter grids,
+//!   adaptive-precision estimation, parallel scheduling and resumable
+//!   JSONL run records.
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@ pub use bcc_congest as congest;
 pub use bcc_core as core;
 pub use bcc_f2 as f2;
 pub use bcc_graphs as graphs;
+pub use bcc_lab as lab;
 pub use bcc_planted as planted;
 pub use bcc_prg as prg;
 pub use bcc_stats as stats;

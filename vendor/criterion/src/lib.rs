@@ -3,7 +3,9 @@
 //!
 //! Provides the harness subset the workspace's micro-benchmarks use:
 //! [`Criterion`], [`criterion_group!`] / [`criterion_main!`], benchmark
-//! groups, `iter` and `iter_batched`. Measurement is a simple
+//! groups, `iter` and `iter_batched`, and group-level [`Throughput`]
+//! reporting (a declared per-iteration element or byte count adds a
+//! rate column to the printed line). Measurement is a simple
 //! warmup-then-sample wall-clock loop printing a mean time per iteration —
 //! no statistics, plots or HTML reports. `--test` runs every benchmark
 //! body exactly once (the smoke mode CI uses); any other CLI arguments are
@@ -29,6 +31,62 @@ pub enum BatchSize {
     LargeInput,
     /// One input per iteration.
     PerIteration,
+}
+
+/// A declared amount of work per benchmark iteration, turning measured
+/// times into rates (mirrors the real crate's `Throughput`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration; reported as `elem/s`.
+    Elements(u64),
+    /// Bytes processed per iteration; reported as `B/s` (binary scale).
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Formats the rate this throughput implies at `ns_per_iter`
+    /// nanoseconds per iteration, scaled to a human unit (stand-in
+    /// helper; the real crate formats rates inside its reports).
+    pub fn rate_string(&self, ns_per_iter: f64) -> String {
+        let per_second = |count: u64| count as f64 / (ns_per_iter * 1e-9);
+        match self {
+            Throughput::Elements(n) => {
+                let rate = per_second(*n);
+                let (scaled, unit) = scale_si(rate);
+                format!("{scaled:.1} {unit}elem/s")
+            }
+            Throughput::Bytes(n) => {
+                let rate = per_second(*n);
+                let (scaled, unit) = scale_binary(rate);
+                format!("{scaled:.1} {unit}B/s")
+            }
+        }
+    }
+}
+
+fn scale_si(rate: f64) -> (f64, &'static str) {
+    if rate >= 1e9 {
+        (rate / 1e9, "G")
+    } else if rate >= 1e6 {
+        (rate / 1e6, "M")
+    } else if rate >= 1e3 {
+        (rate / 1e3, "K")
+    } else {
+        (rate, "")
+    }
+}
+
+fn scale_binary(rate: f64) -> (f64, &'static str) {
+    let kib = 1024.0;
+    if rate >= kib * kib * kib {
+        (rate / (kib * kib * kib), "Gi")
+    } else if rate >= kib * kib {
+        (rate / (kib * kib), "Mi")
+    } else if rate >= kib {
+        (rate / kib, "Ki")
+    } else {
+        (rate, "")
+    }
 }
 
 /// The benchmark driver.
@@ -57,7 +115,19 @@ impl Criterion {
     }
 
     /// Runs one benchmark.
-    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_throughput(id, f, None)
+    }
+
+    fn bench_with_throughput<F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+        throughput: Option<Throughput>,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
@@ -69,7 +139,12 @@ impl Criterion {
         };
         f(&mut bencher);
         match bencher.report {
-            Some(ns) => println!("bench {id:<40} {:>12.1} ns/iter", ns),
+            Some(ns) => {
+                let rate = throughput
+                    .map(|t| format!("  {:>14}", t.rate_string(ns)))
+                    .unwrap_or_default();
+                println!("bench {id:<40} {ns:>12.1} ns/iter{rate}");
+            }
             None => println!("bench {id:<40} smoke-tested"),
         }
         self
@@ -80,6 +155,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            throughput: None,
         }
     }
 }
@@ -88,16 +164,24 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Declares the work every following benchmark in this group performs
+    /// per iteration; their report lines gain a rate column.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs one benchmark inside the group.
     pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        self.criterion.bench_function(full, f);
+        self.criterion.bench_with_throughput(full, f, self.throughput);
         self
     }
 
@@ -221,6 +305,17 @@ mod tests {
         };
         bencher.iter(|| std::hint::black_box(2u64.pow(10)));
         assert!(bencher.report.expect("measured") > 0.0);
+    }
+
+    #[test]
+    fn throughput_rates_scale_to_human_units() {
+        // 1000 elements in 1 µs = 1 Gelem/s.
+        assert_eq!(Throughput::Elements(1000).rate_string(1_000.0), "1.0 Gelem/s");
+        // 1 element in 1 ms ≈ 1000 elem/s.
+        assert_eq!(Throughput::Elements(1).rate_string(1e6), "1.0 Kelem/s");
+        // 1024 bytes in 1 ms = 1000 KiB/s binary-scaled.
+        assert_eq!(Throughput::Bytes(1024).rate_string(1e6), "1000.0 KiB/s");
+        assert_eq!(Throughput::Elements(5).rate_string(1e9), "5.0 elem/s");
     }
 
     #[test]
