@@ -168,7 +168,12 @@ where
         assert!(n > 0, "need at least one processor");
         assert!(input_bits <= 63, "packed inputs hold at most 63 bits");
         assert!((1..=16).contains(&width), "width must be in 1..=16");
-        assert!(horizon * width <= 64, "horizon exceeds packed capacity");
+        // Widened before multiplying: an absurd horizon must hit this
+        // assert, not a u32 overflow.
+        assert!(
+            u64::from(horizon) * u64::from(width) <= 64,
+            "horizon exceeds packed capacity"
+        );
         FnWideProtocol {
             n,
             input_bits,
@@ -336,6 +341,14 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn oversized_message_rejected() {
         WideTranscript::empty(2).push(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed capacity")]
+    fn absurd_horizons_hit_the_capacity_check_not_an_overflow() {
+        // horizon * width overflows u32; the widened check must still
+        // report the capacity violation.
+        let _ = FnWideProtocol::new(1, 1, 16, u32::MAX / 4, |_, _, _| 0);
     }
 
     #[test]

@@ -28,45 +28,21 @@
 //! representation would serve better if huge supports (2^20+) with tiny
 //! surviving sets ever become a workload (see ROADMAP).
 //!
-//! For parallelism the tree is cut at a fixed frontier depth
-//! ([`SPLIT_DEPTH`]): the prefix above the frontier is walked sequentially,
-//! every live frontier node becomes an independent task (the mixture
-//! distance needs all members' probabilities *per node*, so fanning out
-//! over subtrees — not just over family members — is what parallelizes the
-//! whole computation), and task results are reduced **in frontier order**.
-//! Floating-point accumulation order is therefore a function of the tree
-//! alone, never of thread scheduling: parallel and sequential execution of
-//! the same walk return bitwise-identical results. The
-//! [`ExecMode`]-taking entry point is what [`crate::exec::ExactEstimator`]
-//! wraps.
+//! The walk itself — mask state, the frontier cut at
+//! [`crate::walk::SPLIT_DEPTH`], the deterministic in-frontier-order
+//! reduction that makes [`ExecMode::Parallel`] bitwise identical to
+//! [`ExecMode::Sequential`] — lives in [`crate::walk`] and is shared with
+//! the `BCAST(w)` engine ([`crate::wide`]); this module instantiates it
+//! at branching factor 2. The [`ExecMode`]-taking entry point is what
+//! [`crate::exec::ExactEstimator`] wraps.
 
 use bcc_congest::{TurnProtocol, TurnTranscript};
 use bcc_f2::BitVec;
-use rayon::prelude::*;
 
 use crate::input::ProductInput;
+use crate::walk::{exact_walk, Branching};
 
-/// Consistent-set-size thresholds tracked per turn: entry `j` is the
-/// baseline probability that the speaker's surviving support fraction is
-/// below `2^{-j}`.
-pub const FRACTION_THRESHOLDS: usize = 20;
-
-/// The depth at which the exact walk cuts the turn tree into independent
-/// subtree tasks: at most `2^SPLIT_DEPTH` tasks, plenty to saturate the
-/// machines this runs on while keeping the frontier states small.
-pub const SPLIT_DEPTH: u32 = 6;
-
-/// How an exact walk executes its subtree tasks. Both modes produce
-/// bitwise-identical results (see the module docs); `Sequential` exists
-/// for measuring parallel speedup and for pinning determinism in tests.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Fan subtree tasks out over the rayon thread pool.
-    #[default]
-    Parallel,
-    /// Run every subtree task on the calling thread, in frontier order.
-    Sequential,
-}
+pub use crate::walk::{ExecMode, FRACTION_THRESHOLDS, SPLIT_DEPTH};
 
 /// Per-turn statistics of the speaker's consistent input set `D_p^{(t)}`,
 /// measured under the *baseline* transcript distribution.
@@ -213,57 +189,8 @@ pub fn exact_mixture_comparison_mode<P: TurnProtocol + Sync + ?Sized>(
         }
     }
 
-    let m = members.len();
     let t_len = horizon as usize;
-    let ctx = Ctx {
-        protocol,
-        members,
-        baseline,
-        horizon,
-        split: SPLIT_DEPTH.min(horizon),
-    };
-
-    let mut acc = Accumulator::zeros(t_len, m);
-    let mut state = AliveState {
-        members: members
-            .iter()
-            .map(|inp| (0..n).map(|i| BitVec::ones(inp.row(i).len())).collect())
-            .collect(),
-        base: (0..n)
-            .map(|i| BitVec::ones(baseline.row(i).len()))
-            .collect(),
-    };
-
-    // Phase 1: sequential walk of the prefix above the frontier, recording
-    // every live frontier node as an independent task.
-    let mut frontier = Vec::new();
-    let probs = vec![1.0f64; m];
-    walk(
-        &ctx,
-        TurnTranscript::empty(),
-        &mut state,
-        &probs,
-        1.0,
-        &mut acc,
-        Some(&mut frontier),
-    );
-
-    // Phase 2: run the subtree tasks. `collect` preserves frontier order,
-    // so the reduction below adds task results in a schedule-independent
-    // order and the two modes agree bitwise.
-    let task_accs: Vec<Accumulator> = match mode {
-        ExecMode::Parallel => frontier
-            .into_par_iter()
-            .map(|task| run_task(&ctx, task))
-            .collect(),
-        ExecMode::Sequential => frontier
-            .into_iter()
-            .map(|task| run_task(&ctx, task))
-            .collect(),
-    };
-    for task_acc in &task_accs {
-        acc.add(task_acc);
-    }
+    let acc = exact_walk(&BitBranching { protocol }, members, baseline, mode);
 
     MixtureComparison {
         horizon,
@@ -280,246 +207,65 @@ pub fn exact_mixture_comparison_mode<P: TurnProtocol + Sync + ?Sized>(
     }
 }
 
-/// Shared read-only context of one exact walk.
-struct Ctx<'a, P: ?Sized> {
+/// The bit model as a [`Branching`] process: two labels per turn, the
+/// speaker's set split by the broadcast bit in one pass plus an `AND NOT`.
+struct BitBranching<'a, P: ?Sized> {
     protocol: &'a P,
-    members: &'a [ProductInput],
-    baseline: &'a ProductInput,
-    horizon: u32,
-    split: u32,
 }
 
-/// The consistent sets `D_p^{(t)}`, one mask per (distribution, row) over
-/// that row's support points.
-#[derive(Clone)]
-struct AliveState {
-    members: Vec<Vec<BitVec>>,
-    base: Vec<BitVec>,
-}
+impl<P: TurnProtocol + Sync + ?Sized> Branching for BitBranching<'_, P> {
+    type Prefix = TurnTranscript;
 
-/// A live frontier node: everything a subtree walk needs.
-struct SubtreeTask {
-    transcript: TurnTranscript,
-    state: AliveState,
-    probs: Vec<f64>,
-    prob_base: f64,
-}
-
-struct Accumulator {
-    mixture_tv_by_depth: Vec<f64>,
-    progress_by_depth: Vec<f64>,
-    per_member_tv: Vec<f64>,
-    mean_fraction: Vec<f64>,
-    mass_below: Vec<[f64; FRACTION_THRESHOLDS]>,
-}
-
-impl Accumulator {
-    fn zeros(t_len: usize, m: usize) -> Self {
-        Accumulator {
-            mixture_tv_by_depth: vec![0.0; t_len + 1],
-            progress_by_depth: vec![0.0; t_len + 1],
-            per_member_tv: vec![0.0; m],
-            mean_fraction: vec![0.0; t_len],
-            mass_below: vec![[0.0; FRACTION_THRESHOLDS]; t_len],
-        }
+    fn n(&self) -> usize {
+        self.protocol.n()
     }
 
-    fn add(&mut self, other: &Accumulator) {
-        let pairs = [
-            (&mut self.mixture_tv_by_depth, &other.mixture_tv_by_depth),
-            (&mut self.progress_by_depth, &other.progress_by_depth),
-            (&mut self.per_member_tv, &other.per_member_tv),
-            (&mut self.mean_fraction, &other.mean_fraction),
-        ];
-        for (dst, src) in pairs {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d += s;
+    fn input_bits(&self) -> u32 {
+        self.protocol.input_bits()
+    }
+
+    fn horizon(&self) -> u32 {
+        self.protocol.horizon()
+    }
+
+    fn speaker(&self, t: u32) -> usize {
+        self.protocol.speaker(t)
+    }
+
+    fn split_depth(&self) -> u32 {
+        SPLIT_DEPTH
+    }
+
+    fn root(&self) -> TurnTranscript {
+        TurnTranscript::empty()
+    }
+
+    fn extend(&self, prefix: &TurnTranscript, label: u64) -> TurnTranscript {
+        prefix.child(label == 1)
+    }
+
+    fn partition(
+        &self,
+        speaker: usize,
+        points: &[u64],
+        alive: &BitVec,
+        prefix: &TurnTranscript,
+    ) -> Vec<(u64, BitVec)> {
+        let mut ones = BitVec::zeros(points.len());
+        for idx in alive.iter_ones() {
+            if self.protocol.bit(speaker, points[idx], prefix) {
+                ones.set(idx, true);
             }
         }
-        for (dst, src) in self.mass_below.iter_mut().zip(&other.mass_below) {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d += s;
-            }
+        let zeros = alive.and_not(&ones);
+        let mut parts = Vec::with_capacity(2);
+        if zeros.count_ones() > 0 {
+            parts.push((0u64, zeros));
         }
-    }
-}
-
-fn run_task<P: TurnProtocol + ?Sized>(ctx: &Ctx<'_, P>, mut task: SubtreeTask) -> Accumulator {
-    let mut acc = Accumulator::zeros(ctx.horizon as usize, ctx.members.len());
-    walk(
-        ctx,
-        task.transcript,
-        &mut task.state,
-        &task.probs,
-        task.prob_base,
-        &mut acc,
-        None,
-    );
-    acc
-}
-
-/// Splits the speaker's consistent set on the broadcast bit: returns the
-/// `(zero, one)` masks over `points`.
-fn split_on_bit<P: TurnProtocol + ?Sized>(
-    protocol: &P,
-    speaker: usize,
-    points: &[u64],
-    alive: &BitVec,
-    transcript: &TurnTranscript,
-) -> (BitVec, BitVec) {
-    let mut ones = BitVec::zeros(points.len());
-    for idx in alive.iter_ones() {
-        if protocol.bit(speaker, points[idx], transcript) {
-            ones.set(idx, true);
+        if ones.count_ones() > 0 {
+            parts.push((1u64, ones));
         }
-    }
-    (alive.and_not(&ones), ones)
-}
-
-fn walk<P: TurnProtocol + ?Sized>(
-    ctx: &Ctx<'_, P>,
-    transcript: TurnTranscript,
-    state: &mut AliveState,
-    probs: &[f64],
-    prob_base: f64,
-    acc: &mut Accumulator,
-    mut frontier: Option<&mut Vec<SubtreeTask>>,
-) {
-    let t = transcript.len() as usize;
-    let m = ctx.members.len();
-
-    // Frontier cut: hand the subtree to a task instead of walking it (its
-    // own depth-t contribution is accumulated by the task).
-    if let Some(tasks) = frontier.as_deref_mut() {
-        if transcript.len() == ctx.split && transcript.len() < ctx.horizon {
-            tasks.push(SubtreeTask {
-                transcript,
-                state: state.clone(),
-                probs: probs.to_vec(),
-                prob_base,
-            });
-            return;
-        }
-    }
-
-    // Depth-t prefix accumulation.
-    let avg: f64 = probs.iter().sum::<f64>() / m as f64;
-    acc.mixture_tv_by_depth[t] += (avg - prob_base).abs() / 2.0;
-    let mut progress = 0.0;
-    for &p in probs {
-        progress += (p - prob_base).abs();
-    }
-    acc.progress_by_depth[t] += progress / (2.0 * m as f64);
-
-    if transcript.len() == ctx.horizon {
-        for (i, &p) in probs.iter().enumerate() {
-            acc.per_member_tv[i] += (p - prob_base).abs() / 2.0;
-        }
-        return;
-    }
-
-    let speaker = ctx.protocol.speaker(transcript.len());
-
-    // Consistent-set statistics of the speaker, weighted by the baseline.
-    if prob_base > 0.0 {
-        let fraction =
-            state.base[speaker].count_ones() as f64 / ctx.baseline.row(speaker).len() as f64;
-        acc.mean_fraction[t] += prob_base * fraction;
-        for (j, slot) in acc.mass_below[t].iter_mut().enumerate() {
-            if fraction < 2f64.powi(-(j as i32)) {
-                *slot += prob_base;
-            }
-        }
-    }
-
-    let base_parts = split_on_bit(
-        ctx.protocol,
-        speaker,
-        ctx.baseline.row(speaker).points(),
-        &state.base[speaker],
-        &transcript,
-    );
-    let member_parts: Vec<(BitVec, BitVec)> = (0..m)
-        .map(|i| {
-            split_on_bit(
-                ctx.protocol,
-                speaker,
-                ctx.members[i].row(speaker).points(),
-                &state.members[i][speaker],
-                &transcript,
-            )
-        })
-        .collect();
-
-    // Set sizes are invariant across the two branch iterations.
-    let base_total = state.base[speaker].count_ones();
-    let member_totals: Vec<usize> = (0..m)
-        .map(|i| state.members[i][speaker].count_ones())
-        .collect();
-
-    for bit in [false, true] {
-        let base_part = if bit { &base_parts.1 } else { &base_parts.0 };
-        let child_prob_base = if base_total == 0 {
-            0.0
-        } else {
-            prob_base * base_part.count_ones() as f64 / base_total as f64
-        };
-
-        let mut child_probs = Vec::with_capacity(m);
-        for (i, &total) in member_totals.iter().enumerate() {
-            let part = if bit {
-                &member_parts[i].1
-            } else {
-                &member_parts[i].0
-            };
-            child_probs.push(if total == 0 {
-                0.0
-            } else {
-                probs[i] * part.count_ones() as f64 / total as f64
-            });
-        }
-
-        // Prune dead subtrees: they contribute zero everywhere.
-        if child_prob_base == 0.0 && child_probs.iter().all(|&p| p == 0.0) {
-            continue;
-        }
-
-        // Swap in the children's consistent sets, recurse, restore.
-        let saved_base = std::mem::replace(
-            &mut state.base[speaker],
-            if bit {
-                base_parts.1.clone()
-            } else {
-                base_parts.0.clone()
-            },
-        );
-        let saved_members: Vec<BitVec> = (0..m)
-            .map(|i| {
-                std::mem::replace(
-                    &mut state.members[i][speaker],
-                    if bit {
-                        member_parts[i].1.clone()
-                    } else {
-                        member_parts[i].0.clone()
-                    },
-                )
-            })
-            .collect();
-
-        walk(
-            ctx,
-            transcript.child(bit),
-            state,
-            &child_probs,
-            child_prob_base,
-            acc,
-            frontier.as_deref_mut(),
-        );
-
-        state.base[speaker] = saved_base;
-        for (i, saved) in saved_members.into_iter().enumerate() {
-            state.members[i][speaker] = saved;
-        }
+        parts
     }
 }
 #[cfg(test)]

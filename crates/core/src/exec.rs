@@ -16,7 +16,9 @@
 //!
 //! Both return a [`DepthProfile`], which carries its [`Provenance`] so
 //! downstream code can ask for the [`DepthProfile::noise_floor`] without
-//! knowing how the numbers were produced.
+//! knowing how the numbers were produced. `BCAST(w)` protocols route
+//! through [`WideExactEstimator`] — the wide engine behind the same
+//! `DepthProfile`, so wide experiments reuse all downstream machinery.
 //!
 //! ```
 //! use bcc_congest::FnProtocol;
@@ -32,6 +34,7 @@
 //! assert!((exact.tv() - sampled.tv()).abs() <= sampled.noise_floor());
 //! ```
 
+use bcc_congest::wide::{WideTranscript, WideTurnProtocol};
 use bcc_congest::{TurnProtocol, TurnTranscript};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -42,6 +45,7 @@ use crate::input::ProductInput;
 use crate::sample::{
     collect_sorted_keys, radix_sort_u64, sorted_support_union, sorted_tv_at_depth,
 };
+use crate::wide::exact_wide_comparison_mode;
 
 pub use crate::engine::ExecMode;
 
@@ -268,6 +272,116 @@ impl Estimator for ExactEstimator {
             speaker_stats: cmp.speaker_stats,
             provenance: Provenance::Exact,
         }
+    }
+}
+
+/// A wide protocol truncated to a shorter horizon (prefixes are protocols
+/// too — message functions never look past the transcript they are
+/// given).
+struct WideTruncated<'a, P: ?Sized> {
+    inner: &'a P,
+    horizon: u32,
+}
+
+impl<P: WideTurnProtocol + ?Sized> WideTurnProtocol for WideTruncated<'_, P> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn input_bits(&self) -> u32 {
+        self.inner.input_bits()
+    }
+
+    fn width(&self) -> u32 {
+        self.inner.width()
+    }
+
+    fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    fn speaker(&self, t: u32) -> usize {
+        self.inner.speaker(t)
+    }
+
+    fn message(&self, proc: usize, input: u64, transcript: &WideTranscript) -> u64 {
+        self.inner.message(proc, input, transcript)
+    }
+}
+
+/// The exact `BCAST(w)` engine ([`crate::wide`]) as an estimator.
+///
+/// The [`Estimator`] trait speaks [`TurnProtocol`], so wide protocols get
+/// this sibling type instead of a trait impl — but it returns the same
+/// [`DepthProfile`] (with [`Provenance::Exact`]), so everything
+/// downstream of a profile — `noise_floor()`, provenance checks, lab
+/// records — works unchanged whichever engine produced it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WideExactEstimator {
+    /// How subtree tasks execute; [`ExecMode::Parallel`] by default.
+    pub mode: ExecMode,
+}
+
+impl WideExactEstimator {
+    /// An estimator running subtree tasks on the rayon pool.
+    pub fn parallel() -> Self {
+        WideExactEstimator {
+            mode: ExecMode::Parallel,
+        }
+    }
+
+    /// An estimator running everything on the calling thread. Bitwise
+    /// equal to [`WideExactEstimator::parallel`] results, only slower.
+    pub fn sequential() -> Self {
+        WideExactEstimator {
+            mode: ExecMode::Sequential,
+        }
+    }
+
+    /// Estimates (exactly) the depth profile of the family-vs-baseline
+    /// comparison under `protocol`, up to prefix length `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, dimensions disagree with the
+    /// protocol, `horizon > protocol.horizon()`, the width is outside
+    /// `1..=16`, or the walk's node budget is exceeded (see
+    /// [`crate::wide::exact_wide_comparison`]).
+    pub fn estimate<P: WideTurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> DepthProfile {
+        assert!(
+            horizon <= protocol.horizon(),
+            "horizon {horizon} beyond the protocol's {}",
+            protocol.horizon()
+        );
+        let truncated = WideTruncated {
+            inner: protocol,
+            horizon,
+        };
+        let cmp = exact_wide_comparison_mode(&truncated, members, baseline, self.mode);
+        DepthProfile {
+            horizon: cmp.horizon,
+            mixture_tv_by_depth: cmp.mixture_tv_by_depth,
+            progress_by_depth: cmp.progress_by_depth,
+            per_member_tv: cmp.per_member_tv,
+            speaker_stats: cmp.speaker_stats,
+            provenance: Provenance::Exact,
+        }
+    }
+
+    /// [`WideExactEstimator::estimate`] over the protocol's full horizon.
+    pub fn estimate_full<P: WideTurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+    ) -> DepthProfile {
+        self.estimate(protocol, members, baseline, protocol.horizon())
     }
 }
 
@@ -789,6 +903,50 @@ mod tests {
     #[should_panic(expected = "below the initial budget")]
     fn adaptive_rejects_cap_below_initial() {
         let _ = AdaptiveEstimator::new(0.1, 100, 50, 1);
+    }
+
+    #[test]
+    fn wide_estimator_matches_the_wide_engine_and_is_exact() {
+        use crate::wide::exact_wide_comparison;
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let (members, baseline) = family();
+        let engine = exact_wide_comparison(&p, &members, &baseline);
+        let profile = WideExactEstimator::default().estimate_full(&p, &members, &baseline);
+        assert!(profile.is_exact());
+        assert_eq!(profile.noise_floor(), 0.0);
+        assert_eq!(
+            profile.mixture_tv_by_depth, engine.mixture_tv_by_depth,
+            "estimator must be a thin wrapper over the wide engine"
+        );
+        assert_eq!(profile.per_member_tv, engine.per_member_tv);
+        assert_eq!(profile.speaker_stats.len(), engine.speaker_stats.len());
+    }
+
+    #[test]
+    fn wide_truncated_horizon_prefixes_the_full_profile() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let (members, baseline) = family();
+        let full = WideExactEstimator::default().estimate_full(&p, &members, &baseline);
+        let half = WideExactEstimator::default().estimate(&p, &members, &baseline, 3);
+        assert_eq!(half.horizon, 3);
+        assert_eq!(half.mixture_tv_by_depth.len(), 4);
+        for t in 0..=3 {
+            assert!(
+                (half.mixture_tv_by_depth[t] - full.mixture_tv_by_depth[t]).abs() < 1e-12,
+                "depth {t}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the protocol")]
+    fn wide_over_long_horizon_rejected() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 4, |_, input, _| input & 0b11);
+        let (members, baseline) = family();
+        let _ = WideExactEstimator::default().estimate(&p, &members, &baseline, 5);
     }
 
     #[test]

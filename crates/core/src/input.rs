@@ -6,6 +6,8 @@
 //! linear-code cosets for the PRG (§5–7). [`RowSupport`] is that support;
 //! [`ProductInput`] is one per processor.
 
+use std::sync::Arc;
+
 use bcc_f2::subcube::Subcube64;
 use rand::Rng;
 
@@ -104,9 +106,15 @@ impl RowSupport {
 ///
 /// This is one member `A_I` of a decomposition family — or the baseline
 /// `A_rand` itself.
+///
+/// Rows are stored behind [`Arc`], so cloning a `ProductInput` — and
+/// building one whose processors share a support, the shape of every
+/// family in the paper — costs reference counts, not deep copies of the
+/// support points. [`ProductInput::repeated`] is the shared-row
+/// constructor; the accessors still hand out plain `&RowSupport`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProductInput {
-    rows: Vec<RowSupport>,
+    rows: Vec<Arc<RowSupport>>,
 }
 
 impl ProductInput {
@@ -117,13 +125,28 @@ impl ProductInput {
     /// Panics if empty.
     pub fn new(rows: Vec<RowSupport>) -> Self {
         assert!(!rows.is_empty(), "need at least one processor");
-        ProductInput { rows }
+        ProductInput {
+            rows: rows.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// `n` processors sharing one support allocation — `O(|support|)`
+    /// memory total instead of `n` deep copies, which is what lets
+    /// wide/huge-`n` families materialize cheaply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn repeated(row: RowSupport, n: usize) -> Self {
+        assert!(n > 0, "need at least one processor");
+        let row = Arc::new(row);
+        ProductInput { rows: vec![row; n] }
     }
 
     /// Every processor uniform over `{0,1}^bits` — the `A_rand` shape for
     /// abstract experiments.
     pub fn uniform(n: usize, bits: u32) -> Self {
-        ProductInput::new(vec![RowSupport::uniform(bits); n])
+        ProductInput::repeated(RowSupport::uniform(bits), n)
     }
 
     /// The number of processors.
@@ -142,7 +165,7 @@ impl ProductInput {
 
     /// Iterates over the per-processor supports.
     pub fn iter_rows(&self) -> impl Iterator<Item = &RowSupport> {
-        self.rows.iter()
+        self.rows.iter().map(|row| row.as_ref())
     }
 
     /// Samples a full input vector (one packed input per processor).
@@ -210,6 +233,20 @@ mod tests {
             assert_eq!(v[0], 1);
             assert!(v[1] == 2 || v[1] == 3);
         }
+    }
+
+    #[test]
+    fn repeated_rows_share_one_allocation() {
+        let input = ProductInput::repeated(RowSupport::uniform(4), 1000);
+        assert_eq!(input.n(), 1000);
+        // Every accessor hands back the same shared support, not a copy.
+        assert!(std::ptr::eq(input.row(0), input.row(999)));
+        let uniform = ProductInput::uniform(3, 4);
+        assert!(std::ptr::eq(uniform.row(0), uniform.row(2)));
+        // Cloning the product clones handles, not points.
+        let cloned = input.clone();
+        assert!(std::ptr::eq(input.row(0), cloned.row(0)));
+        assert_eq!(input, cloned);
     }
 
     #[test]

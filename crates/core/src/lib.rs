@@ -40,6 +40,7 @@ pub mod engine;
 pub mod exec;
 pub mod input;
 pub mod sample;
+pub mod walk;
 pub mod wide;
 pub mod yao;
 
@@ -49,8 +50,11 @@ pub use engine::{
 };
 pub use exec::{
     derive_seed, AdaptiveEstimator, AdaptiveReport, DepthProfile, Estimator, ExactEstimator,
-    Provenance, SampledEstimator,
+    Provenance, SampledEstimator, WideExactEstimator,
 };
 pub use input::{ProductInput, RowSupport};
 pub use sample::{radix_sort_u64, sampled_comparison, sampled_comparison_with, TranscriptArena};
-pub use wide::{exact_wide_comparison, WideComparison};
+pub use wide::{
+    exact_wide_comparison, exact_wide_comparison_mode, wide_walk_nodes, WideComparison,
+    MAX_WIDE_NODES,
+};

@@ -1,0 +1,436 @@
+//! The shared skeleton of the exact transcript walks.
+//!
+//! [`crate::engine`] (the `BCAST(1)` bit engine) and [`crate::wide`] (the
+//! `BCAST(w)` engine) run the *same* algorithm: a depth-first walk of the
+//! turn tree that keeps every processor's consistent set `D_p^{(t)}` as a
+//! word-parallel [`bcc_f2::BitVec`] mask over that row's support points,
+//! splits the speaker's set on the broadcast label at each node, and
+//! weights each child by the surviving fraction. The only things that
+//! differ between the two engines are the transcript-prefix type and how
+//! a speaker's live set partitions among children — two labels for the
+//! bit model, the *live* part of a `2^w` alphabet for the wide model. The
+//! [`Branching`] trait captures exactly that pair, and [`exact_walk`] is
+//! the walk itself, written once.
+//!
+//! # Execution strategy
+//!
+//! For parallelism the tree is cut at a frontier depth (a pure function
+//! of the protocol, see [`Branching::split_depth`]): the prefix above the
+//! frontier is walked sequentially, every live frontier node becomes an
+//! independent subtree task (the mixture distance needs all members'
+//! probabilities *per node*, so fanning out over subtrees — not just over
+//! family members — is what parallelizes the whole computation), and task
+//! results are reduced **in frontier order**. Floating-point accumulation
+//! order is therefore a function of the tree alone, never of thread
+//! scheduling: [`ExecMode::Parallel`] and [`ExecMode::Sequential`] runs
+//! of the same walk return bitwise-identical results, a property pinned
+//! by the workspace's property tests for both engines.
+
+use bcc_f2::BitVec;
+use rayon::prelude::*;
+
+use crate::input::ProductInput;
+
+/// Consistent-set-size thresholds tracked per turn: entry `j` is the
+/// baseline probability that the speaker's surviving support fraction is
+/// below `2^{-j}`.
+pub const FRACTION_THRESHOLDS: usize = 20;
+
+/// The bit-depth at which the exact walk cuts the turn tree into
+/// independent subtree tasks: a branching-factor-`2^w` walk cuts at depth
+/// `SPLIT_DEPTH / w` (at least 1), so at most `2^SPLIT_DEPTH` tasks fan
+/// out regardless of the message width — plenty to saturate the machines
+/// this runs on while keeping the frontier states small.
+pub const SPLIT_DEPTH: u32 = 6;
+
+/// How an exact walk executes its subtree tasks. Both modes produce
+/// bitwise-identical results (see the module docs); `Sequential` exists
+/// for measuring parallel speedup and for pinning determinism in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fan subtree tasks out over the rayon thread pool.
+    #[default]
+    Parallel,
+    /// Run every subtree task on the calling thread, in frontier order.
+    Sequential,
+}
+
+/// A turn protocol viewed as a branching process over transcript
+/// prefixes: the per-model half of an exact walk.
+///
+/// Implementations must be cheap to query — the walk calls these methods
+/// once per live tree node. [`Branching::partition`] is the heart: it
+/// buckets the speaker's live support points by the label they broadcast
+/// next, and its cost should be proportional to the live set, never to
+/// the alphabet.
+pub trait Branching: Sync {
+    /// The transcript-prefix state threaded down the walk.
+    type Prefix: Clone + Send + Sync;
+
+    /// The number of processors.
+    fn n(&self) -> usize;
+
+    /// Input bits per processor.
+    fn input_bits(&self) -> u32;
+
+    /// The number of turns.
+    fn horizon(&self) -> u32;
+
+    /// The processor speaking at turn `t`.
+    fn speaker(&self, t: u32) -> usize;
+
+    /// The depth of the frontier cut. Must be a pure function of the
+    /// protocol (never of thread count or scheduling) so that parallel
+    /// and sequential runs walk the identical task list.
+    fn split_depth(&self) -> u32;
+
+    /// The empty prefix.
+    fn root(&self) -> Self::Prefix;
+
+    /// `prefix` extended by the branch label `label`.
+    fn extend(&self, prefix: &Self::Prefix, label: u64) -> Self::Prefix;
+
+    /// Buckets the live points of `alive` (a mask over `points`) by the
+    /// label `speaker` broadcasts after `prefix`: `(label, mask)` pairs
+    /// sorted ascending by label, omitting labels with no live point.
+    fn partition(
+        &self,
+        speaker: usize,
+        points: &[u64],
+        alive: &BitVec,
+        prefix: &Self::Prefix,
+    ) -> Vec<(u64, BitVec)>;
+}
+
+/// The raw accumulators of one exact walk, before the per-model result
+/// types ([`crate::engine::MixtureComparison`],
+/// [`crate::wide::WideComparison`]) are assembled around them.
+#[derive(Debug, Clone)]
+pub struct WalkOutcome {
+    /// `‖ avg_I P_I^{(t)} − P_base^{(t)} ‖` for `t = 0 ..= horizon`.
+    pub mixture_tv_by_depth: Vec<f64>,
+    /// `L_progress^{(t)} = E_I ‖P_I^{(t)} − P_base^{(t)}‖`.
+    pub progress_by_depth: Vec<f64>,
+    /// Final distance per family member.
+    pub per_member_tv: Vec<f64>,
+    /// `E_{p ∼ P_base^{(t)}} [ |D_p| / |support| ]` per turn.
+    pub mean_fraction: Vec<f64>,
+    /// `mass_below[t][j] = Pr_{p ∼ P_base^{(t)}} [ |D_p|/|support| < 2^{-j} ]`.
+    pub mass_below: Vec<[f64; FRACTION_THRESHOLDS]>,
+}
+
+impl WalkOutcome {
+    fn zeros(t_len: usize, m: usize) -> Self {
+        WalkOutcome {
+            mixture_tv_by_depth: vec![0.0; t_len + 1],
+            progress_by_depth: vec![0.0; t_len + 1],
+            per_member_tv: vec![0.0; m],
+            mean_fraction: vec![0.0; t_len],
+            mass_below: vec![[0.0; FRACTION_THRESHOLDS]; t_len],
+        }
+    }
+
+    fn add(&mut self, other: &WalkOutcome) {
+        let pairs = [
+            (&mut self.mixture_tv_by_depth, &other.mixture_tv_by_depth),
+            (&mut self.progress_by_depth, &other.progress_by_depth),
+            (&mut self.per_member_tv, &other.per_member_tv),
+            (&mut self.mean_fraction, &other.mean_fraction),
+        ];
+        for (dst, src) in pairs {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        for (dst, src) in self.mass_below.iter_mut().zip(&other.mass_below) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+}
+
+/// Exact mixture-vs-baseline walk of `branching`: the full §3 framework
+/// computation, shared by both engines.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or the processor counts / input widths
+/// disagree with the protocol. Node-budget limits are the caller's to
+/// enforce (the walk itself visits only live nodes).
+pub fn exact_walk<B: Branching + ?Sized>(
+    branching: &B,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    mode: ExecMode,
+) -> WalkOutcome {
+    assert!(!members.is_empty(), "need at least one family member");
+    let n = branching.n();
+    for input in members.iter().chain(std::iter::once(baseline)) {
+        assert_eq!(input.n(), n, "processor count mismatch");
+        for row in input.iter_rows() {
+            assert_eq!(row.bits(), branching.input_bits(), "input width mismatch");
+        }
+    }
+
+    let m = members.len();
+    let horizon = branching.horizon();
+    let ctx = Ctx {
+        branching,
+        members,
+        baseline,
+        horizon,
+        split: branching.split_depth().min(horizon),
+    };
+
+    let mut acc = WalkOutcome::zeros(horizon as usize, m);
+    let mut state = AliveState {
+        members: members
+            .iter()
+            .map(|inp| (0..n).map(|i| BitVec::ones(inp.row(i).len())).collect())
+            .collect(),
+        base: (0..n)
+            .map(|i| BitVec::ones(baseline.row(i).len()))
+            .collect(),
+    };
+
+    // Phase 1: sequential walk of the prefix above the frontier, recording
+    // every live frontier node as an independent task.
+    let mut frontier = Vec::new();
+    let probs = vec![1.0f64; m];
+    walk(
+        &ctx,
+        0,
+        branching.root(),
+        &mut state,
+        &probs,
+        1.0,
+        &mut acc,
+        Some(&mut frontier),
+    );
+
+    // Phase 2: run the subtree tasks. `collect` preserves frontier order,
+    // so the reduction below adds task results in a schedule-independent
+    // order and the two modes agree bitwise.
+    let task_accs: Vec<WalkOutcome> = match mode {
+        ExecMode::Parallel => frontier
+            .into_par_iter()
+            .map(|task| run_task(&ctx, task))
+            .collect(),
+        ExecMode::Sequential => frontier
+            .into_iter()
+            .map(|task| run_task(&ctx, task))
+            .collect(),
+    };
+    for task_acc in &task_accs {
+        acc.add(task_acc);
+    }
+    acc
+}
+
+/// Shared read-only context of one exact walk.
+struct Ctx<'a, B: ?Sized> {
+    branching: &'a B,
+    members: &'a [ProductInput],
+    baseline: &'a ProductInput,
+    horizon: u32,
+    split: u32,
+}
+
+/// The consistent sets `D_p^{(t)}`, one mask per (distribution, row) over
+/// that row's support points.
+#[derive(Clone)]
+struct AliveState {
+    members: Vec<Vec<BitVec>>,
+    base: Vec<BitVec>,
+}
+
+/// A live frontier node: everything a subtree walk needs.
+struct SubtreeTask<Pfx> {
+    prefix: Pfx,
+    state: AliveState,
+    probs: Vec<f64>,
+    prob_base: f64,
+}
+
+fn run_task<B: Branching + ?Sized>(
+    ctx: &Ctx<'_, B>,
+    mut task: SubtreeTask<B::Prefix>,
+) -> WalkOutcome {
+    let mut acc = WalkOutcome::zeros(ctx.horizon as usize, ctx.members.len());
+    walk(
+        ctx,
+        ctx.split,
+        task.prefix,
+        &mut task.state,
+        &task.probs,
+        task.prob_base,
+        &mut acc,
+        None,
+    );
+    acc
+}
+
+/// The mask a `partition` result holds for `label`, if any live point
+/// broadcasts it.
+fn part_of(parts: &[(u64, BitVec)], label: u64) -> Option<&BitVec> {
+    parts
+        .binary_search_by_key(&label, |&(l, _)| l)
+        .ok()
+        .map(|i| &parts[i].1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk<B: Branching + ?Sized>(
+    ctx: &Ctx<'_, B>,
+    depth: u32,
+    prefix: B::Prefix,
+    state: &mut AliveState,
+    probs: &[f64],
+    prob_base: f64,
+    acc: &mut WalkOutcome,
+    mut frontier: Option<&mut Vec<SubtreeTask<B::Prefix>>>,
+) {
+    let t = depth as usize;
+    let m = ctx.members.len();
+
+    // Frontier cut: hand the subtree to a task instead of walking it (its
+    // own depth-t contribution is accumulated by the task).
+    if let Some(tasks) = frontier.as_deref_mut() {
+        if depth == ctx.split && depth < ctx.horizon {
+            tasks.push(SubtreeTask {
+                prefix,
+                state: state.clone(),
+                probs: probs.to_vec(),
+                prob_base,
+            });
+            return;
+        }
+    }
+
+    // Depth-t prefix accumulation.
+    let avg: f64 = probs.iter().sum::<f64>() / m as f64;
+    acc.mixture_tv_by_depth[t] += (avg - prob_base).abs() / 2.0;
+    let mut progress = 0.0;
+    for &p in probs {
+        progress += (p - prob_base).abs();
+    }
+    acc.progress_by_depth[t] += progress / (2.0 * m as f64);
+
+    if depth == ctx.horizon {
+        for (i, &p) in probs.iter().enumerate() {
+            acc.per_member_tv[i] += (p - prob_base).abs() / 2.0;
+        }
+        return;
+    }
+
+    let speaker = ctx.branching.speaker(depth);
+
+    // Consistent-set statistics of the speaker, weighted by the baseline.
+    if prob_base > 0.0 {
+        let fraction =
+            state.base[speaker].count_ones() as f64 / ctx.baseline.row(speaker).len() as f64;
+        acc.mean_fraction[t] += prob_base * fraction;
+        for (j, slot) in acc.mass_below[t].iter_mut().enumerate() {
+            if fraction < 2f64.powi(-(j as i32)) {
+                *slot += prob_base;
+            }
+        }
+    }
+
+    let base_parts = ctx.branching.partition(
+        speaker,
+        ctx.baseline.row(speaker).points(),
+        &state.base[speaker],
+        &prefix,
+    );
+    let member_parts: Vec<Vec<(u64, BitVec)>> = (0..m)
+        .map(|i| {
+            ctx.branching.partition(
+                speaker,
+                ctx.members[i].row(speaker).points(),
+                &state.members[i][speaker],
+                &prefix,
+            )
+        })
+        .collect();
+
+    // The union of live labels, ascending: the deterministic child order.
+    // A label dead in every distribution never appears, so the walk costs
+    // what is alive, not what the alphabet could express.
+    let mut labels: Vec<u64> = base_parts
+        .iter()
+        .map(|&(label, _)| label)
+        .chain(member_parts.iter().flatten().map(|&(label, _)| label))
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+
+    // Set sizes are invariant across the branch iterations.
+    let base_total = state.base[speaker].count_ones();
+    let member_totals: Vec<usize> = (0..m)
+        .map(|i| state.members[i][speaker].count_ones())
+        .collect();
+
+    for &label in &labels {
+        let base_part = part_of(&base_parts, label);
+        let child_prob_base = match base_part {
+            Some(part) if base_total > 0 => {
+                prob_base * part.count_ones() as f64 / base_total as f64
+            }
+            _ => 0.0,
+        };
+
+        let mut child_probs = Vec::with_capacity(m);
+        for (i, &total) in member_totals.iter().enumerate() {
+            child_probs.push(match part_of(&member_parts[i], label) {
+                Some(part) if total > 0 => probs[i] * part.count_ones() as f64 / total as f64,
+                _ => 0.0,
+            });
+        }
+
+        // Prune dead subtrees: they contribute zero everywhere. (A live
+        // label always carries positive probability in some distribution,
+        // so this is a guard, not a hot path.)
+        if child_prob_base == 0.0 && child_probs.iter().all(|&p| p == 0.0) {
+            continue;
+        }
+
+        // Swap in the children's consistent sets (an empty mask where the
+        // label is dead in that distribution), recurse, restore.
+        let saved_base = std::mem::replace(
+            &mut state.base[speaker],
+            match base_part {
+                Some(part) => part.clone(),
+                None => BitVec::zeros(ctx.baseline.row(speaker).len()),
+            },
+        );
+        let saved_members: Vec<BitVec> = (0..m)
+            .map(|i| {
+                std::mem::replace(
+                    &mut state.members[i][speaker],
+                    match part_of(&member_parts[i], label) {
+                        Some(part) => part.clone(),
+                        None => BitVec::zeros(ctx.members[i].row(speaker).len()),
+                    },
+                )
+            })
+            .collect();
+
+        walk(
+            ctx,
+            depth + 1,
+            ctx.branching.extend(&prefix, label),
+            state,
+            &child_probs,
+            child_prob_base,
+            acc,
+            frontier.as_deref_mut(),
+        );
+
+        state.base[speaker] = saved_base;
+        for (i, saved) in saved_members.into_iter().enumerate() {
+            state.members[i][speaker] = saved;
+        }
+    }
+}

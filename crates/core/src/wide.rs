@@ -1,15 +1,54 @@
 //! The exact engine for `BCAST(w)` turn protocols.
 //!
-//! Identical in structure to [`crate::engine`] but branching over the
+//! Identical in algorithm to [`crate::engine`] but branching over the
 //! `2^w`-message alphabet per turn, so footnote 2 of the paper ("all of
 //! our results generalize to the setting of logarithmic sized messages")
 //! can be checked *exactly*: a packed `BCAST(w)` protocol extracts the
 //! same statistical distance as its `BCAST(1)` unpacking, in `1/w` as
 //! many turns.
+//!
+//! Both engines are instantiations of the shared walk core in
+//! [`crate::walk`]: consistent sets live as word-parallel
+//! [`bcc_f2::BitVec`] masks, the turn tree is cut at a frontier depth
+//! into independent subtree tasks fanned out over rayon, and task results
+//! reduce in frontier order — so [`ExecMode::Parallel`] and
+//! [`ExecMode::Sequential`] wide walks are bitwise identical (see the
+//! property tests in `crates/core/tests/prop.rs`). The per-turn split
+//! buckets the speaker's *live* points by the message they broadcast, so
+//! a node costs `O(live points)` plus one mask per message that actually
+//! occurs — never `O(2^w)` allocations for an alphabet that is mostly
+//! dead.
+//!
+//! The frontier depth adapts to the width (`SPLIT_DEPTH / w` bit-depths,
+//! at least one turn), keeping the fan-out near `2^SPLIT_DEPTH` tasks for
+//! the widths the experiments use.
 
 use bcc_congest::wide::{WideTranscript, WideTurnProtocol};
+use bcc_f2::BitVec;
 
+use crate::engine::SpeakerStats;
 use crate::input::ProductInput;
+use crate::walk::{exact_walk, Branching, ExecMode, SPLIT_DEPTH};
+
+/// The node-budget cap of the exact wide walk: a walk whose *complete*
+/// turn tree could exceed this many nodes is refused up front.
+pub const MAX_WIDE_NODES: u64 = 1 << 26;
+
+/// The number of nodes in the complete `2^width`-ary turn tree of depth
+/// `horizon` — `Σ_{t=0}^{horizon} 2^{width·t}` — saturating at
+/// [`u64::MAX`]. This is the upper bound on what
+/// [`exact_wide_comparison`] can visit; dead branches are pruned, so real
+/// walks typically visit far fewer nodes.
+pub fn wide_walk_nodes(width: u32, horizon: u32) -> u64 {
+    let fanout = if width >= 64 { u64::MAX } else { 1u64 << width };
+    let mut total: u64 = 0;
+    let mut level: u64 = 1;
+    for _ in 0..=horizon {
+        total = total.saturating_add(level);
+        level = level.saturating_mul(fanout);
+    }
+    total
+}
 
 /// The result of an exact wide-protocol walk (mirror of
 /// [`crate::engine::MixtureComparison`]).
@@ -23,6 +62,9 @@ pub struct WideComparison {
     pub progress_by_depth: Vec<f64>,
     /// Final per-member distances.
     pub per_member_tv: Vec<f64>,
+    /// Speaker consistent-set statistics per turn (same semantics as the
+    /// bit engine's; one entry per wide turn).
+    pub speaker_stats: Vec<SpeakerStats>,
 }
 
 impl WideComparison {
@@ -43,172 +85,136 @@ impl WideComparison {
     }
 }
 
-/// Exact mixture-vs-baseline walk for a `BCAST(w)` protocol.
+/// Exact mixture-vs-baseline walk for a `BCAST(w)` protocol, with subtree
+/// tasks on the rayon pool ([`ExecMode::Parallel`]).
 ///
 /// # Panics
 ///
-/// Panics on dimension mismatches or if `2^w · horizon` makes the walk
-/// larger than `2^26` nodes.
-pub fn exact_wide_comparison<P: WideTurnProtocol + ?Sized>(
+/// Panics on dimension mismatches, if the protocol's width is outside
+/// `1..=16`, or if the complete `2^w`-ary turn tree to the protocol's
+/// horizon could exceed [`MAX_WIDE_NODES`] (`2^26`) reachable nodes —
+/// checked via [`wide_walk_nodes`] in saturating integer arithmetic.
+pub fn exact_wide_comparison<P: WideTurnProtocol + Sync + ?Sized>(
     protocol: &P,
     members: &[ProductInput],
     baseline: &ProductInput,
 ) -> WideComparison {
-    assert!(!members.is_empty(), "need at least one family member");
-    let n = protocol.n();
-    let horizon = protocol.horizon();
+    exact_wide_comparison_mode(protocol, members, baseline, ExecMode::Parallel)
+}
+
+/// [`exact_wide_comparison`] with an explicit [`ExecMode`]. Both modes
+/// return bitwise-identical results; `Sequential` runs the identical task
+/// list on the calling thread.
+///
+/// # Panics
+///
+/// As [`exact_wide_comparison`].
+pub fn exact_wide_comparison_mode<P: WideTurnProtocol + Sync + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    mode: ExecMode,
+) -> WideComparison {
     let width = protocol.width();
     assert!(
-        (horizon as f64) * (width as f64) <= 26.0,
-        "exact wide walk limited to 2^26 nodes"
+        (1..=16).contains(&width),
+        "message width {width} outside 1..=16 (wide transcripts pack into a u64)"
     );
-    for input in members.iter().chain(std::iter::once(baseline)) {
-        assert_eq!(input.n(), n, "processor count mismatch");
-        for row in input.iter_rows() {
-            assert_eq!(row.bits(), protocol.input_bits(), "input width mismatch");
-        }
-    }
-
-    let m = members.len();
-    let mut acc = WideAcc {
-        mixture_tv_by_depth: vec![0.0; horizon as usize + 1],
-        progress_by_depth: vec![0.0; horizon as usize + 1],
-        per_member_tv: vec![0.0; m],
-    };
-
-    let mut alive_members: Vec<Vec<Vec<u32>>> = members
-        .iter()
-        .map(|inp| {
-            (0..n)
-                .map(|i| (0..inp.row(i).len() as u32).collect())
-                .collect()
-        })
-        .collect();
-    let mut alive_base: Vec<Vec<u32>> = (0..n)
-        .map(|i| (0..baseline.row(i).len() as u32).collect())
-        .collect();
-
-    let probs = vec![1.0f64; m];
-    walk_wide(
-        protocol,
-        members,
-        baseline,
-        WideTranscript::empty(width),
-        &mut alive_members,
-        &mut alive_base,
-        &probs,
-        1.0,
-        &mut acc,
+    let horizon = protocol.horizon();
+    let nodes = wide_walk_nodes(width, horizon);
+    assert!(
+        nodes <= MAX_WIDE_NODES,
+        "exact wide walk refused: a width-{width} tree to horizon {horizon} reaches up to \
+         {nodes} nodes, beyond the {MAX_WIDE_NODES}-node budget"
     );
+
+    let t_len = horizon as usize;
+    let acc = exact_walk(&WideBranching { protocol }, members, baseline, mode);
 
     WideComparison {
         horizon,
         mixture_tv_by_depth: acc.mixture_tv_by_depth,
         progress_by_depth: acc.progress_by_depth,
         per_member_tv: acc.per_member_tv,
+        speaker_stats: (0..t_len)
+            .map(|t| SpeakerStats {
+                speaker: protocol.speaker(t as u32),
+                mean_fraction: acc.mean_fraction[t],
+                mass_below: acc.mass_below[t],
+            })
+            .collect(),
     }
 }
 
-struct WideAcc {
-    mixture_tv_by_depth: Vec<f64>,
-    progress_by_depth: Vec<f64>,
-    per_member_tv: Vec<f64>,
+/// The wide model as a [`Branching`] process: the speaker's live points
+/// bucket by the `w`-bit message they broadcast.
+struct WideBranching<'a, P: ?Sized> {
+    protocol: &'a P,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn walk_wide<P: WideTurnProtocol + ?Sized>(
-    protocol: &P,
-    members: &[ProductInput],
-    baseline: &ProductInput,
-    transcript: WideTranscript,
-    alive_members: &mut [Vec<Vec<u32>>],
-    alive_base: &mut [Vec<u32>],
-    probs: &[f64],
-    prob_base: f64,
-    acc: &mut WideAcc,
-) {
-    let t = transcript.len() as usize;
-    let m = members.len();
+impl<P: WideTurnProtocol + Sync + ?Sized> Branching for WideBranching<'_, P> {
+    type Prefix = WideTranscript;
 
-    let avg: f64 = probs.iter().sum::<f64>() / m as f64;
-    acc.mixture_tv_by_depth[t] += (avg - prob_base).abs() / 2.0;
-    let progress: f64 = probs.iter().map(|p| (p - prob_base).abs()).sum();
-    acc.progress_by_depth[t] += progress / (2.0 * m as f64);
-
-    if transcript.len() == protocol.horizon() {
-        for (i, &p) in probs.iter().enumerate() {
-            acc.per_member_tv[i] += (p - prob_base).abs() / 2.0;
-        }
-        return;
+    fn n(&self) -> usize {
+        self.protocol.n()
     }
 
-    let speaker = protocol.speaker(transcript.len());
-    let alphabet = 1u64 << protocol.width();
+    fn input_bits(&self) -> u32 {
+        self.protocol.input_bits()
+    }
 
-    // Partition the speaker's alive sets by the broadcast message.
-    let partition = |support: &[u64], alive: &[u32]| -> Vec<Vec<u32>> {
-        let mut parts = vec![Vec::new(); alphabet as usize];
-        for &idx in alive {
-            let msg = protocol.message(speaker, support[idx as usize], &transcript);
-            parts[msg as usize].push(idx);
-        }
-        parts
-    };
+    fn horizon(&self) -> u32 {
+        self.protocol.horizon()
+    }
 
-    let base_parts = partition(baseline.row(speaker).points(), &alive_base[speaker]);
-    let member_parts: Vec<Vec<Vec<u32>>> = (0..m)
-        .map(|i| partition(members[i].row(speaker).points(), &alive_members[i][speaker]))
-        .collect();
+    fn speaker(&self, t: u32) -> usize {
+        self.protocol.speaker(t)
+    }
 
-    for msg in 0..alphabet {
-        let base_total = alive_base[speaker].len();
-        let base_part = &base_parts[msg as usize];
-        let child_prob_base = if base_total == 0 {
-            0.0
-        } else {
-            prob_base * base_part.len() as f64 / base_total as f64
-        };
-        let mut child_probs = Vec::with_capacity(m);
-        for i in 0..m {
-            let total = alive_members[i][speaker].len();
-            let part = &member_parts[i][msg as usize];
-            child_probs.push(if total == 0 {
-                0.0
-            } else {
-                probs[i] * part.len() as f64 / total as f64
-            });
-        }
-        if child_prob_base == 0.0 && child_probs.iter().all(|&p| p == 0.0) {
-            continue;
-        }
+    fn split_depth(&self) -> u32 {
+        // A width-w turn is worth w bit-depths of fan-out: cutting after
+        // SPLIT_DEPTH / w turns keeps the frontier near 2^SPLIT_DEPTH
+        // tasks. At least one turn, so wide protocols still parallelize.
+        (SPLIT_DEPTH / self.protocol.width()).max(1)
+    }
 
-        let saved_base =
-            std::mem::replace(&mut alive_base[speaker], base_parts[msg as usize].clone());
-        let saved_members: Vec<Vec<u32>> = (0..m)
-            .map(|i| {
-                std::mem::replace(
-                    &mut alive_members[i][speaker],
-                    member_parts[i][msg as usize].clone(),
+    fn root(&self) -> WideTranscript {
+        WideTranscript::empty(self.protocol.width())
+    }
+
+    fn extend(&self, prefix: &WideTranscript, label: u64) -> WideTranscript {
+        prefix.child(label)
+    }
+
+    fn partition(
+        &self,
+        speaker: usize,
+        points: &[u64],
+        alive: &BitVec,
+        prefix: &WideTranscript,
+    ) -> Vec<(u64, BitVec)> {
+        // Work proportional to the live set: evaluate each live point's
+        // message once, sort the (message, index) pairs, and materialize
+        // one mask per message that actually occurs.
+        let mut pairs: Vec<(u64, u32)> = alive
+            .iter_ones()
+            .map(|idx| {
+                (
+                    self.protocol.message(speaker, points[idx], prefix),
+                    idx as u32,
                 )
             })
             .collect();
-
-        walk_wide(
-            protocol,
-            members,
-            baseline,
-            transcript.child(msg),
-            alive_members,
-            alive_base,
-            &child_probs,
-            child_prob_base,
-            acc,
-        );
-
-        alive_base[speaker] = saved_base;
-        for (i, saved) in saved_members.into_iter().enumerate() {
-            alive_members[i][speaker] = saved;
+        pairs.sort_unstable();
+        let mut parts: Vec<(u64, BitVec)> = Vec::new();
+        for (message, idx) in pairs {
+            if parts.last().map(|&(m, _)| m) != Some(message) {
+                parts.push((message, BitVec::zeros(points.len())));
+            }
+            let (_, mask) = parts.last_mut().expect("just pushed");
+            mask.set(idx as usize, true);
         }
+        parts
     }
 }
 
@@ -315,5 +321,95 @@ mod tests {
         for t in 0..cmp.mixture_tv_by_depth.len() {
             assert!(cmp.mixture_tv_by_depth[t] <= cmp.progress_by_depth[t] + 1e-12);
         }
+    }
+
+    #[test]
+    fn speaker_stats_track_message_splits() {
+        // One processor ships its low 2 bits in one BCAST(2) turn: before
+        // turn 0 the consistent fraction is 1; before turn 1 it is 1/4 in
+        // expectation (4 equal parts of the uniform 4-point support).
+        let wide = FnWideProtocol::new(1, 2, 2, 2, |_, input, _| input & 0b11);
+        let a = ProductInput::uniform(1, 2);
+        let cmp = exact_wide_comparison(&wide, std::slice::from_ref(&a), &a);
+        assert_eq!(cmp.speaker_stats.len(), 2);
+        assert!((cmp.speaker_stats[0].mean_fraction - 1.0).abs() < 1e-12);
+        assert!((cmp.speaker_stats[1].mean_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_budget_formula_is_exact_and_saturating() {
+        assert_eq!(wide_walk_nodes(1, 0), 1);
+        assert_eq!(wide_walk_nodes(1, 2), 7);
+        assert_eq!(wide_walk_nodes(2, 2), 21);
+        assert_eq!(wide_walk_nodes(3, 3), 1 + 8 + 64 + 512);
+        // The bit-model boundary: horizon 25 is the last accepted depth.
+        assert_eq!(wide_walk_nodes(1, 25), (1 << 26) - 1);
+        assert_eq!(wide_walk_nodes(1, 26), (1 << 27) - 1);
+        // The width-2 boundary sits at horizon 12, not at the old
+        // `horizon * width <= 26` line (which would have allowed 13).
+        assert!(wide_walk_nodes(2, 12) <= MAX_WIDE_NODES);
+        assert!(wide_walk_nodes(2, 13) > MAX_WIDE_NODES);
+        // Saturation instead of overflow, even at absurd widths.
+        assert_eq!(wide_walk_nodes(16, 64), u64::MAX);
+        assert_eq!(wide_walk_nodes(63, 2), u64::MAX);
+    }
+
+    #[test]
+    fn budget_guard_accepts_the_boundary_walk() {
+        // Width 1, horizon 25: exactly 2^26 - 1 potential nodes — the
+        // largest accepted walk. The live tree is tiny (the single input
+        // bit pins after one turn), so the walk itself is cheap.
+        let p = FnWideProtocol::new(1, 1, 1, 25, |_, input, _| input & 1);
+        let a = ProductInput::uniform(1, 1);
+        let cmp = exact_wide_comparison(&p, std::slice::from_ref(&a), &a);
+        assert_eq!(cmp.horizon, 25);
+        assert!(cmp.tv().abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 67108864-node budget")]
+    fn budget_guard_panics_past_the_boundary() {
+        // Width 1, horizon 26: 2^27 - 1 potential nodes — one turn too
+        // deep. The guard must fire before any walking happens.
+        let p = FnWideProtocol::new(1, 1, 1, 26, |_, input, _| input & 1);
+        let a = ProductInput::uniform(1, 1);
+        let _ = exact_wide_comparison(&p, std::slice::from_ref(&a), &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 67108864-node budget")]
+    fn budget_guard_prices_width_not_just_turns() {
+        // horizon * width = 26 — the old guard's acceptance line — but the
+        // width-2 tree to depth 13 reaches ~2^26.4 nodes and must refuse.
+        let p = FnWideProtocol::new(1, 2, 2, 13, |_, input, _| input & 0b11);
+        let a = ProductInput::uniform(1, 2);
+        let _ = exact_wide_comparison(&p, std::slice::from_ref(&a), &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=16")]
+    fn oversized_width_rejected_up_front() {
+        // A hand-rolled protocol lying about its width must hit the
+        // validation, not a shift overflow.
+        struct Absurd;
+        impl WideTurnProtocol for Absurd {
+            fn n(&self) -> usize {
+                1
+            }
+            fn input_bits(&self) -> u32 {
+                1
+            }
+            fn width(&self) -> u32 {
+                64
+            }
+            fn horizon(&self) -> u32 {
+                1
+            }
+            fn message(&self, _: usize, input: u64, _: &WideTranscript) -> u64 {
+                input
+            }
+        }
+        let a = ProductInput::uniform(1, 1);
+        let _ = exact_wide_comparison(&Absurd, std::slice::from_ref(&a), &a);
     }
 }

@@ -2,10 +2,33 @@
 //! structural identities the paper's framework relies on, for *arbitrary*
 //! protocols and input families.
 
+use bcc_congest::wide::FnWideProtocol;
 use bcc_congest::FnProtocol;
 use bcc_core::exec::{Estimator, ExactEstimator, SampledEstimator};
-use bcc_core::{exact_comparison, exact_mixture_comparison, ProductInput, RowSupport};
+use bcc_core::{
+    exact_comparison, exact_mixture_comparison, exact_wide_comparison_mode, ExecMode, ProductInput,
+    RowSupport,
+};
 use proptest::prelude::*;
+
+/// The seeded pseudo-random decision both engines share: one bit per
+/// `(proc, input, transcript length, packed transcript)` query.
+///
+/// [`bcc_congest::TurnTranscript`] and [`bcc_congest::wide::WideTranscript`]
+/// at width 1 pack turn `t` at bit `t` of the same `u64`, so feeding this
+/// function from either transcript type drives *identical* walks — which
+/// is what lets the width-1 cross-engine property below demand bitwise
+/// equality, not mere closeness.
+fn decision_bit(seed: u64, proc: usize, input: u64, len: u32, packed: u64) -> bool {
+    let mut z = seed
+        .wrapping_add(input.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add((proc as u64) << 24)
+        .wrapping_add(u64::from(len) << 48)
+        .wrapping_add(packed.wrapping_mul(0xBF58476D1CE4E5B9));
+    z ^= z >> 29;
+    z = z.wrapping_mul(0x94D049BB133111EB);
+    (z >> 33) & 1 == 1
+}
 
 /// An arbitrary deterministic protocol seeded by `seed`.
 fn protocol(
@@ -15,14 +38,33 @@ fn protocol(
     seed: u64,
 ) -> FnProtocol<impl Fn(usize, u64, &bcc_congest::TurnTranscript) -> bool> {
     FnProtocol::new(n, bits, horizon, move |proc, input, tr| {
-        let mut z = seed
-            .wrapping_add(input.wrapping_mul(0x9E3779B97F4A7C15))
-            .wrapping_add((proc as u64) << 24)
-            .wrapping_add(u64::from(tr.len()) << 48)
-            .wrapping_add(tr.as_u64().wrapping_mul(0xBF58476D1CE4E5B9));
-        z ^= z >> 29;
-        z = z.wrapping_mul(0x94D049BB133111EB);
-        (z >> 33) & 1 == 1
+        decision_bit(seed, proc, input, tr.len(), tr.as_u64())
+    })
+}
+
+/// An arbitrary deterministic `BCAST(w)` protocol seeded by `seed`: each
+/// message bit is an independent [`decision_bit`] query.
+fn wide_protocol(
+    n: usize,
+    bits: u32,
+    width: u32,
+    horizon: u32,
+    seed: u64,
+) -> FnWideProtocol<impl Fn(usize, u64, &bcc_congest::wide::WideTranscript) -> u64> {
+    FnWideProtocol::new(n, bits, width, horizon, move |proc, input, tr| {
+        let mut message = 0u64;
+        for b in 0..width {
+            if decision_bit(
+                seed ^ (u64::from(b) << 17),
+                proc,
+                input,
+                tr.len(),
+                tr.as_u64(),
+            ) {
+                message |= 1 << b;
+            }
+        }
+        message
     })
 }
 
@@ -247,6 +289,110 @@ proptest! {
     }
 
     #[test]
+    fn wide_parallel_walk_is_bitwise_deterministic(
+        base in arb_input(2, 4),
+        seed in any::<u64>(),
+    ) {
+        // The wide engine's analogue of the bit-engine property below: a
+        // width-2, 8-turn walk cuts its frontier at depth 3 (SPLIT_DEPTH
+        // / w), so subtree tasks genuinely fan out, and the parallel run
+        // must be bitwise identical to the forced single-thread run.
+        let p = wide_protocol(2, 4, 2, 8, seed);
+        let members: Vec<ProductInput> = (0..6u64)
+            .map(|i| {
+                let lo: Vec<u64> = (0..16).filter(|x| (x ^ i) % 3 != 0).collect();
+                ProductInput::new(vec![
+                    RowSupport::explicit(4, lo),
+                    RowSupport::uniform(4),
+                ])
+            })
+            .collect();
+        let par = exact_wide_comparison_mode(&p, &members, &base, ExecMode::Parallel);
+        let seq = exact_wide_comparison_mode(&p, &members, &base, ExecMode::Sequential);
+        for t in 0..par.mixture_tv_by_depth.len() {
+            prop_assert_eq!(
+                par.mixture_tv_by_depth[t].to_bits(),
+                seq.mixture_tv_by_depth[t].to_bits(),
+                "mixture tv differs at depth {}", t
+            );
+            prop_assert_eq!(
+                par.progress_by_depth[t].to_bits(),
+                seq.progress_by_depth[t].to_bits(),
+                "progress differs at depth {}", t
+            );
+        }
+        for i in 0..par.per_member_tv.len() {
+            prop_assert_eq!(
+                par.per_member_tv[i].to_bits(),
+                seq.per_member_tv[i].to_bits(),
+                "member {} differs", i
+            );
+        }
+        for t in 0..par.speaker_stats.len() {
+            prop_assert_eq!(
+                par.speaker_stats[t].mean_fraction.to_bits(),
+                seq.speaker_stats[t].mean_fraction.to_bits(),
+                "speaker fraction differs at turn {}", t
+            );
+        }
+    }
+
+    #[test]
+    fn width_one_wide_walk_is_bitwise_the_bit_engine(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        base in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        // Both engines instantiate the same shared walk core, and the two
+        // transcript types pack identically at width 1, so running the
+        // same decision function through the wide engine must reproduce
+        // the bit engine's profile bit for bit, depth by depth — not just
+        // within tolerance.
+        let bitp = protocol(2, 3, 8, seed);
+        let widep = FnWideProtocol::new(2, 3, 1, 8, move |proc, input, tr| {
+            u64::from(decision_bit(seed, proc, input, tr.len(), tr.as_u64()))
+        });
+        let members = vec![a, b];
+        let bit = exact_mixture_comparison(&bitp, &members, &base);
+        let wide = exact_wide_comparison_mode(&widep, &members, &base, ExecMode::Parallel);
+        prop_assert_eq!(bit.horizon, wide.horizon);
+        for t in 0..bit.mixture_tv_by_depth.len() {
+            prop_assert_eq!(
+                bit.mixture_tv_by_depth[t].to_bits(),
+                wide.mixture_tv_by_depth[t].to_bits(),
+                "mixture tv differs at depth {}", t
+            );
+            prop_assert_eq!(
+                bit.progress_by_depth[t].to_bits(),
+                wide.progress_by_depth[t].to_bits(),
+                "progress differs at depth {}", t
+            );
+        }
+        for i in 0..bit.per_member_tv.len() {
+            prop_assert_eq!(
+                bit.per_member_tv[i].to_bits(),
+                wide.per_member_tv[i].to_bits(),
+                "member {} differs", i
+            );
+        }
+        for t in 0..bit.speaker_stats.len() {
+            prop_assert_eq!(
+                bit.speaker_stats[t].mean_fraction.to_bits(),
+                wide.speaker_stats[t].mean_fraction.to_bits(),
+                "speaker fraction differs at turn {}", t
+            );
+            for j in 0..bit.speaker_stats[t].mass_below.len() {
+                prop_assert_eq!(
+                    bit.speaker_stats[t].mass_below[j].to_bits(),
+                    wide.speaker_stats[t].mass_below[j].to_bits(),
+                    "mass_below[{}] differs at turn {}", j, t
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_walk_is_bitwise_deterministic(
         base in arb_input(2, 4),
         seed in any::<u64>(),
@@ -300,4 +446,45 @@ proptest! {
             }
         }
     }
+}
+
+/// The acceptance-scale case, deliberately outside the proptest loop: a
+/// `BCAST(2)` walk over 2048 processors (every row materialized, sharing
+/// one support allocation) must cut its frontier, fan subtree tasks out,
+/// and agree bitwise across execution modes.
+#[test]
+fn wide_walk_with_thousands_of_processors_is_bitwise_deterministic() {
+    let n = 2048;
+    let p = wide_protocol(n, 3, 2, 8, 0xC0FFEE);
+    let members = vec![
+        ProductInput::repeated(RowSupport::explicit(3, vec![0, 2, 5, 7]), n),
+        ProductInput::repeated(RowSupport::explicit(3, vec![1, 3, 4, 6, 7]), n),
+    ];
+    let base = ProductInput::uniform(n, 3);
+    let par = exact_wide_comparison_mode(&p, &members, &base, ExecMode::Parallel);
+    let seq = exact_wide_comparison_mode(&p, &members, &base, ExecMode::Sequential);
+    assert_eq!(par.horizon, 8);
+    for t in 0..par.mixture_tv_by_depth.len() {
+        assert_eq!(
+            par.mixture_tv_by_depth[t].to_bits(),
+            seq.mixture_tv_by_depth[t].to_bits(),
+            "mixture tv differs at depth {t}"
+        );
+        assert_eq!(
+            par.progress_by_depth[t].to_bits(),
+            seq.progress_by_depth[t].to_bits(),
+            "progress differs at depth {t}"
+        );
+    }
+    for i in 0..par.per_member_tv.len() {
+        assert_eq!(
+            par.per_member_tv[i].to_bits(),
+            seq.per_member_tv[i].to_bits(),
+            "member {i} differs"
+        );
+    }
+    // Eight round-robin turns touch eight distinct speakers of the 2048.
+    let speakers: std::collections::BTreeSet<usize> =
+        par.speaker_stats.iter().map(|s| s.speaker).collect();
+    assert_eq!(speakers.len(), 8);
 }

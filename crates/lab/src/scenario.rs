@@ -16,15 +16,18 @@
 //!   workloads, output width `m` for [`Workload::PrgThroughput`].
 //! * `k` — the secret scale: PRG seed bits, or the planted clique size.
 //! * `rounds` — broadcast turns of the protocol under test.
-//! * `bandwidth` — bits per broadcast (`BCAST(b)`). A `b`-bit message is
-//!   `b` consecutive one-bit turns by the same speaker, so distance
-//!   workloads walk `rounds × bandwidth` transcript turns.
+//! * `bandwidth` — bits per broadcast (`BCAST(b)`). For the sampled
+//!   distance workloads a `b`-bit message is `b` consecutive one-bit
+//!   turns by the same speaker, so they walk `rounds × bandwidth`
+//!   transcript turns; for [`Workload::WideMessages`] `b` is the *literal*
+//!   message width of one wide turn walked by the exact `BCAST(w)`
+//!   engine.
 //! * `seed` — the replication axis: same parameters, fresh randomness.
 //!
 //! Axes a workload ignores should be pinned to one value so they do not
 //! multiply the grid.
 
-use bcc_core::derive_seed;
+use bcc_core::{derive_seed, wide_walk_nodes, MAX_WIDE_NODES};
 
 use crate::jsonl::{float, num, write_object, Value};
 
@@ -166,6 +169,26 @@ pub enum Workload {
     /// Axes: `n` = output bits `m`, `k` = seed bits (`k < n`); `rounds`
     /// and `bandwidth` are ignored (pin to 1).
     PrgThroughput,
+    /// Footnote 2 at scale: the toy-PRG coset family against uniform
+    /// inputs under a `bandwidth`-bit masked-parity protocol, walked
+    /// **exactly** by the wide engine (`bcc_core::wide`) through
+    /// `bcc_core::WideExactEstimator`. The estimate is the exact mixture
+    /// TV, the noise floor is 0 (so any non-negative tolerance is met),
+    /// and the recorded budget is the walk's reachable-node bound.
+    ///
+    /// Axes: `n` = processors (only `min(n, rounds)` rows are
+    /// materialized — see [`Workload::RankDistance`] — and they share one
+    /// support allocation). `k` = seed bits per processor (≤ 12: coset
+    /// supports are enumerated). `rounds` = wide turns, `bandwidth` =
+    /// message width `w` in `1..=16`; the complete `2^w`-ary tree to
+    /// depth `rounds` must fit the exact engine's
+    /// [`bcc_core::MAX_WIDE_NODES`] budget and the `u64` transcript
+    /// packing.
+    WideMessages {
+        /// Family members (secrets `b`) drawn per point, from the point's
+        /// own stream. Clamped to the `2^k` distinct secrets.
+        members: usize,
+    },
 }
 
 impl Workload {
@@ -175,6 +198,7 @@ impl Workload {
             Workload::RankDistance { .. } => "rank_distance",
             Workload::FindClique => "find_clique",
             Workload::PrgThroughput => "prg_throughput",
+            Workload::WideMessages { .. } => "wide_messages",
         }
     }
 
@@ -255,7 +279,9 @@ impl Scenario {
             Value::Raw(format!("[{}]", cells.join(",")))
         };
         let members = match self.workload {
-            Workload::RankDistance { members } => members as u64,
+            Workload::RankDistance { members } | Workload::WideMessages { members } => {
+                members as u64
+            }
             _ => 0,
         };
         write_object(&[
@@ -385,7 +411,10 @@ impl ScenarioBuilder {
     /// budget, or a NaN tolerance), or grid values the workload cannot
     /// execute — `rounds × bandwidth` beyond [`MAX_TRANSCRIPT_TURNS`] or
     /// `k > 12` for [`Workload::RankDistance`], `k < 2` or `k > n` for
-    /// [`Workload::FindClique`], `k ≥ n` for [`Workload::PrgThroughput`].
+    /// [`Workload::FindClique`], `k ≥ n` for [`Workload::PrgThroughput`],
+    /// or a `(rounds, bandwidth)` pair whose complete `2^bandwidth`-ary
+    /// tree exceeds the exact wide engine's node budget for
+    /// [`Workload::WideMessages`].
     pub fn build(self) -> Scenario {
         assert!(
             !self.name.is_empty()
@@ -452,6 +481,36 @@ impl ScenarioBuilder {
                         grid.n.iter().all(|&n| n > k as usize),
                         "output width n must exceed seed bits k = {k}"
                     );
+                }
+            }
+            Workload::WideMessages { members } => {
+                assert!(members > 0, "need at least one family member");
+                for &k in &grid.k {
+                    assert!(
+                        (1..=12).contains(&k),
+                        "k = {k} outside 1..=12 (coset supports are enumerated)"
+                    );
+                }
+                for &rounds in &grid.rounds {
+                    for &bandwidth in &grid.bandwidth {
+                        assert!(
+                            (1..=16).contains(&bandwidth),
+                            "bandwidth = {bandwidth} outside 1..=16 (wide messages pack \
+                             into a u64)"
+                        );
+                        assert!(
+                            rounds >= 1 && u64::from(rounds) * u64::from(bandwidth) <= 64,
+                            "rounds x bandwidth = {rounds} x {bandwidth} outside 1..=64 \
+                             (wide transcripts pack into a u64)"
+                        );
+                        let nodes = wide_walk_nodes(bandwidth, rounds);
+                        assert!(
+                            nodes <= MAX_WIDE_NODES,
+                            "rounds = {rounds} at bandwidth = {bandwidth} reaches up to \
+                             {nodes} tree nodes, beyond the exact wide engine's \
+                             {MAX_WIDE_NODES}-node budget"
+                        );
+                    }
                 }
             }
         }
@@ -557,6 +616,68 @@ mod tests {
             .k(&[0, 6])
             .rounds(&[8])
             .build();
+    }
+
+    #[test]
+    fn wide_grids_within_the_node_budget_build() {
+        let s = Scenario::builder("w")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024, 4096])
+            .k(&[4, 6])
+            .rounds(&[6, 8])
+            .bandwidth(&[2])
+            .seeds(&[1, 2])
+            .build();
+        assert_eq!(s.workload().tag(), "wide_messages");
+        assert_eq!(s.grid().len(), 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the exact wide engine")]
+    fn wide_grids_beyond_the_node_budget_rejected() {
+        // 4-ary to depth 14 is ~2^28 potential nodes: every grid cell must
+        // be executable, so the spec is refused at build time.
+        let _ = Scenario::builder("w")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[14])
+            .bandwidth(&[2])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=16")]
+    fn wide_bandwidth_outside_packing_rejected() {
+        let _ = Scenario::builder("w")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[2])
+            .bandwidth(&[17])
+            .build();
+    }
+
+    #[test]
+    fn wide_fingerprint_distinguishes_members_and_workload() {
+        let build = |members| {
+            Scenario::builder("w")
+                .workload(Workload::WideMessages { members })
+                .n(&[1024])
+                .k(&[4])
+                .rounds(&[6])
+                .bandwidth(&[2])
+                .build()
+        };
+        assert_ne!(build(2).fingerprint(), build(3).fingerprint());
+        let rank = Scenario::builder("w")
+            .workload(Workload::RankDistance { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[6])
+            .bandwidth(&[2])
+            .build();
+        assert_ne!(build(2).fingerprint(), rank.fingerprint());
     }
 
     #[test]

@@ -29,6 +29,24 @@ impl Drop for DirGuard {
     }
 }
 
+/// Rebuilds `half_dir` as the wreckage of a run killed mid-append: the
+/// manifest, the first `keep` intact records, and a torn copy of the
+/// next line.
+fn tear_into(full_dir: &std::path::Path, half_dir: &std::path::Path, keep: usize) {
+    std::fs::create_dir_all(half_dir).unwrap();
+    std::fs::copy(
+        full_dir.join("manifest.json"),
+        half_dir.join("manifest.json"),
+    )
+    .unwrap();
+    let log = std::fs::read_to_string(full_dir.join("records.jsonl")).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    let mut torn = lines[..keep].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(half_dir.join("records.jsonl"), torn).unwrap();
+}
+
 fn distance_scenario(name: &str) -> Scenario {
     Scenario::builder(name)
         .workload(Workload::RankDistance { members: 2 })
@@ -91,18 +109,7 @@ fn interrupted_runs_resume_bit_for_bit() {
     // Simulate a run killed mid-write: keep the manifest, keep the first
     // three records, and leave a torn final line.
     let (half_dir, _g2) = scratch_dir("resume-half");
-    std::fs::create_dir_all(&half_dir).unwrap();
-    std::fs::copy(
-        full_dir.join("manifest.json"),
-        half_dir.join("manifest.json"),
-    )
-    .unwrap();
-    let log = std::fs::read_to_string(full_dir.join("records.jsonl")).unwrap();
-    let lines: Vec<&str> = log.lines().collect();
-    let mut torn = lines[..3].join("\n");
-    torn.push('\n');
-    torn.push_str(&lines[3][..lines[3].len() / 2]);
-    std::fs::write(half_dir.join("records.jsonl"), torn).unwrap();
+    tear_into(&full_dir, &half_dir, 3);
 
     let resumed = run_sweep(&scenario, Some(&half_dir));
     assert_eq!(resumed.resumed, 3, "three intact records are kept");
@@ -129,6 +136,46 @@ fn interrupted_runs_resume_bit_for_bit() {
         .collect();
     ids.sort_unstable();
     assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn wide_message_sweeps_persist_and_resume_bit_for_bit() {
+    // The exact-engine workload through the full persisted lifecycle:
+    // sweep, reopen (nothing recomputes), and a torn-log resume that must
+    // reproduce the uninterrupted records exactly.
+    let scenario = Scenario::builder("wide-resume")
+        .workload(Workload::WideMessages { members: 2 })
+        .n(&[1024, 4096])
+        .k(&[4])
+        .rounds(&[5])
+        .bandwidth(&[2])
+        .seeds(&[1, 2])
+        .build();
+    let (full_dir, _g1) = scratch_dir("wide-full");
+    let full = scenario.sweep_in(&full_dir);
+    assert_eq!(full.computed, 4);
+    assert!(full.all_met_tolerance(), "exact points always meet");
+    assert_eq!(full.max_noise_floor(), 0.0, "exact points have no noise");
+
+    let again = scenario.sweep_in(&full_dir);
+    assert_eq!(again.computed, 0);
+    assert_eq!(again.resumed, 4);
+
+    let (half_dir, _g2) = scratch_dir("wide-half");
+    tear_into(&full_dir, &half_dir, 2);
+
+    let resumed = run_sweep(&scenario, Some(&half_dir));
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(resumed.computed, 2);
+    for (a, b) in full.records.iter().zip(&resumed.records) {
+        assert_eq!(
+            a.estimate.to_bits(),
+            b.estimate.to_bits(),
+            "wide point {} diverged across interruption",
+            a.point_id
+        );
+        assert_eq!(a.samples, b.samples);
+    }
 }
 
 #[test]

@@ -220,9 +220,10 @@ pub fn row_support(k: u32, m: u32, matrix: &BitMatrix) -> RowSupport {
 }
 
 /// Case (B) of Theorem 5.4 for a fixed secret matrix: all `n` processors
-/// i.i.d. uniform on `U_M`.
+/// i.i.d. uniform on `U_M` (one shared support allocation, not `n`
+/// copies).
 pub fn pseudo_input(n: usize, k: u32, m: u32, matrix: &BitMatrix) -> ProductInput {
-    ProductInput::new(vec![row_support(k, m, matrix); n])
+    ProductInput::repeated(row_support(k, m, matrix), n)
 }
 
 /// Case (A): all processors uniform on `{0,1}^m`.

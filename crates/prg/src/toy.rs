@@ -94,9 +94,10 @@ pub fn row_support(k: u32, b: u64) -> RowSupport {
 }
 
 /// Case (B) of Theorem 5.3 for a fixed secret `b`: every one of `n`
-/// processors independently uniform on `U_{[b]}`.
+/// processors independently uniform on `U_{[b]}` (one shared support
+/// allocation, not `n` copies).
 pub fn pseudo_input(n: usize, k: u32, b: u64) -> ProductInput {
-    ProductInput::new(vec![row_support(k, b); n])
+    ProductInput::repeated(row_support(k, b), n)
 }
 
 /// Case (A): every processor uniform on `{0,1}^{k+1}`.

@@ -1,19 +1,27 @@
-//! The `bcc-lab` end-to-end driver: a seeded 108-point scenario sweep at
-//! `n` in the thousands, persisted as JSONL, interrupted, and resumed
-//! bit-for-bit.
+//! The `bcc-lab` end-to-end driver: seeded scenario sweeps at `n` in the
+//! thousands — the sampled rank-distance family *and* the exact
+//! wide-message (`BCAST(w)`) family — persisted as JSONL, interrupted,
+//! and resumed bit-for-bit.
 //!
 //! ```text
-//! cargo run --release --example lab_sweep             # the full sweep
-//! cargo run --release --example lab_sweep -- --smoke  # tiny CI grid
+//! cargo run --release --example lab_sweep             # the full sweeps
+//! cargo run --release --example lab_sweep -- --smoke  # tiny CI grids
 //! ```
 //!
-//! The sweep measures the Theorem 1.4 shape — the toy-PRG coset family
-//! (the rank-deficient pseudo distribution) against uniform inputs —
-//! across `(n, k, turns, seed)`, with each point's Monte-Carlo budget
-//! grown adaptively until its noise floor meets the tolerance. Run
-//! records land under `target/lab/<name>/records.jsonl` as points
-//! complete; the second half of the example simulates a run killed
-//! mid-write and proves the resumed records match the uninterrupted ones
+//! Two scenarios run back to back:
+//!
+//! * **rank** — the Theorem 1.4 shape: the toy-PRG coset family (the
+//!   rank-deficient pseudo distribution) against uniform inputs across
+//!   `(n, k, turns, seed)`, each point's Monte-Carlo budget grown
+//!   adaptively until its noise floor meets the tolerance.
+//! * **wide** — footnote 2: the same coset family under a `w`-bit
+//!   masked-parity protocol, walked *exactly* by the `BCAST(w)` engine
+//!   across `(n, k, rounds, width, seed)` — zero noise floor, budget
+//!   recorded as the walk's reachable-node bound.
+//!
+//! Run records land under `target/lab/<name>/records.jsonl` as points
+//! complete; after each sweep the driver simulates a run killed mid-write
+//! and proves the resumed records match the uninterrupted ones
 //! bit-for-bit.
 
 use std::time::Instant;
@@ -22,7 +30,7 @@ use bcc::lab::{run_sweep, Scenario, SweepResult, Workload};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let scenario = if smoke {
+    let rank = if smoke {
         Scenario::builder("lab-rank-smoke")
             .workload(Workload::RankDistance { members: 2 })
             .n(&[1024, 2048])
@@ -45,7 +53,36 @@ fn main() {
             .max_samples(1 << 17)
             .build()
     };
+    let wide = if smoke {
+        Scenario::builder("lab-wide-smoke")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024, 2048])
+            .k(&[4])
+            .rounds(&[5])
+            .bandwidth(&[2])
+            .seeds(&[1, 2])
+            .tolerance(0.25)
+            .build()
+    } else {
+        Scenario::builder("lab-wide-sweep")
+            .workload(Workload::WideMessages { members: 4 })
+            .n(&[1024, 2048, 4096])
+            .k(&[4, 6])
+            .rounds(&[6, 8])
+            .bandwidth(&[2])
+            .seeds(&[1, 2, 3])
+            .tolerance(0.25)
+            .build()
+    };
 
+    run_one(&rank);
+    println!("\n{}\n", "=".repeat(72));
+    run_one(&wide);
+}
+
+/// Runs one scenario fresh, summarizes it, then proves the interruption
+/// drill: a half-written directory resumes to bitwise-identical records.
+fn run_one(scenario: &Scenario) {
     let dir = scenario.default_dir();
     let points = scenario.grid().len();
     println!(
@@ -86,7 +123,7 @@ fn main() {
     std::fs::write(half_dir.join("records.jsonl"), torn).expect("write torn log");
 
     let start = Instant::now();
-    let resumed = run_sweep(&scenario, Some(&half_dir));
+    let resumed = run_sweep(scenario, Some(&half_dir));
     let resumed_secs = start.elapsed().as_secs_f64();
     println!(
         "resume: kept {} records, recomputed {} in {:.1} s",
@@ -130,8 +167,8 @@ fn summarize(sweep: &SweepResult, elapsed: f64) {
     let n_max = sweep.records.iter().map(|r| r.n).max().unwrap_or(0);
     println!("\n  slice n = {n_max}, seed = first:");
     println!(
-        "  {:>4} {:>6} {:>11} {:>8} {:>13} {:>7}",
-        "k", "turns", "mixture TV", "floor", "samples/side", "ms"
+        "  {:>4} {:>6} {:>5} {:>11} {:>8} {:>13} {:>7}",
+        "k", "turns", "width", "mixture TV", "floor", "budget", "ms"
     );
     let seed0 = sweep.records.first().map_or(0, |r| r.seed);
     for r in sweep
@@ -140,8 +177,8 @@ fn summarize(sweep: &SweepResult, elapsed: f64) {
         .filter(|r| r.n == n_max && r.seed == seed0)
     {
         println!(
-            "  {:>4} {:>6} {:>11.4} {:>8.4} {:>13} {:>7.0}",
-            r.k, r.rounds, r.estimate, r.noise_floor, r.samples, r.wall_ms
+            "  {:>4} {:>6} {:>5} {:>11.4} {:>8.4} {:>13} {:>7.0}",
+            r.k, r.rounds, r.bandwidth, r.estimate, r.noise_floor, r.samples, r.wall_ms
         );
     }
 }
