@@ -3,9 +3,13 @@
 //! Appendix B active subgraph, and the transcript-key sort at the heart
 //! of the sampled estimator (comparison sort vs the LSD radix sort).
 
+use bcc_bench::walk_fixtures::{intersect_fixture, shared_family};
 use bcc_congest::FnProtocol;
-use bcc_core::{exact_comparison, radix_sort_u64, ProductInput};
-use bcc_f2::{gauss, BitMatrix, BitVec};
+use bcc_core::{
+    exact_comparison, exact_mixture_comparison_mode, exact_mixture_comparison_reference,
+    radix_sort_u64, ExecMode, ProductInput,
+};
+use bcc_f2::{gauss, BitMatrix, BitVec, ConsistentSet};
 use bcc_graphs::clique::max_clique;
 use bcc_graphs::digraph::UGraph;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -49,6 +53,78 @@ fn bench_engine_walk(c: &mut Criterion) {
     c.bench_function("engine_walk_4proc_8turns", |bch| {
         bch.iter(|| exact_comparison(&proto, std::hint::black_box(&a), &b))
     });
+}
+
+/// A decomposition-family walk in the shape the paper produces: members
+/// differ from the baseline in one planted row and share every other
+/// row's `Arc` (`ProductInput::with_row`), over a moderately expensive
+/// parity protocol. "seed" partitions by evaluating the protocol per
+/// node for every distribution; "label_planes" evaluates once per shared
+/// support row per node and splits with word-parallel plane ops — the
+/// before/after of the partition overhaul.
+fn bench_walk_partition(c: &mut Criterion) {
+    let proto = FnProtocol::new(4, 8, 10, |proc, input, tr| {
+        let mask = 0xB5u64 ^ tr.as_u64() ^ ((proc as u64) << 2);
+        (input & mask).count_ones() % 2 == 1
+    });
+    let (members, baseline) = shared_family(4, 8, 6);
+    let mut group = c.benchmark_group("walk_partition");
+    group.bench_function("seed/6members_10turns", |b| {
+        b.iter(|| {
+            exact_mixture_comparison_reference(
+                &proto,
+                std::hint::black_box(&members),
+                &baseline,
+                ExecMode::Sequential,
+            )
+        })
+    });
+    group.bench_function("label_planes/6members_10turns", |b| {
+        b.iter(|| {
+            exact_mixture_comparison_mode(
+                &proto,
+                std::hint::black_box(&members),
+                &baseline,
+                ExecMode::Sequential,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Dense-vs-sparse consistent-set intersection at huge-support scale: a
+/// 2^17-point universe with 512 live points, filtered by a label plane.
+/// The dense side pays `O(universe/64)` words per split; the sparse side
+/// pays `O(live)` — the price-by-occupancy argument, measured.
+fn bench_consistent_intersect(c: &mut Criterion) {
+    let universe = 1usize << 17;
+    let live = 512usize;
+    // The sparse hybrid set vs the same occupancy forced dense (as the
+    // seed representation kept it), split by one random label plane.
+    let fx = intersect_fixture(universe, live, bcc_bench::SEED);
+    let (plane, sparse, mask) = (fx.plane, fx.sparse, fx.mask);
+    let mut group = c.benchmark_group("consistent_intersect");
+    group.throughput(Throughput::Elements(live as u64));
+    group.bench_function("dense_mask/2e17universe_512live", |b| {
+        let mut out = BitVec::zeros(universe);
+        b.iter(|| {
+            // alive AND plane + popcount, the seed walk's split cost.
+            out = mask.clone();
+            let mut count = 0usize;
+            for (w, &p) in out.as_words().iter().zip(&plane) {
+                count += (w & p).count_ones() as usize;
+            }
+            std::hint::black_box(count)
+        })
+    });
+    group.bench_function("sparse_indices/2e17universe_512live", |b| {
+        let mut out = ConsistentSet::empty(universe);
+        b.iter(|| {
+            out.assign_filtered(std::hint::black_box(&sparse), &plane, true);
+            std::hint::black_box(out.count())
+        })
+    });
+    group.finish();
 }
 
 fn bench_transcript_sort(c: &mut Criterion) {
@@ -111,6 +187,8 @@ criterion_group!(
     bench_prg_expand,
     bench_rank,
     bench_engine_walk,
+    bench_walk_partition,
+    bench_consistent_intersect,
     bench_transcript_sort,
     bench_max_clique
 );

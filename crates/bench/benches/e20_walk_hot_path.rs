@@ -1,0 +1,272 @@
+//! E20 (extension) — the exact-walk hot path, measured.
+//!
+//! The walk overhaul (per-speaker label planes, pooled zero-allocation
+//! workspace, hybrid dense/sparse consistent sets) promises measured
+//! wins, not vibes. This bench times the before/after pairs —
+//!
+//! * **partition**: a decomposition-family walk whose members share
+//!   every unplanted row's `Arc` with the baseline, seed walk vs label
+//!   planes (both engines);
+//! * **intersect**: one consistent-set split at 2^17-point support with
+//!   512 live points, dense mask vs sparse index list;
+//! * **huge-support**: the 2^18-support/16-live-point walk only the
+//!   sparse path can price sanely (the seed walk is not run here — its
+//!   projected cost is reported instead);
+//!
+//! — and persists everything to `BENCH_walk.json` (override the path
+//! with `BCC_BENCH_WALK_OUT`), so the perf trajectory of the walk has
+//! machine-readable data from PR to PR. `--smoke` shrinks the workloads
+//! for CI but still exercises every scenario and writes the file.
+
+use std::time::Instant;
+
+use bcc_bench::walk_fixtures::{intersect_fixture, shared_family};
+use bcc_bench::{banner, f, print_table};
+use bcc_congest::wide::FnWideProtocol;
+use bcc_congest::FnProtocol;
+use bcc_core::{
+    exact_mixture_comparison_mode, exact_mixture_comparison_reference, exact_wide_comparison_mode,
+    exact_wide_comparison_reference, ExecMode, ProductInput, RowSupport,
+};
+use bcc_f2::ConsistentSet;
+
+/// One measured scenario: mean wall-clock nanoseconds per iteration.
+struct Measurement {
+    name: &'static str,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Times `routine` for at least `min_iters` iterations and ~`budget_ms`
+/// of wall clock, after one warmup call.
+fn measure<T>(
+    name: &'static str,
+    min_iters: u64,
+    budget_ms: u64,
+    mut routine: impl FnMut() -> T,
+) -> Measurement {
+    std::hint::black_box(routine());
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < min_iters || (start.elapsed() < budget) {
+        std::hint::black_box(routine());
+        iters += 1;
+    }
+    Measurement {
+        name,
+        ns_per_iter: start.elapsed().as_secs_f64() * 1e9 / iters as f64,
+        iters,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Names are static identifiers; just assert they need no escaping.
+    assert!(s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || "_-./".contains(c)));
+    s
+}
+
+fn write_json(
+    path: &str,
+    smoke: bool,
+    measurements: &[Measurement],
+    speedups: &[(&str, f64)],
+    notes: &[(&str, String)],
+) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bcc-bench-walk/v1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+            json_escape_free(m.name),
+            m.ns_per_iter,
+            m.iters,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {:.2}",
+            if i == 0 { "" } else { ", " },
+            json_escape_free(name),
+            x
+        ));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"notes\": {");
+    for (i, (name, value)) in notes.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": \"{}\"",
+            if i == 0 { "" } else { ", " },
+            json_escape_free(name),
+            value
+        ));
+    }
+    out.push_str("}\n}\n");
+    std::fs::write(path, out).expect("write BENCH_walk.json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--test");
+    banner(
+        "E20 (extension): exact-walk hot path",
+        "perf",
+        "label planes + pooled workspace + hybrid sets vs the seed walk, measured",
+    );
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let budget: u64 = if smoke { 40 } else { 400 };
+
+    // -- partition: bit engine, Arc-sharing decomposition family --------
+    let (members, baseline) = shared_family(4, 8, if smoke { 3 } else { 6 });
+    let horizon = if smoke { 8 } else { 10 };
+    let proto = FnProtocol::new(4, 8, horizon, |proc, input, tr| {
+        let mask = 0xB5u64 ^ tr.as_u64() ^ ((proc as u64) << 2);
+        (input & mask).count_ones() % 2 == 1
+    });
+    let seed_bit = measure("bit_walk/seed", 3, budget, || {
+        exact_mixture_comparison_reference(&proto, &members, &baseline, ExecMode::Sequential)
+    });
+    let new_bit = measure("bit_walk/overhauled", 3, budget, || {
+        exact_mixture_comparison_mode(&proto, &members, &baseline, ExecMode::Sequential)
+    });
+    // Sanity: the two walks must agree exactly before their times mean
+    // anything.
+    {
+        let a =
+            exact_mixture_comparison_reference(&proto, &members, &baseline, ExecMode::Sequential);
+        let b = exact_mixture_comparison_mode(&proto, &members, &baseline, ExecMode::Sequential);
+        assert_eq!(a.tv().to_bits(), b.tv().to_bits(), "walks disagree");
+    }
+    let partition_speedup = seed_bit.ns_per_iter / new_bit.ns_per_iter;
+
+    // -- partition: wide engine ----------------------------------------
+    let (wmembers, wbaseline) = shared_family(3, 8, if smoke { 2 } else { 4 });
+    let wproto = FnWideProtocol::new(3, 8, 2, if smoke { 4 } else { 5 }, |proc, input, tr| {
+        let mask = 0x6Du64 ^ tr.as_u64() ^ (proc as u64);
+        ((input & mask).count_ones() % 2) as u64 * 2 + ((input >> tr.len()) & 1)
+    });
+    let seed_wide = measure("wide_walk/seed", 3, budget, || {
+        exact_wide_comparison_reference(&wproto, &wmembers, &wbaseline, ExecMode::Sequential)
+    });
+    let new_wide = measure("wide_walk/overhauled", 3, budget, || {
+        exact_wide_comparison_mode(&wproto, &wmembers, &wbaseline, ExecMode::Sequential)
+    });
+    let wide_speedup = seed_wide.ns_per_iter / new_wide.ns_per_iter;
+
+    // -- intersect: dense mask vs sparse index list --------------------
+    let universe = 1usize << 17;
+    let live = 512usize;
+    let fx = intersect_fixture(universe, live, bcc_bench::SEED);
+    let (plane, sparse, mask) = (fx.plane, fx.sparse, fx.mask);
+    let dense_time = measure("intersect/dense_mask", 64, budget, || {
+        let out = mask.clone();
+        let mut count = 0usize;
+        for (w, &p) in out.as_words().iter().zip(&plane) {
+            count += (w & p).count_ones() as usize;
+        }
+        count
+    });
+    let mut out_set = ConsistentSet::empty(universe);
+    let sparse_time = measure("intersect/sparse_indices", 64, budget, || {
+        out_set.assign_filtered(&sparse, &plane, true);
+        out_set.count()
+    });
+    let intersect_speedup = dense_time.ns_per_iter / sparse_time.ns_per_iter;
+
+    // -- huge support, tiny alive: only the sparse path is priced sanely
+    let hbits: u32 = if smoke { 14 } else { 18 };
+    let hhorizon: u32 = if smoke { 10 } else { 14 };
+    let hproto = FnProtocol::new(1, hbits, hhorizon, |_, input, tr| {
+        (input >> tr.len()) & 1 == 1
+    });
+    let ha = ProductInput::new(vec![RowSupport::explicit(hbits, (0..16).collect())]);
+    let hbase = ProductInput::uniform(1, hbits);
+    let huge = measure("huge_support/overhauled_only", 1, budget, || {
+        exact_mixture_comparison_mode(
+            &hproto,
+            std::slice::from_ref(&ha),
+            &hbase,
+            ExecMode::Sequential,
+        )
+    });
+    // What the dense representation would pay per node regardless of
+    // occupancy: words touched across the full live tree.
+    let dense_words_projected = (1u64 << (hhorizon + 1)) * (1u64 << hbits) / 64 * 2;
+
+    for m in [
+        seed_bit,
+        new_bit,
+        seed_wide,
+        new_wide,
+        dense_time,
+        sparse_time,
+        huge,
+    ] {
+        measurements.push(m);
+    }
+
+    println!();
+    print_table(
+        &["scenario", "ns/iter", "iters"],
+        &measurements
+            .iter()
+            .map(|m| {
+                vec![
+                    m.name.to_string(),
+                    format!("{:.1}", m.ns_per_iter),
+                    m.iters.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    print_table(
+        &["speedup", "x"],
+        &[
+            vec!["partition (bit engine)".into(), f(partition_speedup)],
+            vec!["partition (wide engine)".into(), f(wide_speedup)],
+            vec!["intersect (dense vs sparse)".into(), f(intersect_speedup)],
+        ],
+    );
+
+    // Default to the workspace root (cargo bench runs in crates/bench)
+    // so the committed baseline is where readers look for it.
+    let path = std::env::var("BCC_BENCH_WALK_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_walk.json").into());
+    write_json(
+        &path,
+        smoke,
+        &measurements,
+        &[
+            ("partition_bit", partition_speedup),
+            ("partition_wide", wide_speedup),
+            ("intersect", intersect_speedup),
+        ],
+        &[
+            (
+                "huge_support_case",
+                format!(
+                    "2^{hbits} support, 16 live after turn 0, horizon {hhorizon}; dense pricing would touch ~{dense_words_projected} words"
+                ),
+            ),
+            (
+                "acceptance",
+                "partition and intersect speedups must stay >= 2.0".into(),
+            ),
+        ],
+    );
+
+    assert!(
+        smoke || (partition_speedup >= 2.0 && intersect_speedup >= 2.0),
+        "hot-path speedups regressed below 2x: partition {partition_speedup:.2}, \
+         intersect {intersect_speedup:.2}"
+    );
+}

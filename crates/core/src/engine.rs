@@ -19,28 +19,30 @@
 //! # Execution strategy
 //!
 //! The walk keeps each processor's *consistent set* `D_p^{(t)}` as a
-//! word-parallel [`bcc_f2::BitVec`] mask over that row's support points, so
-//! splitting on a broadcast bit is one pass over the set bits plus an
-//! `AND NOT`, and the set size is a popcount. Trade-off: mask operations
-//! cost `O(support/64)` words per node even when few points remain alive,
-//! where the previous index lists cost `O(|alive|)` — a clear win for the
-//! dense supports the experiments use (≤ 2^12 points), but a sparse-set
-//! representation would serve better if huge supports (2^20+) with tiny
-//! surviving sets ever become a workload (see ROADMAP).
+//! hybrid dense/sparse [`bcc_f2::ConsistentSet`] over that row's support
+//! points: a word-parallel mask while the set is dense — splitting on a
+//! broadcast bit is two `AND`s against a per-node label plane — demoting
+//! to a sorted index list once few points survive, after which every
+//! operation costs `O(live)`. The protocol's bit function is evaluated
+//! once per `(speaker, support row)` per node, shared across every
+//! distribution whose row points at the same `Arc` allocation.
 //!
-//! The walk itself — mask state, the frontier cut at
-//! [`crate::walk::SPLIT_DEPTH`], the deterministic in-frontier-order
-//! reduction that makes [`ExecMode::Parallel`] bitwise identical to
-//! [`ExecMode::Sequential`] — lives in [`crate::walk`] and is shared with
-//! the `BCAST(w)` engine ([`crate::wide`]); this module instantiates it
-//! at branching factor 2. The [`ExecMode`]-taking entry point is what
-//! [`crate::exec::ExactEstimator`] wraps.
+//! The walk itself — alive-set state, label planes, the pooled
+//! zero-allocation workspace, the frontier cut at the adaptive
+//! [`crate::walk::adaptive_split_depth`], the deterministic
+//! in-frontier-order reduction that makes [`ExecMode::Parallel`] bitwise
+//! identical to [`ExecMode::Sequential`] — lives in [`crate::walk`] and
+//! is shared with the `BCAST(w)` engine ([`crate::wide`]); this module
+//! instantiates it at branching factor 2. The [`ExecMode`]-taking entry
+//! point is what [`crate::exec::ExactEstimator`] wraps. The seed
+//! implementation is retained behind
+//! [`exact_mixture_comparison_reference`] as a differential-testing
+//! oracle.
 
 use bcc_congest::{TurnProtocol, TurnTranscript};
-use bcc_f2::BitVec;
 
 use crate::input::ProductInput;
-use crate::walk::{exact_walk, Branching};
+use crate::walk::{adaptive_split_depth, exact_walk, reference, Branching, WalkOutcome};
 
 pub use crate::walk::{ExecMode, FRACTION_THRESHOLDS, SPLIT_DEPTH};
 
@@ -189,9 +191,38 @@ pub fn exact_mixture_comparison_mode<P: TurnProtocol + Sync + ?Sized>(
         }
     }
 
-    let t_len = horizon as usize;
     let acc = exact_walk(&BitBranching { protocol }, members, baseline, mode);
+    assemble(protocol, horizon, acc)
+}
 
+/// [`exact_mixture_comparison_mode`] computed by the retained **seed**
+/// walk ([`crate::walk::reference`]): per-node protocol evaluation for
+/// every distribution, per-node mask allocation, no hybrid sets. Exists
+/// as the differential-testing oracle and the before-side of the
+/// hot-path benchmarks; results are bitwise identical to the optimized
+/// walk (property-tested).
+///
+/// # Panics
+///
+/// As [`exact_mixture_comparison`].
+pub fn exact_mixture_comparison_reference<P: TurnProtocol + Sync + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    mode: ExecMode,
+) -> MixtureComparison {
+    let horizon = protocol.horizon();
+    assert!(horizon <= 26, "exact walk limited to 26 turns (2^T nodes)");
+    let acc = reference::exact_walk(&BitBranching { protocol }, members, baseline, mode);
+    assemble(protocol, horizon, acc)
+}
+
+fn assemble<P: TurnProtocol + ?Sized>(
+    protocol: &P,
+    horizon: u32,
+    acc: WalkOutcome,
+) -> MixtureComparison {
+    let t_len = horizon as usize;
     MixtureComparison {
         horizon,
         mixture_tv_by_depth: acc.mixture_tv_by_depth,
@@ -208,7 +239,7 @@ pub fn exact_mixture_comparison_mode<P: TurnProtocol + Sync + ?Sized>(
 }
 
 /// The bit model as a [`Branching`] process: two labels per turn, the
-/// speaker's set split by the broadcast bit in one pass plus an `AND NOT`.
+/// speaker's live points labelled by the broadcast bit in one table scan.
 struct BitBranching<'a, P: ?Sized> {
     protocol: &'a P,
 }
@@ -233,7 +264,11 @@ impl<P: TurnProtocol + Sync + ?Sized> Branching for BitBranching<'_, P> {
     }
 
     fn split_depth(&self) -> u32 {
-        SPLIT_DEPTH
+        adaptive_split_depth(1)
+    }
+
+    fn binary(&self) -> bool {
+        true
     }
 
     fn root(&self) -> TurnTranscript {
@@ -244,28 +279,18 @@ impl<P: TurnProtocol + Sync + ?Sized> Branching for BitBranching<'_, P> {
         prefix.child(label == 1)
     }
 
-    fn partition(
+    fn eval_labels(
         &self,
         speaker: usize,
         points: &[u64],
-        alive: &BitVec,
+        live: &[u32],
         prefix: &TurnTranscript,
-    ) -> Vec<(u64, BitVec)> {
-        let mut ones = BitVec::zeros(points.len());
-        for idx in alive.iter_ones() {
-            if self.protocol.bit(speaker, points[idx], prefix) {
-                ones.set(idx, true);
-            }
-        }
-        let zeros = alive.and_not(&ones);
-        let mut parts = Vec::with_capacity(2);
-        if zeros.count_ones() > 0 {
-            parts.push((0u64, zeros));
-        }
-        if ones.count_ones() > 0 {
-            parts.push((1u64, ones));
-        }
-        parts
+        out: &mut Vec<u64>,
+    ) {
+        out.extend(
+            live.iter()
+                .map(|&idx| u64::from(self.protocol.bit(speaker, points[idx as usize], prefix))),
+        );
     }
 }
 #[cfg(test)]

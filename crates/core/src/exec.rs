@@ -43,7 +43,7 @@ use rayon::prelude::*;
 use crate::engine::{exact_mixture_comparison_mode, SpeakerStats};
 use crate::input::ProductInput;
 use crate::sample::{
-    collect_sorted_keys, radix_sort_u64, sorted_support_union, sorted_tv_at_depth,
+    collect_sorted_keys, merge_sorted_u64, radix_sort_u64, sorted_support_union, sorted_tv_at_depth,
 };
 use crate::wide::exact_wide_comparison_mode;
 
@@ -483,7 +483,7 @@ impl Estimator for SampledEstimator {
             );
             keys
         };
-        let mut side_keys: Vec<Vec<u64>> = match self.mode {
+        let side_keys: Vec<Vec<u64>> = match self.mode {
             ExecMode::Parallel => (0..=m)
                 .collect::<Vec<_>>()
                 .into_par_iter()
@@ -491,67 +491,81 @@ impl Estimator for SampledEstimator {
                 .collect(),
             ExecMode::Sequential => (0..=m).map(sample_side).collect(),
         };
-        let base_keys = side_keys.remove(0);
+        let member_refs: Vec<&[u64]> = side_keys[1..].iter().map(Vec::as_slice).collect();
+        profile_from_sorted_sides(horizon, samples, &side_keys[0], &member_refs)
+    }
+}
 
-        let depths = horizon as usize + 1;
-        let side_weight = 1.0 / samples as f64;
-        let mut progress_by_depth = vec![0.0; depths];
-        let mut per_member_tv = Vec::with_capacity(m);
-        let mut mixture_keys: Vec<u64> = Vec::with_capacity(m * samples);
-        for mut member_keys in side_keys {
-            let mut member_final_tv = 0.0;
-            for (t, slot) in progress_by_depth.iter_mut().enumerate() {
-                let tv = sorted_tv_at_depth(
-                    &member_keys,
-                    &base_keys,
-                    side_weight,
-                    side_weight,
-                    t as u32,
-                );
-                *slot += tv / m as f64;
-                member_final_tv = tv;
-            }
-            per_member_tv.push(member_final_tv);
-            mixture_keys.append(&mut member_keys);
+/// Reads a whole [`DepthProfile`] off per-side *sorted* prefix-key
+/// arrays — the shared back half of [`SampledEstimator`] and
+/// [`AdaptiveEstimator`]. The profile is a pure function of the sorted
+/// arrays, so a one-shot sort and an incremental chunk-merge that reach
+/// the same multiset of keys produce bitwise-identical profiles.
+fn profile_from_sorted_sides(
+    horizon: u32,
+    samples: usize,
+    base_keys: &[u64],
+    member_keys: &[&[u64]],
+) -> DepthProfile {
+    let m = member_keys.len();
+    let depths = horizon as usize + 1;
+    let side_weight = 1.0 / samples as f64;
+    let mut progress_by_depth = vec![0.0; depths];
+    let mut per_member_tv = Vec::with_capacity(m);
+    let mut mixture_keys: Vec<u64> = Vec::with_capacity(m * samples);
+    for keys in member_keys {
+        let mut member_final_tv = 0.0;
+        for (t, slot) in progress_by_depth.iter_mut().enumerate() {
+            let tv = sorted_tv_at_depth(keys, base_keys, side_weight, side_weight, t as u32);
+            *slot += tv / m as f64;
+            member_final_tv = tv;
         }
-        radix_sort_u64(&mut mixture_keys);
+        per_member_tv.push(member_final_tv);
+        mixture_keys.extend_from_slice(keys);
+    }
+    radix_sort_u64(&mut mixture_keys);
 
-        let mixture_weight = 1.0 / (m * samples) as f64;
-        let mixture_tv_by_depth: Vec<f64> = (0..depths)
-            .map(|t| {
-                sorted_tv_at_depth(
-                    &mixture_keys,
-                    &base_keys,
-                    mixture_weight,
-                    side_weight,
-                    t as u32,
-                )
-            })
-            .collect();
-        let support_seen = sorted_support_union(&mixture_keys, &base_keys);
+    let mixture_weight = 1.0 / (m * samples) as f64;
+    let mixture_tv_by_depth: Vec<f64> = (0..depths)
+        .map(|t| {
+            sorted_tv_at_depth(
+                &mixture_keys,
+                base_keys,
+                mixture_weight,
+                side_weight,
+                t as u32,
+            )
+        })
+        .collect();
+    let support_seen = sorted_support_union(&mixture_keys, base_keys);
 
-        DepthProfile {
-            horizon,
-            mixture_tv_by_depth,
-            progress_by_depth,
-            per_member_tv,
-            speaker_stats: Vec::new(),
-            provenance: Provenance::Sampled {
-                samples_per_side: samples,
-                support_seen,
-            },
-        }
+    DepthProfile {
+        horizon,
+        mixture_tv_by_depth,
+        progress_by_depth,
+        per_member_tv,
+        speaker_stats: Vec::new(),
+        provenance: Provenance::Sampled {
+            samples_per_side: samples,
+            support_seen,
+        },
     }
 }
 
 /// How an [`AdaptiveEstimator`] run spent its budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdaptiveReport {
-    /// Seeded batches run before stopping (each a fresh estimate at a
-    /// larger budget).
+    /// Seeded batches run before stopping (each extends the previous
+    /// batch's sorted keys to a larger budget).
     pub batches: usize,
     /// The per-side budget of the final (returned) estimate.
     pub samples_per_side: usize,
+    /// Transcripts actually simulated per side, summed over all batches.
+    /// Batches merge incrementally, so this always equals
+    /// `samples_per_side` — each transcript is drawn exactly once — where
+    /// a from-scratch re-run per batch would have summed every
+    /// intermediate budget (up to twice the final one).
+    pub samples_drawn: usize,
     /// Whether the final noise floor met the requested tolerance (when
     /// `false`, the hard cap stopped the growth first).
     pub met_tolerance: bool,
@@ -560,17 +574,25 @@ pub struct AdaptiveReport {
 /// Monte-Carlo estimation that grows its sample budget until the noise
 /// floor meets a tolerance, as an [`Estimator`].
 ///
-/// Runs a [`SampledEstimator`] in seeded batches of geometrically growing
-/// budget — starting at `initial_samples`, at least doubling each batch,
-/// and jumping straight to the budget the observed support projects
+/// Samples in seeded batches of geometrically growing budget — starting
+/// at `initial_samples`, at least doubling each batch, and jumping
+/// straight to the budget the observed support projects
 /// (`support_seen / tolerance²`) when that is larger — until
 /// [`DepthProfile::noise_floor`] is at most `tolerance` or the budget
-/// reaches `max_samples_per_side`. Every batch reuses the same root seed,
-/// so the returned profile is **bitwise identical** to a one-shot
-/// [`SampledEstimator`] at the final budget: an adaptive run is exactly
-/// reproducible from its recorded sample count, which is what lets
-/// `bcc-lab` resume interrupted sweeps bit-for-bit. Geometric growth
-/// bounds the total work at roughly twice the final batch.
+/// reaches `max_samples_per_side`.
+///
+/// Batches are **incremental**: every side keeps its ChaCha stream and
+/// its sorted key array alive across batches, a grown budget draws only
+/// the *delta* of new transcripts, sorts that chunk, and merges it into
+/// the side's keys (`O(total)` two-pointer merge). Total simulation work
+/// is therefore exactly one × the final budget — each transcript is
+/// drawn once — where the previous from-scratch re-runs summed every
+/// intermediate budget (≤ 2× final). Because the continued stream draws
+/// the same sample sequence a one-shot run would, the returned profile
+/// is still **bitwise identical** to a one-shot [`SampledEstimator`] at
+/// the final budget: an adaptive run is exactly reproducible from its
+/// recorded sample count, which is what lets `bcc-lab` resume
+/// interrupted sweeps bit-for-bit.
 ///
 /// Big sweeps spend samples only where they are needed: a point whose
 /// distances resolve at the first budget stops immediately, while a point
@@ -629,22 +651,74 @@ impl AdaptiveEstimator {
         baseline: &ProductInput,
         horizon: u32,
     ) -> (DepthProfile, AdaptiveReport) {
+        assert!(!members.is_empty(), "need at least one family member");
+        assert!(
+            horizon <= protocol.horizon(),
+            "horizon {horizon} beyond the protocol's {}",
+            protocol.horizon()
+        );
+        // Re-checked here because the fields are public (mirrors the
+        // constructor's validation).
+        assert!(
+            self.initial_samples > 0,
+            "need at least one sample per side"
+        );
+        assert!(
+            self.max_samples_per_side >= self.initial_samples,
+            "cap {} below the initial budget {}",
+            self.max_samples_per_side,
+            self.initial_samples
+        );
+        let truncated = Truncated {
+            inner: protocol,
+            horizon,
+        };
+        let m = members.len();
+
+        // One persistent sampler per side: the ChaCha stream and the
+        // sorted keys survive across batches, so batch b only simulates
+        // the (budget_b − budget_{b−1}) new transcripts and merges them
+        // in. The continued stream yields exactly the sample sequence a
+        // one-shot run at the final budget would draw.
+        let mut sides: Vec<SideSampler> = (0..=m)
+            .map(|side| SideSampler::new(derive_seed(self.seed, side as u64)))
+            .collect();
+
         let mut samples = self.initial_samples.min(self.max_samples_per_side);
         let mut batches = 0usize;
+        let mut drawn = 0usize;
         loop {
             batches += 1;
-            let est = SampledEstimator {
-                samples_per_side: samples,
-                seed: self.seed,
-                mode: self.mode,
+            let delta = samples.saturating_sub(drawn);
+            let extend = |(side, mut sampler): (usize, SideSampler)| -> SideSampler {
+                let input = if side == 0 {
+                    baseline
+                } else {
+                    &members[side - 1]
+                };
+                sampler.extend(&truncated, input, delta);
+                sampler
             };
-            let profile = est.estimate(protocol, members, baseline, horizon);
+            let indexed: Vec<(usize, SideSampler)> = sides.into_iter().enumerate().collect();
+            sides = match self.mode {
+                ExecMode::Parallel => indexed.into_par_iter().map(extend).collect(),
+                ExecMode::Sequential => indexed.into_iter().map(extend).collect(),
+            };
+            drawn = samples;
+
+            let member_refs: Vec<&[u64]> = sides[1..].iter().map(|s| s.keys.as_slice()).collect();
+            let profile = profile_from_sorted_sides(horizon, samples, &sides[0].keys, &member_refs);
             let floor = profile.noise_floor();
             let met = floor <= self.tolerance;
             if met || samples >= self.max_samples_per_side {
                 let report = AdaptiveReport {
                     batches,
                     samples_per_side: samples,
+                    // Measured inside the samplers (each counts the
+                    // transcripts it actually simulated), not derived
+                    // from the budget — so a regression to re-drawing
+                    // earlier samples per batch would show up here.
+                    samples_drawn: sides[0].drawn,
                     met_tolerance: met,
                 };
                 return (profile, report);
@@ -664,6 +738,54 @@ impl AdaptiveEstimator {
                 .max(projected)
                 .min(self.max_samples_per_side);
         }
+    }
+}
+
+/// One side's persistent sampling state across adaptive batches: its
+/// derived ChaCha stream, its accumulated sorted keys, and reusable
+/// chunk/merge buffers.
+struct SideSampler {
+    rng: ChaCha12Rng,
+    keys: Vec<u64>,
+    chunk: Vec<u64>,
+    scratch: Vec<u64>,
+    /// Transcripts this side has actually simulated, counted at the
+    /// draw site ([`AdaptiveReport::samples_drawn`]'s source of truth).
+    drawn: usize,
+}
+
+impl SideSampler {
+    fn new(seed: u64) -> Self {
+        SideSampler {
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            keys: Vec::new(),
+            chunk: Vec::new(),
+            scratch: Vec::new(),
+            drawn: 0,
+        }
+    }
+
+    /// Draws `delta` more transcripts from the continued stream, sorts
+    /// the chunk, and merges it into the sorted keys.
+    fn extend<P: TurnProtocol + Sync + ?Sized>(
+        &mut self,
+        protocol: &P,
+        input: &ProductInput,
+        delta: usize,
+    ) {
+        if delta == 0 {
+            return;
+        }
+        collect_sorted_keys(
+            protocol,
+            |r| input.sample(r),
+            delta,
+            &mut self.rng,
+            &mut self.chunk,
+        );
+        self.drawn += self.chunk.len();
+        merge_sorted_u64(&self.keys, &self.chunk, &mut self.scratch);
+        std::mem::swap(&mut self.keys, &mut self.scratch);
     }
 }
 
@@ -897,6 +1019,62 @@ mod tests {
         // Growth is geometric (with projection jumps), so the batch count
         // stays logarithmic in cap/initial.
         assert!(report.batches <= 4, "batches: {}", report.batches);
+    }
+
+    #[test]
+    fn adaptive_incremental_work_is_one_x_final_budget() {
+        // Force several batches (unreachable tolerance, cap binds): the
+        // incremental merge must have simulated each transcript exactly
+        // once — total draws equal the final budget, not the sum of all
+        // intermediate budgets — while the profile stays bitwise the
+        // one-shot run at that budget.
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let adaptive = AdaptiveEstimator::new(1e-9, 64, 2048, 0xFEED);
+        let (profile, report) = adaptive.estimate_with_report(&p, &members, &baseline, 6);
+        assert!(report.batches > 1, "want a multi-batch run: {report:?}");
+        assert_eq!(report.samples_per_side, 2048);
+        assert_eq!(
+            report.samples_drawn, report.samples_per_side,
+            "incremental batches must not re-simulate earlier samples"
+        );
+        let one_shot = SampledEstimator::new(2048, 0xFEED).estimate_full(&p, &members, &baseline);
+        for t in 0..profile.mixture_tv_by_depth.len() {
+            assert_eq!(
+                profile.mixture_tv_by_depth[t].to_bits(),
+                one_shot.mixture_tv_by_depth[t].to_bits(),
+                "depth {t}"
+            );
+            assert_eq!(
+                profile.progress_by_depth[t].to_bits(),
+                one_shot.progress_by_depth[t].to_bits(),
+                "depth {t}"
+            );
+        }
+        assert_eq!(profile.per_member_tv, one_shot.per_member_tv);
+        assert_eq!(profile.provenance, one_shot.provenance);
+    }
+
+    #[test]
+    fn adaptive_incremental_parallel_matches_sequential_bitwise() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let par = AdaptiveEstimator::new(1e-9, 50, 1600, 21);
+        let seq = AdaptiveEstimator {
+            mode: ExecMode::Sequential,
+            ..par
+        };
+        let (pp, rp) = par.estimate_with_report(&p, &members, &baseline, 6);
+        let (sp, rs) = seq.estimate_with_report(&p, &members, &baseline, 6);
+        assert_eq!(rp, rs);
+        for t in 0..pp.mixture_tv_by_depth.len() {
+            assert_eq!(
+                pp.mixture_tv_by_depth[t].to_bits(),
+                sp.mixture_tv_by_depth[t].to_bits(),
+                "depth {t}"
+            );
+        }
+        assert_eq!(pp.per_member_tv, sp.per_member_tv);
     }
 
     #[test]

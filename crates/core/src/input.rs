@@ -149,6 +149,29 @@ impl ProductInput {
         ProductInput::repeated(RowSupport::uniform(bits), n)
     }
 
+    /// This input with processor `i`'s support replaced by `row` — every
+    /// *other* row still shares its `Arc` allocation with `self`.
+    ///
+    /// This is the natural constructor for decomposition families whose
+    /// members differ from the baseline in a few planted rows: the
+    /// shared rows cost reference counts, and the exact walk evaluates
+    /// the protocol on them once per node for the whole family (its
+    /// label planes key on `Arc` identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn with_row(&self, i: usize, row: RowSupport) -> ProductInput {
+        assert!(
+            i < self.rows.len(),
+            "row {i} out of range {}",
+            self.rows.len()
+        );
+        let mut rows = self.rows.clone();
+        rows[i] = Arc::new(row);
+        ProductInput { rows }
+    }
+
     /// The number of processors.
     pub fn n(&self) -> usize {
         self.rows.len()

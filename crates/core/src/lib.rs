@@ -45,8 +45,8 @@ pub mod wide;
 pub mod yao;
 
 pub use engine::{
-    exact_comparison, exact_mixture_comparison, exact_mixture_comparison_mode, ExactComparison,
-    ExecMode, MixtureComparison,
+    exact_comparison, exact_mixture_comparison, exact_mixture_comparison_mode,
+    exact_mixture_comparison_reference, ExactComparison, ExecMode, MixtureComparison,
 };
 pub use exec::{
     derive_seed, AdaptiveEstimator, AdaptiveReport, DepthProfile, Estimator, ExactEstimator,
@@ -54,7 +54,8 @@ pub use exec::{
 };
 pub use input::{ProductInput, RowSupport};
 pub use sample::{radix_sort_u64, sampled_comparison, sampled_comparison_with, TranscriptArena};
+pub use walk::{adaptive_split_depth, split_depth_for_threads, MAX_SPLIT_DEPTH, SPLIT_DEPTH};
 pub use wide::{
-    exact_wide_comparison, exact_wide_comparison_mode, wide_walk_nodes, WideComparison,
-    MAX_WIDE_NODES,
+    exact_wide_comparison, exact_wide_comparison_mode, exact_wide_comparison_reference,
+    wide_walk_nodes, WideComparison, MAX_WIDE_NODES,
 };

@@ -69,6 +69,29 @@ pub(crate) fn collect_sorted_keys<P, R, F>(
     radix_sort_u64(out);
 }
 
+/// Merges two sorted key arrays into `out` (cleared first), preserving
+/// duplicates — the incremental half of the adaptive estimator: a grown
+/// budget merges its freshly sorted batch into the keys already drawn
+/// instead of re-sampling and re-sorting from scratch.
+pub(crate) fn merge_sorted_u64(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
 /// Below this length the comparison sort's cache behaviour beats the
 /// counting passes, and the scratch allocation is not worth it.
 const RADIX_CUTOFF: usize = 256;
@@ -433,6 +456,22 @@ mod tests {
         assert!(sorted_tv_at_depth(&a, &a, w, w, 2).abs() < 1e-12);
         assert_eq!(sorted_support_union(&a, &b), 4);
         assert_eq!(sorted_support_union(&a, &a), 2);
+    }
+
+    #[test]
+    fn merge_sorted_matches_concat_and_sort() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(la, lb) in &[(0usize, 0usize), (0, 5), (7, 0), (100, 300), (512, 512)] {
+            let mut a: Vec<u64> = (0..la).map(|_| rng.gen::<u64>() % 50).collect();
+            let mut b: Vec<u64> = (0..lb).map(|_| rng.gen::<u64>() % 50).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            let mut expected = [a.clone(), b.clone()].concat();
+            expected.sort_unstable();
+            let mut out = Vec::new();
+            merge_sorted_u64(&a, &b, &mut out);
+            assert_eq!(out, expected, "lens {la}/{lb}");
+        }
     }
 
     #[test]

@@ -1,0 +1,888 @@
+//! The shared skeleton of the exact transcript walks.
+//!
+//! [`crate::engine`] (the `BCAST(1)` bit engine) and [`crate::wide`] (the
+//! `BCAST(w)` engine) run the *same* algorithm: a depth-first walk of the
+//! turn tree that keeps every processor's consistent set `D_p^{(t)}` as a
+//! hybrid dense/sparse [`bcc_f2::ConsistentSet`] over that row's support
+//! points, splits the speaker's set on the broadcast label at each node,
+//! and weights each child by the surviving fraction. The only per-model
+//! ingredient is how a support point maps to the label it broadcasts —
+//! the [`Branching`] trait — and [`exact_walk`] is the walk itself,
+//! written once.
+//!
+//! # The hot path, layer by layer
+//!
+//! Three coordinated layers keep the inner loop priced by *live*
+//! occupancy rather than nominal capacity:
+//!
+//! 1. **Label planes.** At each node the protocol is evaluated once per
+//!    `(speaker, support row)` — not once per distribution. Rows are
+//!    grouped by `Arc` identity (see [`crate::input::ProductInput`]'s
+//!    shared rows), the protocol is queried over the *union* of the
+//!    group's live points via [`Branching::eval_labels`], and the
+//!    resulting label table is shared by every distribution in the
+//!    group. For the bit model the table becomes a packed bit plane and
+//!    each distribution's split is two word-parallel `AND`s; for the
+//!    wide model it is a per-point message table and each split is one
+//!    bucketing pass over the live set.
+//! 2. **Pooled mask workspace.** Child sets live in per-depth slot
+//!    pools that are reused across sibling nodes, the walk swaps them
+//!    into the alive state for the duration of a subtree (one
+//!    checkpoint/restore per recursion level), and every per-node
+//!    scratch vector (unions, labels, planes, bucket pairs) is reused —
+//!    the steady-state recursion performs **zero heap allocations**
+//!    (pinned by `crates/core/tests/alloc.rs`).
+//! 3. **Hybrid consistent sets.** Sets start dense and demote to sorted
+//!    sparse index lists once their live count falls to the word budget
+//!    ([`bcc_f2::sparse_budget`]), after which every set operation —
+//!    intersect, count, iterate — costs `O(live)`: huge supports
+//!    (2^20+) with tiny surviving sets walk in time proportional to
+//!    what is alive.
+//!
+//! The walk is bitwise identical to the seed implementation, which is
+//! retained verbatim in [`reference`] as the differential-testing
+//! oracle (see `crates/core/tests/prop.rs`).
+//!
+//! # Execution strategy
+//!
+//! For parallelism the tree is cut at a frontier depth
+//! ([`Branching::split_depth`]): the prefix above the frontier is walked
+//! sequentially, every live frontier node becomes an independent subtree
+//! task (the mixture distance needs all members' probabilities *per
+//! node*, so fanning out over subtrees — not just over family members —
+//! is what parallelizes the whole computation), and task results are
+//! reduced **in frontier order**. Floating-point accumulation order is
+//! therefore a function of the tree and the frontier depth alone, never
+//! of thread scheduling: [`ExecMode::Parallel`] and
+//! [`ExecMode::Sequential`] runs of the same walk return
+//! bitwise-identical results, a property pinned by the workspace's
+//! property tests for both engines.
+//!
+//! The frontier depth itself adapts to the rayon pool (see
+//! [`adaptive_split_depth`]): on a single-core machine it is exactly the
+//! historical [`SPLIT_DEPTH`], and it grows with the thread count so
+//! wide machines see enough tasks. Exact results are reproducible across
+//! machines at equal thread counts (pin `RAYON_NUM_THREADS` to compare
+//! across different hardware).
+
+use bcc_f2::ConsistentSet;
+use rayon::prelude::*;
+
+use crate::input::{ProductInput, RowSupport};
+
+pub mod reference;
+
+/// Consistent-set-size thresholds tracked per turn: entry `j` is the
+/// baseline probability that the speaker's surviving support fraction is
+/// below `2^{-j}`.
+pub const FRACTION_THRESHOLDS: usize = 20;
+
+/// The baseline bit-depth at which the exact walk cuts the turn tree
+/// into independent subtree tasks — the value used on a single-core
+/// machine, and the floor of the adaptive depth on larger pools (see
+/// [`split_depth_for_threads`]). A branching-factor-`2^w` walk cuts at
+/// depth `SPLIT_DEPTH / w` (at least 1).
+pub const SPLIT_DEPTH: u32 = 6;
+
+/// The ceiling of the adaptive frontier bit-depth: at most
+/// `2^MAX_SPLIT_DEPTH` subtree tasks fan out however many threads the
+/// pool has, bounding frontier-state memory.
+pub const MAX_SPLIT_DEPTH: u32 = 12;
+
+/// The frontier bit-depth for a pool of `threads` workers, as a pure
+/// function (what [`adaptive_split_depth`] applies to the live pool).
+///
+/// One thread keeps the historical [`SPLIT_DEPTH`] so single-core runs
+/// (CI containers included) are bit-for-bit unchanged from earlier
+/// releases; larger pools get roughly four tasks per worker — enough
+/// slack for dynamic scheduling to absorb unbalanced subtrees — capped
+/// at [`MAX_SPLIT_DEPTH`]. A width-`w` branching divides the bit-depth
+/// by `w` (at least one turn), keeping the task count comparable across
+/// message widths.
+pub fn split_depth_for_threads(threads: usize, width: u32) -> u32 {
+    assert!(width >= 1, "branching width must be at least 1");
+    let bits = if threads <= 1 {
+        SPLIT_DEPTH
+    } else {
+        let want = threads
+            .saturating_mul(4)
+            .next_power_of_two()
+            .trailing_zeros();
+        want.clamp(SPLIT_DEPTH, MAX_SPLIT_DEPTH)
+    };
+    (bits / width).max(1)
+}
+
+/// The frontier depth adapted to the current rayon pool:
+/// [`split_depth_for_threads`] at [`rayon::current_num_threads`].
+///
+/// Both engines derive their [`Branching::split_depth`] from this, so a
+/// width-1 wide walk and a bit walk still cut identical frontiers (the
+/// cross-engine bitwise property relies on that). Parallel and
+/// sequential runs inside one process always agree bitwise; to compare
+/// exact outputs across machines with different core counts, pin
+/// `RAYON_NUM_THREADS`.
+pub fn adaptive_split_depth(width: u32) -> u32 {
+    split_depth_for_threads(rayon::current_num_threads(), width)
+}
+
+/// How an exact walk executes its subtree tasks. Both modes produce
+/// bitwise-identical results (see the module docs); `Sequential` exists
+/// for measuring parallel speedup and for pinning determinism in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fan subtree tasks out over the rayon thread pool.
+    #[default]
+    Parallel,
+    /// Run every subtree task on the calling thread, in frontier order.
+    Sequential,
+}
+
+/// A turn protocol viewed as a branching process over transcript
+/// prefixes: the per-model half of an exact walk.
+///
+/// The model's entire job is [`Branching::eval_labels`]: mapping support
+/// points to the labels they broadcast after a prefix. The walk core
+/// owns everything else — alive-set state, label planes, partitioning,
+/// the frontier cut — so the per-point protocol query is issued exactly
+/// once per `(speaker row, live union point)` per node, deduplicated
+/// across distributions that share the row.
+pub trait Branching: Sync {
+    /// The transcript-prefix state threaded down the walk.
+    type Prefix: Clone + Send + Sync;
+
+    /// The number of processors.
+    fn n(&self) -> usize;
+
+    /// Input bits per processor.
+    fn input_bits(&self) -> u32;
+
+    /// The number of turns.
+    fn horizon(&self) -> u32;
+
+    /// The processor speaking at turn `t`.
+    fn speaker(&self, t: u32) -> usize;
+
+    /// The depth of the frontier cut. Must not depend on thread
+    /// scheduling (both execution modes of one walk must cut the same
+    /// frontier); deriving it from the pool size via
+    /// [`adaptive_split_depth`] is the expected implementation.
+    fn split_depth(&self) -> u32;
+
+    /// Whether every label is `0` or `1`. Binary branchings get the
+    /// packed-bit-plane fast path (word-parallel dense splits).
+    fn binary(&self) -> bool {
+        false
+    }
+
+    /// The empty prefix.
+    fn root(&self) -> Self::Prefix;
+
+    /// `prefix` extended by the branch label `label`.
+    fn extend(&self, prefix: &Self::Prefix, label: u64) -> Self::Prefix;
+
+    /// Appends to `out`, for each listed live point (`live` holds
+    /// ascending indices into `points`), the label the speaker
+    /// broadcasts after `prefix` — one `u64` per index, in order.
+    ///
+    /// This is the only protocol query the walk makes, and it is made
+    /// once per shared support row per node; implementations should be
+    /// a straight table-building scan.
+    fn eval_labels(
+        &self,
+        speaker: usize,
+        points: &[u64],
+        live: &[u32],
+        prefix: &Self::Prefix,
+        out: &mut Vec<u64>,
+    );
+}
+
+/// The raw accumulators of one exact walk, before the per-model result
+/// types ([`crate::engine::MixtureComparison`],
+/// [`crate::wide::WideComparison`]) are assembled around them.
+#[derive(Debug, Clone)]
+pub struct WalkOutcome {
+    /// `‖ avg_I P_I^{(t)} − P_base^{(t)} ‖` for `t = 0 ..= horizon`.
+    pub mixture_tv_by_depth: Vec<f64>,
+    /// `L_progress^{(t)} = E_I ‖P_I^{(t)} − P_base^{(t)}‖`.
+    pub progress_by_depth: Vec<f64>,
+    /// Final distance per family member.
+    pub per_member_tv: Vec<f64>,
+    /// `E_{p ∼ P_base^{(t)}} [ |D_p| / |support| ]` per turn.
+    pub mean_fraction: Vec<f64>,
+    /// `mass_below[t][j] = Pr_{p ∼ P_base^{(t)}} [ |D_p|/|support| < 2^{-j} ]`.
+    pub mass_below: Vec<[f64; FRACTION_THRESHOLDS]>,
+}
+
+impl WalkOutcome {
+    fn zeros(t_len: usize, m: usize) -> Self {
+        WalkOutcome {
+            mixture_tv_by_depth: vec![0.0; t_len + 1],
+            progress_by_depth: vec![0.0; t_len + 1],
+            per_member_tv: vec![0.0; m],
+            mean_fraction: vec![0.0; t_len],
+            mass_below: vec![[0.0; FRACTION_THRESHOLDS]; t_len],
+        }
+    }
+
+    fn add(&mut self, other: &WalkOutcome) {
+        let pairs = [
+            (&mut self.mixture_tv_by_depth, &other.mixture_tv_by_depth),
+            (&mut self.progress_by_depth, &other.progress_by_depth),
+            (&mut self.per_member_tv, &other.per_member_tv),
+            (&mut self.mean_fraction, &other.mean_fraction),
+        ];
+        for (dst, src) in pairs {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        for (dst, src) in self.mass_below.iter_mut().zip(&other.mass_below) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+}
+
+/// Exact mixture-vs-baseline walk of `branching`: the full §3 framework
+/// computation, shared by both engines.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or the processor counts / input widths
+/// disagree with the protocol. Node-budget limits are the caller's to
+/// enforce (the walk itself visits only live nodes).
+pub fn exact_walk<B: Branching + ?Sized>(
+    branching: &B,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    mode: ExecMode,
+) -> WalkOutcome {
+    assert!(!members.is_empty(), "need at least one family member");
+    let n = branching.n();
+    for input in members.iter().chain(std::iter::once(baseline)) {
+        assert_eq!(input.n(), n, "processor count mismatch");
+        for row in input.iter_rows() {
+            assert_eq!(row.bits(), branching.input_bits(), "input width mismatch");
+        }
+    }
+
+    let m = members.len();
+    let horizon = branching.horizon();
+    let ctx = Ctx {
+        branching,
+        members,
+        baseline,
+        horizon,
+        split: branching.split_depth().min(horizon),
+        n,
+        m,
+        binary: branching.binary(),
+        groups: row_groups(members, baseline),
+    };
+
+    let mut acc = WalkOutcome::zeros(horizon as usize, m);
+    // Dist-major alive state: dist 0 is the baseline, dist i+1 member i.
+    let ctx_ref = &ctx;
+    let mut state: Vec<ConsistentSet> = (0..=m)
+        .flat_map(|d| (0..n).map(move |row| ConsistentSet::full(ctx_ref.row(d, row).len())))
+        .collect();
+    let mut ws = Workspace::new(horizon);
+
+    // Phase 1: sequential walk of the prefix above the frontier, recording
+    // every live frontier node as an independent task.
+    let mut frontier = Vec::new();
+    let probs = vec![1.0f64; m];
+    walk(
+        &ctx,
+        0,
+        branching.root(),
+        &mut state,
+        &probs,
+        1.0,
+        &mut acc,
+        Some(&mut frontier),
+        &mut ws,
+    );
+
+    // Phase 2: run the subtree tasks. `collect` preserves frontier order
+    // (and chunks are contiguous), so the reduction below adds task
+    // results in a schedule-independent order and the two modes agree
+    // bitwise. Parallel tasks are grouped into small contiguous chunks
+    // sharing one workspace each: pooled buffers warm once per chunk
+    // instead of once per task, while ~4 chunks per worker keep dynamic
+    // scheduling granular enough to absorb unbalanced subtrees.
+    let task_accs: Vec<WalkOutcome> = match mode {
+        ExecMode::Parallel => {
+            let workers = rayon::current_num_threads().max(1);
+            let chunk_len = frontier.len().div_ceil(workers * 4).max(1);
+            let chunks: Vec<Vec<SubtreeTask<B::Prefix>>> = {
+                let mut chunks = Vec::with_capacity(frontier.len().div_ceil(chunk_len));
+                let mut it = frontier.into_iter();
+                loop {
+                    let chunk: Vec<_> = it.by_ref().take(chunk_len).collect();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    chunks.push(chunk);
+                }
+                chunks
+            };
+            chunks
+                .into_par_iter()
+                .map(|chunk| {
+                    let mut task_ws = Workspace::new(ctx.horizon);
+                    chunk
+                        .into_iter()
+                        .map(|task| run_task(&ctx, task, &mut task_ws))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        }
+        ExecMode::Sequential => frontier
+            .into_iter()
+            .map(|task| run_task(&ctx, task, &mut ws))
+            .collect(),
+    };
+    for task_acc in &task_accs {
+        acc.add(task_acc);
+    }
+    acc
+}
+
+/// Distributions whose speaker-row supports share one `Arc` allocation:
+/// the protocol is evaluated once per group per node.
+struct RowGroup {
+    /// Distribution indices (0 = baseline, `i + 1` = member `i`).
+    dists: Vec<usize>,
+}
+
+/// Groups the `m + 1` distributions of every row by `Arc` identity of
+/// their [`RowSupport`]s.
+fn row_groups(members: &[ProductInput], baseline: &ProductInput) -> Vec<Vec<RowGroup>> {
+    let n = baseline.n();
+    let m = members.len();
+    (0..n)
+        .map(|row| {
+            let mut groups: Vec<(*const RowSupport, RowGroup)> = Vec::new();
+            for d in 0..=m {
+                let support: &RowSupport = if d == 0 {
+                    baseline.row(row)
+                } else {
+                    members[d - 1].row(row)
+                };
+                let ptr = support as *const RowSupport;
+                match groups.iter_mut().find(|(p, _)| *p == ptr) {
+                    Some((_, group)) => group.dists.push(d),
+                    None => groups.push((ptr, RowGroup { dists: vec![d] })),
+                }
+            }
+            groups.into_iter().map(|(_, group)| group).collect()
+        })
+        .collect()
+}
+
+/// Shared read-only context of one exact walk.
+struct Ctx<'a, B: ?Sized> {
+    branching: &'a B,
+    members: &'a [ProductInput],
+    baseline: &'a ProductInput,
+    horizon: u32,
+    split: u32,
+    n: usize,
+    m: usize,
+    binary: bool,
+    /// Per row: distributions grouped by shared support allocation.
+    groups: Vec<Vec<RowGroup>>,
+}
+
+impl<B: ?Sized> Ctx<'_, B> {
+    /// Distribution `d`'s support of processor `row` (`d` dist-major:
+    /// 0 = baseline).
+    fn row(&self, d: usize, row: usize) -> &RowSupport {
+        if d == 0 {
+            self.baseline.row(row)
+        } else {
+            self.members[d - 1].row(row)
+        }
+    }
+
+    /// Index of `(dist d, processor row)` in the flat alive state.
+    fn state_idx(&self, d: usize, row: usize) -> usize {
+        d * self.n + row
+    }
+}
+
+/// A live frontier node: everything a subtree walk needs. The alive
+/// state is snapshotted compactly — sparse rows copy only their live
+/// indices.
+struct SubtreeTask<Pfx> {
+    prefix: Pfx,
+    state: Vec<ConsistentSet>,
+    probs: Vec<f64>,
+    prob_base: f64,
+}
+
+fn run_task<B: Branching + ?Sized>(
+    ctx: &Ctx<'_, B>,
+    task: SubtreeTask<B::Prefix>,
+    ws: &mut Workspace,
+) -> WalkOutcome {
+    let mut acc = WalkOutcome::zeros(ctx.horizon as usize, ctx.m);
+    let mut state = task.state;
+    walk(
+        ctx,
+        ctx.split,
+        task.prefix,
+        &mut state,
+        &task.probs,
+        task.prob_base,
+        &mut acc,
+        None,
+        ws,
+    );
+    acc
+}
+
+/// Marker for "this distribution has no live point at this label".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Scratch consumed entirely within one node *before* recursing: safe to
+/// share across all depths.
+#[derive(Default)]
+struct NodeScratch {
+    /// Union of the group's live indices, ascending.
+    union_idx: Vec<u32>,
+    /// Word buffer for dense unions.
+    union_words: Vec<u64>,
+    /// Labels parallel to `union_idx` (via [`Branching::eval_labels`]).
+    labels: Vec<u64>,
+    /// Packed bit plane (binary branchings, dense groups).
+    plane: Vec<u64>,
+    /// Per-point label table indexed by absolute point index; only
+    /// entries at the current group's union-live points are valid.
+    point_label: Vec<u64>,
+    /// `(label, point)` bucketing scratch for non-binary splits.
+    pairs: Vec<(u64, u32)>,
+    /// Label-union scratch.
+    all_labels: Vec<u64>,
+}
+
+/// Per-depth pooled scratch: child-set slots and the per-node tables
+/// built over them. Reused across every sibling node at this depth.
+#[derive(Default)]
+struct DepthScratch {
+    /// Slot pool for child sets; `built_len` is the live prefix, slots
+    /// beyond it keep their buffers for reuse.
+    built: Vec<ConsistentSet>,
+    built_len: usize,
+    /// `(dist, label, slot)` for every non-empty child set.
+    runs: Vec<(u32, u64, u32)>,
+    /// Union of live labels, ascending: the deterministic child order.
+    labels: Vec<u64>,
+    /// `matrix[li * (m + 1) + d]`: slot of label `li` for dist `d`, or
+    /// [`NO_SLOT`].
+    matrix: Vec<u32>,
+    /// Parent live counts per dist (speaker row).
+    totals: Vec<usize>,
+    /// Child probabilities, refilled per label.
+    child_probs: Vec<f64>,
+    /// Per-dist empty sets swapped in where a label is dead.
+    empties: Vec<ConsistentSet>,
+}
+
+impl DepthScratch {
+    fn alloc_slot(&mut self) -> usize {
+        if self.built_len == self.built.len() {
+            self.built.push(ConsistentSet::empty(0));
+        }
+        self.built_len += 1;
+        self.built_len - 1
+    }
+}
+
+/// The walk's reusable buffers: one [`NodeScratch`] (consumed within a
+/// node) plus one [`DepthScratch`] per recursion level.
+struct Workspace {
+    node: NodeScratch,
+    depths: Vec<DepthScratch>,
+}
+
+impl Workspace {
+    fn new(horizon: u32) -> Self {
+        Workspace {
+            node: NodeScratch::default(),
+            depths: (0..horizon.max(1))
+                .map(|_| DepthScratch::default())
+                .collect(),
+        }
+    }
+}
+
+/// Builds the node's children — the per-label, per-distribution child
+/// sets of the speaker's alive sets — into `scratch`, evaluating the
+/// protocol once per shared support row over the union of live points.
+fn build_children<B: Branching + ?Sized>(
+    ctx: &Ctx<'_, B>,
+    speaker: usize,
+    prefix: &B::Prefix,
+    state: &[ConsistentSet],
+    node: &mut NodeScratch,
+    scratch: &mut DepthScratch,
+) {
+    let dcount = ctx.m + 1;
+    scratch.built_len = 0;
+    scratch.runs.clear();
+
+    for group in &ctx.groups[speaker] {
+        let d0 = group.dists[0];
+        let points = ctx.row(d0, speaker).points();
+        let words = points.len().div_ceil(64);
+
+        // Union of the group's live points, ascending.
+        node.union_idx.clear();
+        let all_sparse = group
+            .dists
+            .iter()
+            .all(|&d| state[ctx.state_idx(d, speaker)].is_sparse());
+        if group.dists.len() == 1 {
+            let set = &state[ctx.state_idx(d0, speaker)];
+            node.union_idx.extend(set.iter().map(|i| i as u32));
+        } else if all_sparse {
+            for &d in &group.dists {
+                node.union_idx.extend_from_slice(
+                    state[ctx.state_idx(d, speaker)]
+                        .sparse_indices()
+                        .expect("all_sparse checked"),
+                );
+            }
+            node.union_idx.sort_unstable();
+            node.union_idx.dedup();
+        } else {
+            node.union_words.clear();
+            node.union_words.resize(words, 0);
+            for &d in &group.dists {
+                let set = &state[ctx.state_idx(d, speaker)];
+                match set.dense_words() {
+                    Some(w) => {
+                        for (acc, &x) in node.union_words.iter_mut().zip(w) {
+                            *acc |= x;
+                        }
+                    }
+                    None => {
+                        for &i in set.sparse_indices().expect("not dense") {
+                            node.union_words[i as usize / 64] |= 1u64 << (i % 64);
+                        }
+                    }
+                }
+            }
+            for (wi, &word) in node.union_words.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    node.union_idx.push((wi * 64) as u32 + w.trailing_zeros());
+                    w &= w - 1;
+                }
+            }
+        }
+        if node.union_idx.is_empty() {
+            continue;
+        }
+
+        // One protocol evaluation pass for the whole group.
+        node.labels.clear();
+        ctx.branching
+            .eval_labels(speaker, points, &node.union_idx, prefix, &mut node.labels);
+        debug_assert_eq!(node.labels.len(), node.union_idx.len());
+
+        if ctx.binary && !all_sparse {
+            // Bit-plane fast path: dense splits are word-parallel ANDs.
+            node.plane.clear();
+            node.plane.resize(words, 0);
+            for (&i, &label) in node.union_idx.iter().zip(&node.labels) {
+                if label == 1 {
+                    node.plane[i as usize / 64] |= 1u64 << (i % 64);
+                }
+            }
+            for &d in &group.dists {
+                let parent = &state[ctx.state_idx(d, speaker)];
+                if parent.is_empty() {
+                    continue;
+                }
+                for (label, keep) in [(0u64, false), (1u64, true)] {
+                    let slot = scratch.alloc_slot();
+                    scratch.built[slot].assign_filtered(parent, &node.plane, keep);
+                    if scratch.built[slot].is_empty() {
+                        scratch.built_len -= 1;
+                    } else {
+                        scratch.runs.push((d as u32, label, slot as u32));
+                    }
+                }
+            }
+        } else {
+            // Per-point label table; entries at union points are fresh.
+            if node.point_label.len() < points.len() {
+                node.point_label.resize(points.len(), 0);
+            }
+            for (&i, &label) in node.union_idx.iter().zip(&node.labels) {
+                node.point_label[i as usize] = label;
+            }
+            for &d in &group.dists {
+                let parent = &state[ctx.state_idx(d, speaker)];
+                if parent.is_empty() {
+                    continue;
+                }
+                if ctx.binary {
+                    // All-sparse binary group: two cheap filter passes.
+                    for label in [0u64, 1] {
+                        let slot = scratch.alloc_slot();
+                        scratch.built[slot].begin(points.len());
+                        for i in parent.iter() {
+                            if node.point_label[i] == label {
+                                scratch.built[slot].push(i);
+                            }
+                        }
+                        scratch.built[slot].finish();
+                        if scratch.built[slot].is_empty() {
+                            scratch.built_len -= 1;
+                        } else {
+                            scratch.runs.push((d as u32, label, slot as u32));
+                        }
+                    }
+                } else {
+                    // Bucket the live points by label, ascending.
+                    node.pairs.clear();
+                    for i in parent.iter() {
+                        node.pairs.push((node.point_label[i], i as u32));
+                    }
+                    node.pairs.sort_unstable();
+                    let mut k = 0;
+                    while k < node.pairs.len() {
+                        let label = node.pairs[k].0;
+                        let slot = scratch.alloc_slot();
+                        scratch.built[slot].begin(points.len());
+                        while k < node.pairs.len() && node.pairs[k].0 == label {
+                            scratch.built[slot].push(node.pairs[k].1 as usize);
+                            k += 1;
+                        }
+                        scratch.built[slot].finish();
+                        scratch.runs.push((d as u32, label, slot as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    // The union of live labels, ascending: a label dead in every
+    // distribution never appears, so the walk costs what is alive, not
+    // what the alphabet could express.
+    node.all_labels.clear();
+    node.all_labels
+        .extend(scratch.runs.iter().map(|&(_, label, _)| label));
+    node.all_labels.sort_unstable();
+    node.all_labels.dedup();
+    scratch.labels.clear();
+    scratch.labels.extend_from_slice(&node.all_labels);
+
+    scratch.matrix.clear();
+    scratch
+        .matrix
+        .resize(scratch.labels.len() * dcount, NO_SLOT);
+    for &(d, label, slot) in &scratch.runs {
+        let li = scratch
+            .labels
+            .binary_search(&label)
+            .expect("every run label is in the union");
+        scratch.matrix[li * dcount + d as usize] = slot;
+    }
+
+    scratch.totals.clear();
+    for d in 0..dcount {
+        scratch
+            .totals
+            .push(state[ctx.state_idx(d, speaker)].count());
+    }
+
+    if scratch.empties.len() < dcount {
+        scratch
+            .empties
+            .resize_with(dcount, || ConsistentSet::empty(0));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk<B: Branching + ?Sized>(
+    ctx: &Ctx<'_, B>,
+    depth: u32,
+    prefix: B::Prefix,
+    state: &mut Vec<ConsistentSet>,
+    probs: &[f64],
+    prob_base: f64,
+    acc: &mut WalkOutcome,
+    mut frontier: Option<&mut Vec<SubtreeTask<B::Prefix>>>,
+    ws: &mut Workspace,
+) {
+    let t = depth as usize;
+    let m = ctx.m;
+
+    // Frontier cut: hand the subtree to a task instead of walking it (its
+    // own depth-t contribution is accumulated by the task).
+    if let Some(tasks) = frontier.as_deref_mut() {
+        if depth == ctx.split && depth < ctx.horizon {
+            tasks.push(SubtreeTask {
+                prefix,
+                state: state.clone(),
+                probs: probs.to_vec(),
+                prob_base,
+            });
+            return;
+        }
+    }
+
+    // Depth-t prefix accumulation.
+    let avg: f64 = probs.iter().sum::<f64>() / m as f64;
+    acc.mixture_tv_by_depth[t] += (avg - prob_base).abs() / 2.0;
+    let mut progress = 0.0;
+    for &p in probs {
+        progress += (p - prob_base).abs();
+    }
+    acc.progress_by_depth[t] += progress / (2.0 * m as f64);
+
+    if depth == ctx.horizon {
+        for (i, &p) in probs.iter().enumerate() {
+            acc.per_member_tv[i] += (p - prob_base).abs() / 2.0;
+        }
+        return;
+    }
+
+    let speaker = ctx.branching.speaker(depth);
+
+    // Consistent-set statistics of the speaker, weighted by the baseline.
+    if prob_base > 0.0 {
+        let fraction = state[ctx.state_idx(0, speaker)].count() as f64
+            / ctx.baseline.row(speaker).len() as f64;
+        acc.mean_fraction[t] += prob_base * fraction;
+        for (j, slot) in acc.mass_below[t].iter_mut().enumerate() {
+            if fraction < 2f64.powi(-(j as i32)) {
+                *slot += prob_base;
+            }
+        }
+    }
+
+    let mut scratch = std::mem::take(&mut ws.depths[t]);
+    build_children(ctx, speaker, &prefix, state, &mut ws.node, &mut scratch);
+
+    let dcount = m + 1;
+    for li in 0..scratch.labels.len() {
+        let label = scratch.labels[li];
+        let base_slot = scratch.matrix[li * dcount];
+        let base_total = scratch.totals[0];
+        let child_prob_base = if base_slot != NO_SLOT && base_total > 0 {
+            prob_base * scratch.built[base_slot as usize].count() as f64 / base_total as f64
+        } else {
+            0.0
+        };
+
+        scratch.child_probs.clear();
+        for (i, &prob) in probs.iter().enumerate() {
+            let slot = scratch.matrix[li * dcount + i + 1];
+            let total = scratch.totals[i + 1];
+            scratch.child_probs.push(if slot != NO_SLOT && total > 0 {
+                prob * scratch.built[slot as usize].count() as f64 / total as f64
+            } else {
+                0.0
+            });
+        }
+
+        // Prune dead subtrees: they contribute zero everywhere. (A live
+        // label always carries positive probability in some distribution,
+        // so this is a guard, not a hot path.)
+        if child_prob_base == 0.0 && scratch.child_probs.iter().all(|&p| p == 0.0) {
+            continue;
+        }
+
+        // Swap in the children's consistent sets (an empty set where the
+        // label is dead in that distribution), recurse, swap back: the
+        // one checkpoint/restore of this recursion level.
+        for d in 0..dcount {
+            let idx = ctx.state_idx(d, speaker);
+            let slot = scratch.matrix[li * dcount + d];
+            if slot == NO_SLOT {
+                scratch.empties[d].make_empty(ctx.row(d, speaker).len());
+                std::mem::swap(&mut state[idx], &mut scratch.empties[d]);
+            } else {
+                std::mem::swap(&mut state[idx], &mut scratch.built[slot as usize]);
+            }
+        }
+
+        let child_prefix = ctx.branching.extend(&prefix, label);
+        walk(
+            ctx,
+            depth + 1,
+            child_prefix,
+            state,
+            &scratch.child_probs,
+            child_prob_base,
+            acc,
+            frontier.as_deref_mut(),
+            ws,
+        );
+
+        for d in 0..dcount {
+            let idx = ctx.state_idx(d, speaker);
+            let slot = scratch.matrix[li * dcount + d];
+            if slot == NO_SLOT {
+                std::mem::swap(&mut state[idx], &mut scratch.empties[d]);
+            } else {
+                std::mem::swap(&mut state[idx], &mut scratch.built[slot as usize]);
+            }
+        }
+    }
+
+    ws.depths[t] = scratch;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_depth_clamps_to_historical_value_on_one_thread() {
+        for width in 1..=8 {
+            assert_eq!(
+                split_depth_for_threads(1, width),
+                (SPLIT_DEPTH / width).max(1),
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_depth_grows_with_threads_and_caps() {
+        // ~4 tasks per worker, floored at SPLIT_DEPTH.
+        assert_eq!(split_depth_for_threads(2, 1), SPLIT_DEPTH);
+        assert_eq!(split_depth_for_threads(16, 1), SPLIT_DEPTH);
+        assert_eq!(split_depth_for_threads(64, 1), 8);
+        assert_eq!(split_depth_for_threads(256, 1), 10);
+        assert_eq!(split_depth_for_threads(1 << 20, 1), MAX_SPLIT_DEPTH);
+        // Width divides the bit-depth, at least one turn.
+        assert_eq!(split_depth_for_threads(64, 2), 4);
+        assert_eq!(split_depth_for_threads(64, 3), 2);
+        assert_eq!(split_depth_for_threads(1, 16), 1);
+    }
+
+    #[test]
+    fn adaptive_split_depth_matches_pure_function() {
+        let threads = rayon::current_num_threads();
+        for width in [1u32, 2, 4] {
+            assert_eq!(
+                adaptive_split_depth(width),
+                split_depth_for_threads(threads, width)
+            );
+        }
+    }
+}

@@ -1,163 +1,34 @@
-//! The shared skeleton of the exact transcript walks.
+//! The seed implementation of the exact walk, retained verbatim as a
+//! differential-testing oracle.
 //!
-//! [`crate::engine`] (the `BCAST(1)` bit engine) and [`crate::wide`] (the
-//! `BCAST(w)` engine) run the *same* algorithm: a depth-first walk of the
-//! turn tree that keeps every processor's consistent set `D_p^{(t)}` as a
-//! word-parallel [`bcc_f2::BitVec`] mask over that row's support points,
-//! splits the speaker's set on the broadcast label at each node, and
-//! weights each child by the surviving fraction. The only things that
-//! differ between the two engines are the transcript-prefix type and how
-//! a speaker's live set partitions among children — two labels for the
-//! bit model, the *live* part of a `2^w` alphabet for the wide model. The
-//! [`Branching`] trait captures exactly that pair, and [`exact_walk`] is
-//! the walk itself, written once.
+//! This is the walk as it shipped before the hot-path overhaul (label
+//! planes, pooled workspace, hybrid consistent sets — see the parent
+//! module): consistent sets are plain [`bcc_f2::BitVec`] masks, every
+//! node allocates fresh masks for its children, the alive state is
+//! deep-cloned at the frontier, and the protocol is re-evaluated per
+//! node for *every* distribution, even when rows share a support
+//! allocation. It is deliberately kept simple and obviously correct;
+//! `crates/core/tests/prop.rs` pins [`super::exact_walk`] to be
+//! **bitwise identical** to [`exact_walk`](self::exact_walk) on random
+//! protocols and families, for both engines and both execution modes.
 //!
-//! # Execution strategy
-//!
-//! For parallelism the tree is cut at a frontier depth (a pure function
-//! of the protocol, see [`Branching::split_depth`]): the prefix above the
-//! frontier is walked sequentially, every live frontier node becomes an
-//! independent subtree task (the mixture distance needs all members'
-//! probabilities *per node*, so fanning out over subtrees — not just over
-//! family members — is what parallelizes the whole computation), and task
-//! results are reduced **in frontier order**. Floating-point accumulation
-//! order is therefore a function of the tree alone, never of thread
-//! scheduling: [`ExecMode::Parallel`] and [`ExecMode::Sequential`] runs
-//! of the same walk return bitwise-identical results, a property pinned
-//! by the workspace's property tests for both engines.
+//! The only change from the seed source is mechanical: the per-model
+//! `partition` method was folded into [`Branching::eval_labels`], so
+//! this oracle reconstructs the old per-distribution partition from the
+//! label query (same sets, same ascending label order, same float
+//! arithmetic).
 
 use bcc_f2::BitVec;
 use rayon::prelude::*;
 
+use super::{Branching, ExecMode, WalkOutcome};
 use crate::input::ProductInput;
 
-/// Consistent-set-size thresholds tracked per turn: entry `j` is the
-/// baseline probability that the speaker's surviving support fraction is
-/// below `2^{-j}`.
-pub const FRACTION_THRESHOLDS: usize = 20;
-
-/// The bit-depth at which the exact walk cuts the turn tree into
-/// independent subtree tasks: a branching-factor-`2^w` walk cuts at depth
-/// `SPLIT_DEPTH / w` (at least 1), so at most `2^SPLIT_DEPTH` tasks fan
-/// out regardless of the message width — plenty to saturate the machines
-/// this runs on while keeping the frontier states small.
-pub const SPLIT_DEPTH: u32 = 6;
-
-/// How an exact walk executes its subtree tasks. Both modes produce
-/// bitwise-identical results (see the module docs); `Sequential` exists
-/// for measuring parallel speedup and for pinning determinism in tests.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Fan subtree tasks out over the rayon thread pool.
-    #[default]
-    Parallel,
-    /// Run every subtree task on the calling thread, in frontier order.
-    Sequential,
-}
-
-/// A turn protocol viewed as a branching process over transcript
-/// prefixes: the per-model half of an exact walk.
-///
-/// Implementations must be cheap to query — the walk calls these methods
-/// once per live tree node. [`Branching::partition`] is the heart: it
-/// buckets the speaker's live support points by the label they broadcast
-/// next, and its cost should be proportional to the live set, never to
-/// the alphabet.
-pub trait Branching: Sync {
-    /// The transcript-prefix state threaded down the walk.
-    type Prefix: Clone + Send + Sync;
-
-    /// The number of processors.
-    fn n(&self) -> usize;
-
-    /// Input bits per processor.
-    fn input_bits(&self) -> u32;
-
-    /// The number of turns.
-    fn horizon(&self) -> u32;
-
-    /// The processor speaking at turn `t`.
-    fn speaker(&self, t: u32) -> usize;
-
-    /// The depth of the frontier cut. Must be a pure function of the
-    /// protocol (never of thread count or scheduling) so that parallel
-    /// and sequential runs walk the identical task list.
-    fn split_depth(&self) -> u32;
-
-    /// The empty prefix.
-    fn root(&self) -> Self::Prefix;
-
-    /// `prefix` extended by the branch label `label`.
-    fn extend(&self, prefix: &Self::Prefix, label: u64) -> Self::Prefix;
-
-    /// Buckets the live points of `alive` (a mask over `points`) by the
-    /// label `speaker` broadcasts after `prefix`: `(label, mask)` pairs
-    /// sorted ascending by label, omitting labels with no live point.
-    fn partition(
-        &self,
-        speaker: usize,
-        points: &[u64],
-        alive: &BitVec,
-        prefix: &Self::Prefix,
-    ) -> Vec<(u64, BitVec)>;
-}
-
-/// The raw accumulators of one exact walk, before the per-model result
-/// types ([`crate::engine::MixtureComparison`],
-/// [`crate::wide::WideComparison`]) are assembled around them.
-#[derive(Debug, Clone)]
-pub struct WalkOutcome {
-    /// `‖ avg_I P_I^{(t)} − P_base^{(t)} ‖` for `t = 0 ..= horizon`.
-    pub mixture_tv_by_depth: Vec<f64>,
-    /// `L_progress^{(t)} = E_I ‖P_I^{(t)} − P_base^{(t)}‖`.
-    pub progress_by_depth: Vec<f64>,
-    /// Final distance per family member.
-    pub per_member_tv: Vec<f64>,
-    /// `E_{p ∼ P_base^{(t)}} [ |D_p| / |support| ]` per turn.
-    pub mean_fraction: Vec<f64>,
-    /// `mass_below[t][j] = Pr_{p ∼ P_base^{(t)}} [ |D_p|/|support| < 2^{-j} ]`.
-    pub mass_below: Vec<[f64; FRACTION_THRESHOLDS]>,
-}
-
-impl WalkOutcome {
-    fn zeros(t_len: usize, m: usize) -> Self {
-        WalkOutcome {
-            mixture_tv_by_depth: vec![0.0; t_len + 1],
-            progress_by_depth: vec![0.0; t_len + 1],
-            per_member_tv: vec![0.0; m],
-            mean_fraction: vec![0.0; t_len],
-            mass_below: vec![[0.0; FRACTION_THRESHOLDS]; t_len],
-        }
-    }
-
-    fn add(&mut self, other: &WalkOutcome) {
-        let pairs = [
-            (&mut self.mixture_tv_by_depth, &other.mixture_tv_by_depth),
-            (&mut self.progress_by_depth, &other.progress_by_depth),
-            (&mut self.per_member_tv, &other.per_member_tv),
-            (&mut self.mean_fraction, &other.mean_fraction),
-        ];
-        for (dst, src) in pairs {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d += s;
-            }
-        }
-        for (dst, src) in self.mass_below.iter_mut().zip(&other.mass_below) {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d += s;
-            }
-        }
-    }
-}
-
-/// Exact mixture-vs-baseline walk of `branching`: the full §3 framework
-/// computation, shared by both engines.
+/// Exact mixture-vs-baseline walk of `branching` — the seed algorithm.
 ///
 /// # Panics
 ///
-/// Panics if `members` is empty or the processor counts / input widths
-/// disagree with the protocol. Node-budget limits are the caller's to
-/// enforce (the walk itself visits only live nodes).
+/// As [`super::exact_walk`].
 pub fn exact_walk<B: Branching + ?Sized>(
     branching: &B,
     members: &[ProductInput],
@@ -271,6 +142,34 @@ fn run_task<B: Branching + ?Sized>(
     acc
 }
 
+/// The seed per-distribution partition: buckets the live points of
+/// `alive` by the label they broadcast, `(label, mask)` pairs ascending
+/// by label, omitting labels with no live point. One protocol query per
+/// live point per distribution — the cost the label planes of
+/// [`super::exact_walk`] eliminate.
+fn partition<B: Branching + ?Sized>(
+    branching: &B,
+    speaker: usize,
+    points: &[u64],
+    alive: &BitVec,
+    prefix: &B::Prefix,
+) -> Vec<(u64, BitVec)> {
+    let live: Vec<u32> = alive.iter_ones().map(|i| i as u32).collect();
+    let mut labels = Vec::with_capacity(live.len());
+    branching.eval_labels(speaker, points, &live, prefix, &mut labels);
+    let mut pairs: Vec<(u64, u32)> = labels.into_iter().zip(live).collect();
+    pairs.sort_unstable();
+    let mut parts: Vec<(u64, BitVec)> = Vec::new();
+    for (label, idx) in pairs {
+        if parts.last().map(|&(l, _)| l) != Some(label) {
+            parts.push((label, BitVec::zeros(points.len())));
+        }
+        let (_, mask) = parts.last_mut().expect("just pushed");
+        mask.set(idx as usize, true);
+    }
+    parts
+}
+
 /// The mask a `partition` result holds for `label`, if any live point
 /// broadcasts it.
 fn part_of(parts: &[(u64, BitVec)], label: u64) -> Option<&BitVec> {
@@ -338,7 +237,8 @@ fn walk<B: Branching + ?Sized>(
         }
     }
 
-    let base_parts = ctx.branching.partition(
+    let base_parts = partition(
+        ctx.branching,
         speaker,
         ctx.baseline.row(speaker).points(),
         &state.base[speaker],
@@ -346,7 +246,8 @@ fn walk<B: Branching + ?Sized>(
     );
     let member_parts: Vec<Vec<(u64, BitVec)>> = (0..m)
         .map(|i| {
-            ctx.branching.partition(
+            partition(
+                ctx.branching,
                 speaker,
                 ctx.members[i].row(speaker).points(),
                 &state.members[i][speaker],

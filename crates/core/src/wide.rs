@@ -8,27 +8,30 @@
 //! many turns.
 //!
 //! Both engines are instantiations of the shared walk core in
-//! [`crate::walk`]: consistent sets live as word-parallel
-//! [`bcc_f2::BitVec`] masks, the turn tree is cut at a frontier depth
+//! [`crate::walk`]: consistent sets live as hybrid dense/sparse
+//! [`bcc_f2::ConsistentSet`]s, the turn tree is cut at a frontier depth
 //! into independent subtree tasks fanned out over rayon, and task results
 //! reduce in frontier order — so [`ExecMode::Parallel`] and
 //! [`ExecMode::Sequential`] wide walks are bitwise identical (see the
 //! property tests in `crates/core/tests/prop.rs`). The per-turn split
-//! buckets the speaker's *live* points by the message they broadcast, so
-//! a node costs `O(live points)` plus one mask per message that actually
-//! occurs — never `O(2^w)` allocations for an alphabet that is mostly
-//! dead.
+//! buckets the speaker's *live* points by the message they broadcast —
+//! evaluated once per shared support row per node into a per-point
+//! message table — so a node costs `O(live points)` plus one pooled set
+//! per message that actually occurs: never `O(2^w)` work for an alphabet
+//! that is mostly dead, and never `O(support)` work for a support that
+//! has mostly died (the sparse regime). The seed implementation is
+//! retained behind [`exact_wide_comparison_reference`] as a
+//! differential-testing oracle.
 //!
-//! The frontier depth adapts to the width (`SPLIT_DEPTH / w` bit-depths,
-//! at least one turn), keeping the fan-out near `2^SPLIT_DEPTH` tasks for
-//! the widths the experiments use.
+//! The frontier depth adapts to the width and the rayon pool
+//! ([`crate::walk::adaptive_split_depth`]`(w)` turns), keeping the
+//! fan-out comparable across message widths.
 
 use bcc_congest::wide::{WideTranscript, WideTurnProtocol};
-use bcc_f2::BitVec;
 
 use crate::engine::SpeakerStats;
 use crate::input::ProductInput;
-use crate::walk::{exact_walk, Branching, ExecMode, SPLIT_DEPTH};
+use crate::walk::{adaptive_split_depth, exact_walk, reference, Branching, ExecMode, WalkOutcome};
 
 /// The node-budget cap of the exact wide walk: a walk whose *complete*
 /// turn tree could exceed this many nodes is refused up front.
@@ -115,6 +118,33 @@ pub fn exact_wide_comparison_mode<P: WideTurnProtocol + Sync + ?Sized>(
     baseline: &ProductInput,
     mode: ExecMode,
 ) -> WideComparison {
+    validate_budget(protocol);
+    let acc = exact_walk(&WideBranching { protocol }, members, baseline, mode);
+    assemble(protocol, acc)
+}
+
+/// [`exact_wide_comparison_mode`] computed by the retained **seed** walk
+/// ([`crate::walk::reference`]): per-node message evaluation for every
+/// distribution, per-node mask allocation, no hybrid sets. Exists as the
+/// differential-testing oracle and the before-side of the hot-path
+/// benchmarks; results are bitwise identical to the optimized walk
+/// (property-tested).
+///
+/// # Panics
+///
+/// As [`exact_wide_comparison`].
+pub fn exact_wide_comparison_reference<P: WideTurnProtocol + Sync + ?Sized>(
+    protocol: &P,
+    members: &[ProductInput],
+    baseline: &ProductInput,
+    mode: ExecMode,
+) -> WideComparison {
+    validate_budget(protocol);
+    let acc = reference::exact_walk(&WideBranching { protocol }, members, baseline, mode);
+    assemble(protocol, acc)
+}
+
+fn validate_budget<P: WideTurnProtocol + ?Sized>(protocol: &P) {
     let width = protocol.width();
     assert!(
         (1..=16).contains(&width),
@@ -127,10 +157,11 @@ pub fn exact_wide_comparison_mode<P: WideTurnProtocol + Sync + ?Sized>(
         "exact wide walk refused: a width-{width} tree to horizon {horizon} reaches up to \
          {nodes} nodes, beyond the {MAX_WIDE_NODES}-node budget"
     );
+}
 
+fn assemble<P: WideTurnProtocol + ?Sized>(protocol: &P, acc: WalkOutcome) -> WideComparison {
+    let horizon = protocol.horizon();
     let t_len = horizon as usize;
-    let acc = exact_walk(&WideBranching { protocol }, members, baseline, mode);
-
     WideComparison {
         horizon,
         mixture_tv_by_depth: acc.mixture_tv_by_depth,
@@ -173,9 +204,17 @@ impl<P: WideTurnProtocol + Sync + ?Sized> Branching for WideBranching<'_, P> {
 
     fn split_depth(&self) -> u32 {
         // A width-w turn is worth w bit-depths of fan-out: cutting after
-        // SPLIT_DEPTH / w turns keeps the frontier near 2^SPLIT_DEPTH
-        // tasks. At least one turn, so wide protocols still parallelize.
-        (SPLIT_DEPTH / self.protocol.width()).max(1)
+        // adaptive_split_depth(w) turns keeps the frontier task count
+        // comparable across widths. At least one turn, so wide protocols
+        // still parallelize.
+        adaptive_split_depth(self.protocol.width())
+    }
+
+    fn binary(&self) -> bool {
+        // A width-1 alphabet is {0, 1}: take the same bit-plane fast
+        // path as the bit engine (the cross-engine bitwise property
+        // holds either way — the sets and counts are identical).
+        self.protocol.width() == 1
     }
 
     fn root(&self) -> WideTranscript {
@@ -186,35 +225,18 @@ impl<P: WideTurnProtocol + Sync + ?Sized> Branching for WideBranching<'_, P> {
         prefix.child(label)
     }
 
-    fn partition(
+    fn eval_labels(
         &self,
         speaker: usize,
         points: &[u64],
-        alive: &BitVec,
+        live: &[u32],
         prefix: &WideTranscript,
-    ) -> Vec<(u64, BitVec)> {
-        // Work proportional to the live set: evaluate each live point's
-        // message once, sort the (message, index) pairs, and materialize
-        // one mask per message that actually occurs.
-        let mut pairs: Vec<(u64, u32)> = alive
-            .iter_ones()
-            .map(|idx| {
-                (
-                    self.protocol.message(speaker, points[idx], prefix),
-                    idx as u32,
-                )
-            })
-            .collect();
-        pairs.sort_unstable();
-        let mut parts: Vec<(u64, BitVec)> = Vec::new();
-        for (message, idx) in pairs {
-            if parts.last().map(|&(m, _)| m) != Some(message) {
-                parts.push((message, BitVec::zeros(points.len())));
-            }
-            let (_, mask) = parts.last_mut().expect("just pushed");
-            mask.set(idx as usize, true);
-        }
-        parts
+        out: &mut Vec<u64>,
+    ) {
+        out.extend(
+            live.iter()
+                .map(|&idx| self.protocol.message(speaker, points[idx as usize], prefix)),
+        );
     }
 }
 

@@ -6,10 +6,92 @@ use bcc_congest::wide::FnWideProtocol;
 use bcc_congest::FnProtocol;
 use bcc_core::exec::{Estimator, ExactEstimator, SampledEstimator};
 use bcc_core::{
-    exact_comparison, exact_mixture_comparison, exact_wide_comparison_mode, ExecMode, ProductInput,
-    RowSupport,
+    exact_comparison, exact_mixture_comparison, exact_mixture_comparison_mode,
+    exact_mixture_comparison_reference, exact_wide_comparison_mode,
+    exact_wide_comparison_reference, ExecMode, MixtureComparison, ProductInput, RowSupport,
+    WideComparison,
 };
 use proptest::prelude::*;
+
+/// Asserts two bit-engine results are **bitwise** identical — every f64
+/// of the profile, the per-member distances and the speaker statistics.
+fn assert_mixture_bitwise_eq(a: &MixtureComparison, b: &MixtureComparison, what: &str) {
+    assert_eq!(a.horizon, b.horizon, "{what}: horizon");
+    for t in 0..a.mixture_tv_by_depth.len() {
+        assert_eq!(
+            a.mixture_tv_by_depth[t].to_bits(),
+            b.mixture_tv_by_depth[t].to_bits(),
+            "{what}: mixture tv differs at depth {t}"
+        );
+        assert_eq!(
+            a.progress_by_depth[t].to_bits(),
+            b.progress_by_depth[t].to_bits(),
+            "{what}: progress differs at depth {t}"
+        );
+    }
+    for i in 0..a.per_member_tv.len() {
+        assert_eq!(
+            a.per_member_tv[i].to_bits(),
+            b.per_member_tv[i].to_bits(),
+            "{what}: member {i} differs"
+        );
+    }
+    assert_eq!(a.speaker_stats.len(), b.speaker_stats.len());
+    for t in 0..a.speaker_stats.len() {
+        assert_eq!(a.speaker_stats[t].speaker, b.speaker_stats[t].speaker);
+        assert_eq!(
+            a.speaker_stats[t].mean_fraction.to_bits(),
+            b.speaker_stats[t].mean_fraction.to_bits(),
+            "{what}: speaker fraction differs at turn {t}"
+        );
+        for j in 0..a.speaker_stats[t].mass_below.len() {
+            assert_eq!(
+                a.speaker_stats[t].mass_below[j].to_bits(),
+                b.speaker_stats[t].mass_below[j].to_bits(),
+                "{what}: mass_below[{j}] differs at turn {t}"
+            );
+        }
+    }
+}
+
+/// The wide-engine analogue of [`assert_mixture_bitwise_eq`].
+fn assert_wide_bitwise_eq(a: &WideComparison, b: &WideComparison, what: &str) {
+    assert_eq!(a.horizon, b.horizon, "{what}: horizon");
+    for t in 0..a.mixture_tv_by_depth.len() {
+        assert_eq!(
+            a.mixture_tv_by_depth[t].to_bits(),
+            b.mixture_tv_by_depth[t].to_bits(),
+            "{what}: mixture tv differs at depth {t}"
+        );
+        assert_eq!(
+            a.progress_by_depth[t].to_bits(),
+            b.progress_by_depth[t].to_bits(),
+            "{what}: progress differs at depth {t}"
+        );
+    }
+    for i in 0..a.per_member_tv.len() {
+        assert_eq!(
+            a.per_member_tv[i].to_bits(),
+            b.per_member_tv[i].to_bits(),
+            "{what}: member {i} differs"
+        );
+    }
+    assert_eq!(a.speaker_stats.len(), b.speaker_stats.len());
+    for t in 0..a.speaker_stats.len() {
+        assert_eq!(
+            a.speaker_stats[t].mean_fraction.to_bits(),
+            b.speaker_stats[t].mean_fraction.to_bits(),
+            "{what}: speaker fraction differs at turn {t}"
+        );
+        for j in 0..a.speaker_stats[t].mass_below.len() {
+            assert_eq!(
+                a.speaker_stats[t].mass_below[j].to_bits(),
+                b.speaker_stats[t].mass_below[j].to_bits(),
+                "{what}: mass_below[{j}] differs at turn {t}"
+            );
+        }
+    }
+}
 
 /// The seeded pseudo-random decision both engines share: one bit per
 /// `(proc, input, transcript length, packed transcript)` query.
@@ -446,6 +528,63 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn overhauled_walk_is_bitwise_the_seed_walk(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        base in arb_input(2, 3),
+        seed in any::<u64>(),
+    ) {
+        // The hot-path overhaul (label planes + pooled workspace + hybrid
+        // sets) against the retained seed implementation, on arbitrary
+        // protocols and supports: every f64 must agree bit for bit, in
+        // both execution modes.
+        let p = protocol(2, 3, 8, seed);
+        let members = vec![a, b];
+        for mode in [ExecMode::Parallel, ExecMode::Sequential] {
+            let new = exact_mixture_comparison_mode(&p, &members, &base, mode);
+            let old = exact_mixture_comparison_reference(&p, &members, &base, mode);
+            assert_mixture_bitwise_eq(&new, &old, &format!("{mode:?}"));
+        }
+    }
+
+    #[test]
+    fn overhauled_wide_walk_is_bitwise_the_seed_walk(
+        a in arb_input(2, 4),
+        base in arb_input(2, 4),
+        seed in any::<u64>(),
+    ) {
+        let p = wide_protocol(2, 4, 2, 6, seed);
+        let members = vec![a];
+        for mode in [ExecMode::Parallel, ExecMode::Sequential] {
+            let new = exact_wide_comparison_mode(&p, &members, &base, mode);
+            let old = exact_wide_comparison_reference(&p, &members, &base, mode);
+            assert_wide_bitwise_eq(&new, &old, &format!("{mode:?}"));
+        }
+    }
+
+    #[test]
+    fn arc_shared_family_walk_is_bitwise_the_seed_walk(
+        planted in proptest::collection::btree_set(0u64..16, 1..=16usize),
+        seed in any::<u64>(),
+    ) {
+        // The label-plane dedup path proper: members built with
+        // `with_row` share every other row's Arc with the baseline, so
+        // the walk groups them into one label table per node. Sharing
+        // must be a pure optimization — bitwise invisible.
+        let p = protocol(3, 4, 9, seed);
+        let base = ProductInput::uniform(3, 4);
+        let planted: Vec<u64> = planted.into_iter().collect();
+        let members: Vec<ProductInput> = (0..3)
+            .map(|i| base.with_row(i, RowSupport::explicit(4, planted.clone())))
+            .collect();
+        for mode in [ExecMode::Parallel, ExecMode::Sequential] {
+            let new = exact_mixture_comparison_mode(&p, &members, &base, mode);
+            let old = exact_mixture_comparison_reference(&p, &members, &base, mode);
+            assert_mixture_bitwise_eq(&new, &old, &format!("shared {mode:?}"));
+        }
+    }
 }
 
 /// The acceptance-scale case, deliberately outside the proptest loop: a
@@ -487,4 +626,77 @@ fn wide_walk_with_thousands_of_processors_is_bitwise_deterministic() {
     let speakers: std::collections::BTreeSet<usize> =
         par.speaker_stats.iter().map(|s| s.speaker).collect();
     assert_eq!(speakers.len(), 8);
+}
+
+/// A walk that crosses the dense→sparse demotion boundary mid-tree: a
+/// 2^10-point support (word budget 16) halves per turn, demoting around
+/// depth 6 — the whole profile must still be bitwise the seed walk's.
+#[test]
+fn demotion_boundary_walk_is_bitwise_the_seed_walk() {
+    let p = FnProtocol::new(1, 10, 10, |_, input, tr| (input >> tr.len()) & 1 == 1);
+    let a = ProductInput::new(vec![RowSupport::explicit(
+        10,
+        (0..1024).filter(|x| x % 5 != 0).collect(),
+    )]);
+    let base = ProductInput::uniform(1, 10);
+    for mode in [ExecMode::Parallel, ExecMode::Sequential] {
+        let new = exact_mixture_comparison_mode(&p, std::slice::from_ref(&a), &base, mode);
+        let old = exact_mixture_comparison_reference(&p, std::slice::from_ref(&a), &base, mode);
+        assert_mixture_bitwise_eq(&new, &old, "demotion boundary");
+    }
+}
+
+/// The workload the hybrid representation exists for: a 2^18-point
+/// support whose consistent sets collapse along a full binary tree of
+/// 2^14 leaves. Priced densely this walk does ~2^12 word-operations per
+/// node (~10^9 total — far outside the test budget); priced by live
+/// points it is a few million operations. Only the sparse path finishes
+/// here, and the distance it returns is checked against the closed form.
+#[test]
+fn huge_support_tiny_alive_bit_walk_finishes_and_is_exact() {
+    // Turn t broadcasts input bit t: after 14 turns the transcript is
+    // the low 14 bits. A sits on 16 points (low nibble free, the rest
+    // zero), so TV = 1 − 16·2^-14 · ... = 1 − 2^-10 exactly.
+    let p = FnProtocol::new(1, 18, 14, |_, input, tr| (input >> tr.len()) & 1 == 1);
+    let a = ProductInput::new(vec![RowSupport::explicit(18, (0..16).collect())]);
+    let base = ProductInput::uniform(1, 18);
+    let par =
+        exact_mixture_comparison_mode(&p, std::slice::from_ref(&a), &base, ExecMode::Parallel);
+    let seq =
+        exact_mixture_comparison_mode(&p, std::slice::from_ref(&a), &base, ExecMode::Sequential);
+    let expected = 1.0 - (16.0 / (1u64 << 14) as f64);
+    assert!(
+        (par.tv() - expected).abs() < 1e-12,
+        "tv {} vs {expected}",
+        par.tv()
+    );
+    assert_mixture_bitwise_eq(&par, &seq, "huge support par vs seq");
+    // The baseline's consistent fraction before turn t is exactly 2^-t.
+    for (t, stats) in par.speaker_stats.iter().enumerate() {
+        assert!(
+            (stats.mean_fraction - 2f64.powi(-(t as i32))).abs() < 1e-12,
+            "turn {t}: fraction {}",
+            stats.mean_fraction
+        );
+    }
+}
+
+/// The same huge-support/tiny-alive shape through the wide engine: a
+/// width-2 walk to depth 7 reveals the same 14 bits inside the
+/// reachable-node budget (`wide_walk_nodes(2, 7) ≤ 2^26`).
+#[test]
+fn huge_support_tiny_alive_wide_walk_finishes_and_is_exact() {
+    assert!(bcc_core::wide_walk_nodes(2, 7) <= bcc_core::MAX_WIDE_NODES);
+    let p = FnWideProtocol::new(1, 18, 2, 7, |_, input, tr| (input >> (2 * tr.len())) & 0b11);
+    let a = ProductInput::new(vec![RowSupport::explicit(18, (0..16).collect())]);
+    let base = ProductInput::uniform(1, 18);
+    let par = exact_wide_comparison_mode(&p, std::slice::from_ref(&a), &base, ExecMode::Parallel);
+    let seq = exact_wide_comparison_mode(&p, std::slice::from_ref(&a), &base, ExecMode::Sequential);
+    let expected = 1.0 - (16.0 / (1u64 << 14) as f64);
+    assert!(
+        (par.tv() - expected).abs() < 1e-12,
+        "tv {} vs {expected}",
+        par.tv()
+    );
+    assert_wide_bitwise_eq(&par, &seq, "huge wide par vs seq");
 }

@@ -16,7 +16,10 @@
 //!   matrices (the finite-`n` law and Kolchin's limit constants `Q_s`, used
 //!   by Theorem 1.4 of the paper);
 //! * [`subcube`] — affine subcubes `{x : x_i = c_i for i ∈ S}` of the Boolean
-//!   cube, the support shape of every planted-clique row distribution.
+//!   cube, the support shape of every planted-clique row distribution;
+//! * [`ConsistentSet`] — hybrid dense/sparse live-point sets, the
+//!   consistent-set representation of the exact transcript walks (dense
+//!   word masks that demote to sorted index lists at low occupancy).
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod bitvec;
+mod consistent;
 mod matrix;
 
 pub mod gauss;
@@ -40,4 +44,5 @@ pub mod rank_dist;
 pub mod subcube;
 
 pub use bitvec::BitVec;
+pub use consistent::{sparse_budget, ConsistentSet, SetIter, SetRepr};
 pub use matrix::BitMatrix;

@@ -1,7 +1,7 @@
 //! Property-based tests for the F₂ substrate.
 
 use bcc_f2::subcube::Subcube64;
-use bcc_f2::{gauss, BitMatrix, BitVec};
+use bcc_f2::{gauss, sparse_budget, BitMatrix, BitVec, ConsistentSet};
 use proptest::prelude::*;
 
 fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
@@ -112,5 +112,54 @@ proptest! {
         rows.extend(e.matrix.iter_rows().cloned());
         let stacked = BitMatrix::from_rows(rows, 7);
         prop_assert_eq!(gauss::rank(&stacked), e.rank());
+    }
+
+    #[test]
+    fn consistent_set_roundtrips_bitvec(mask in arb_bitvec(300)) {
+        let set = ConsistentSet::from_bitvec(&mask);
+        prop_assert_eq!(set.count(), mask.count_ones());
+        prop_assert_eq!(set.to_bitvec(), mask.clone());
+        prop_assert!(set.iter().eq(mask.iter_ones()));
+        // The representation always follows the word-budget rule.
+        prop_assert_eq!(set.is_sparse(), set.count() <= sparse_budget(300));
+        prop_assert_eq!(set.clone(), set);
+    }
+
+    #[test]
+    fn consistent_set_filter_agrees_with_bitvec_ops(
+        mask in arb_bitvec(300),
+        plane_mask in arb_bitvec(300),
+        keep in any::<bool>(),
+    ) {
+        // assign_filtered against the BitVec algebra it replaces:
+        // keep = alive AND plane, drop = alive AND NOT plane.
+        let set = ConsistentSet::from_bitvec(&mask);
+        let mut child = ConsistentSet::empty(0);
+        child.assign_filtered(&set, plane_mask.as_words(), keep);
+        let expected = if keep {
+            &mask & &plane_mask
+        } else {
+            mask.and_not(&plane_mask)
+        };
+        prop_assert_eq!(child.to_bitvec(), expected.clone());
+        prop_assert_eq!(child.count(), expected.count_ones());
+        prop_assert_eq!(child.is_sparse(), child.count() <= sparse_budget(300));
+        // Both polarities partition the parent.
+        let mut other = ConsistentSet::empty(0);
+        other.assign_filtered(&set, plane_mask.as_words(), !keep);
+        prop_assert_eq!(child.count() + other.count(), set.count());
+    }
+
+    #[test]
+    fn consistent_set_build_matches_indices(
+        indices in proptest::collection::btree_set(0u32..300, 0..80usize),
+    ) {
+        let sorted: Vec<u32> = indices.into_iter().collect();
+        let set = ConsistentSet::from_indices(300, &sorted);
+        prop_assert_eq!(set.count(), sorted.len());
+        prop_assert!(set.iter().map(|i| i as u32).eq(sorted.iter().copied()));
+        for &i in &sorted {
+            prop_assert!(set.contains(i as usize));
+        }
     }
 }

@@ -273,6 +273,18 @@ impl Scenario {
     /// Stored as the run manifest; a resumed run must present the same
     /// fingerprint, which is how the store refuses to mix records from
     /// different specs in one directory.
+    ///
+    /// For the exact-walk workload ([`Workload::WideMessages`]) the
+    /// fingerprint also pins the walk's *effective frontier depths*
+    /// (one per bandwidth, [`bcc_core::adaptive_split_depth`]): the
+    /// frontier depth fixes the exact walk's float-summation grouping,
+    /// and it adapts to the machine's rayon pool — so resuming a run on
+    /// a host with a different core count (where the low-order bits
+    /// could differ) refuses with the foreign-spec error instead of
+    /// silently mixing bitwise-inconsistent records. Pin
+    /// `RAYON_NUM_THREADS` to move exact run directories across
+    /// machines. Sampled workloads are frontier-independent and carry
+    /// no such pin.
     pub fn fingerprint(&self) -> String {
         let axis = |v: &[u64]| {
             let cells: Vec<String> = v.iter().map(|x| x.to_string()).collect();
@@ -284,7 +296,7 @@ impl Scenario {
             }
             _ => 0,
         };
-        write_object(&[
+        let mut fields = vec![
             ("format", num(1u32)),
             ("name", Value::Str(self.name.clone())),
             ("workload", Value::Str(self.workload.tag().into())),
@@ -333,7 +345,17 @@ impl Scenario {
                 num(self.precision.initial_samples as u64),
             ),
             ("max_samples", num(self.precision.max_samples as u64)),
-        ])
+        ];
+        if matches!(self.workload, Workload::WideMessages { .. }) {
+            let depths: Vec<u64> = self
+                .grid
+                .bandwidth
+                .iter()
+                .map(|&b| u64::from(bcc_core::adaptive_split_depth(b)))
+                .collect();
+            fields.push(("walk_split_depths", axis(&depths)));
+        }
+        write_object(&fields)
     }
 }
 
@@ -678,6 +700,40 @@ mod tests {
             .bandwidth(&[2])
             .build();
         assert_ne!(build(2).fingerprint(), rank.fingerprint());
+    }
+
+    #[test]
+    fn wide_fingerprint_pins_the_walk_frontier_depth() {
+        // Exact-walk records depend on the adaptive frontier depth (it
+        // fixes the float-summation grouping), so wide fingerprints must
+        // pin the effective depth per bandwidth — a resume on a machine
+        // whose pool implies a different depth then refuses cleanly —
+        // while sampled workloads stay frontier-independent.
+        let wide = Scenario::builder("w")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[2])
+            .bandwidth(&[2, 3])
+            .build();
+        let expected: Vec<String> = [2u32, 3]
+            .iter()
+            .map(|&b| bcc_core::adaptive_split_depth(b).to_string())
+            .collect();
+        let pin = format!("\"walk_split_depths\":[{}]", expected.join(","));
+        assert!(
+            wide.fingerprint().contains(&pin),
+            "fingerprint {} missing {pin}",
+            wide.fingerprint()
+        );
+        let rank = Scenario::builder("w")
+            .workload(Workload::RankDistance { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[6])
+            .bandwidth(&[2])
+            .build();
+        assert!(!rank.fingerprint().contains("walk_split_depths"));
     }
 
     #[test]

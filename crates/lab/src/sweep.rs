@@ -6,10 +6,15 @@
 //! point the run directory already has a valid record for, fans the rest
 //! out over the rayon pool, and appends each record to the store the
 //! moment its point completes. Because every point draws from streams
-//! derived purely from its own coordinates, scheduling order — and
-//! therefore thread count, interruption and resume history — cannot
-//! change a single bit of the estimates; the returned records are always
-//! in canonical `point_id` order regardless of completion order.
+//! derived purely from its own coordinates, scheduling order —
+//! interruption and resume history included — cannot change a single
+//! bit of the estimates; the returned records are always in canonical
+//! `point_id` order regardless of completion order. Sampled workloads
+//! are additionally thread-count independent; the exact-walk workload's
+//! floats depend on the walk's adaptive frontier depth, which the
+//! manifest fingerprint pins (see [`crate::Scenario::fingerprint`]), so
+//! a resume on a machine where that depth differs refuses instead of
+//! mixing records.
 
 use std::path::Path;
 use std::sync::Mutex;
