@@ -18,7 +18,13 @@
 //! downstream code can ask for the [`DepthProfile::noise_floor`] without
 //! knowing how the numbers were produced. `BCAST(w)` protocols route
 //! through [`WideExactEstimator`] — the wide engine behind the same
-//! `DepthProfile`, so wide experiments reuse all downstream machinery.
+//! `DepthProfile` — or, past the exact engine's node budget, through
+//! [`WideSampledEstimator`] (Monte-Carlo over `w`-bit-per-turn packed
+//! keys), so wide experiments reuse all downstream machinery either way.
+//! [`AdaptiveEstimator`] grows a sampled budget until the noise floor
+//! meets a tolerance, for bit protocols
+//! ([`AdaptiveEstimator::estimate_with_report`]) and wide ones
+//! ([`AdaptiveEstimator::estimate_wide_with_report`]) alike.
 //!
 //! ```
 //! use bcc_congest::FnProtocol;
@@ -43,7 +49,8 @@ use rayon::prelude::*;
 use crate::engine::{exact_mixture_comparison_mode, SpeakerStats};
 use crate::input::ProductInput;
 use crate::sample::{
-    collect_sorted_keys, merge_sorted_u64, radix_sort_u64, sorted_support_union, sorted_tv_at_depth,
+    collect_sorted_keys, collect_sorted_wide_keys, merge_sorted_u64, radix_sort_u64,
+    sorted_support_union, sorted_tv_at_depth,
 };
 use crate::wide::exact_wide_comparison_mode;
 
@@ -492,52 +499,199 @@ impl Estimator for SampledEstimator {
             ExecMode::Sequential => (0..=m).map(sample_side).collect(),
         };
         let member_refs: Vec<&[u64]> = side_keys[1..].iter().map(Vec::as_slice).collect();
-        profile_from_sorted_sides(horizon, samples, &side_keys[0], &member_refs)
+        let mixture = sorted_mixture(&member_refs);
+        profile_from_sorted_sides(horizon, 1, samples, &side_keys[0], &member_refs, &mixture)
+    }
+}
+
+/// Seeded Monte-Carlo estimation for `BCAST(w)` protocols — the sampled
+/// sibling of [`WideExactEstimator`], and the only backend once
+/// `wide_walk_nodes(w, T)` exceeds [`crate::wide::MAX_WIDE_NODES`].
+///
+/// Identical in discipline to [`SampledEstimator`]: side `i` draws
+/// `samples_per_side` transcripts from the ChaCha stream
+/// [`derive_seed`]`(seed, i)` (baseline is side 0), keys pack `w` bits
+/// per turn ([`crate::sample::wide_prefix_key`]), one radix sort per side
+/// yields the whole depth profile, and [`ExecMode::Parallel`] fans sides
+/// out over rayon while staying bitwise identical to the sequential run.
+/// The returned [`DepthProfile`] has `horizon + 1` entries over *wide
+/// turns* (depth `t` is the TV after `t` messages = `t·w` bits) and
+/// carries [`Provenance::Sampled`], so `noise_floor()` reports the
+/// histogram resolution exactly as in the bit model.
+#[derive(Debug, Clone, Copy)]
+pub struct WideSampledEstimator {
+    /// Samples drawn per family member and for the baseline.
+    pub samples_per_side: usize,
+    /// The root seed of the estimator's private randomness.
+    pub seed: u64,
+    /// How the per-side sampling executes; [`ExecMode::Parallel`] by
+    /// default. Both modes produce bitwise-identical profiles.
+    pub mode: ExecMode,
+}
+
+impl WideSampledEstimator {
+    /// An estimator drawing `samples_per_side` transcripts per side from
+    /// ChaCha streams derived from `seed`, sampling sides in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_side == 0`.
+    pub fn new(samples_per_side: usize, seed: u64) -> Self {
+        assert!(samples_per_side > 0, "need at least one sample per side");
+        WideSampledEstimator {
+            samples_per_side,
+            seed,
+            mode: ExecMode::Parallel,
+        }
+    }
+
+    /// The same estimator forced onto the calling thread. Bitwise equal
+    /// to the parallel results, only slower.
+    pub fn sequential(samples_per_side: usize, seed: u64) -> Self {
+        WideSampledEstimator {
+            mode: ExecMode::Sequential,
+            ..WideSampledEstimator::new(samples_per_side, seed)
+        }
+    }
+
+    /// Estimates the depth profile of the family-vs-baseline comparison
+    /// under `protocol`, up to prefix length `horizon` wide turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, `samples_per_side == 0`,
+    /// `horizon > protocol.horizon()`, or `horizon × width` exceeds the
+    /// 64-bit key packing.
+    pub fn estimate<P: WideTurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> DepthProfile {
+        assert!(!members.is_empty(), "need at least one family member");
+        assert!(
+            horizon <= protocol.horizon(),
+            "horizon {horizon} beyond the protocol's {}",
+            protocol.horizon()
+        );
+        // Re-checked here because the fields are public.
+        assert!(
+            self.samples_per_side > 0,
+            "need at least one sample per side"
+        );
+        let width = protocol.width();
+        assert!(
+            u64::from(horizon) * u64::from(width) <= 64,
+            "horizon {horizon} at width {width} exceeds the u64 key packing"
+        );
+        let truncated = WideTruncated {
+            inner: protocol,
+            horizon,
+        };
+        let samples = self.samples_per_side;
+        let m = members.len();
+
+        let sample_side = |side: usize| -> Vec<u64> {
+            let input = if side == 0 {
+                baseline
+            } else {
+                &members[side - 1]
+            };
+            let mut rng = ChaCha12Rng::seed_from_u64(derive_seed(self.seed, side as u64));
+            let mut keys = Vec::new();
+            collect_sorted_wide_keys(
+                &truncated,
+                |r| input.sample(r),
+                samples,
+                &mut rng,
+                &mut keys,
+            );
+            keys
+        };
+        let side_keys: Vec<Vec<u64>> = match self.mode {
+            ExecMode::Parallel => (0..=m)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(sample_side)
+                .collect(),
+            ExecMode::Sequential => (0..=m).map(sample_side).collect(),
+        };
+        let member_refs: Vec<&[u64]> = side_keys[1..].iter().map(Vec::as_slice).collect();
+        let mixture = sorted_mixture(&member_refs);
+        profile_from_sorted_sides(
+            horizon,
+            width,
+            samples,
+            &side_keys[0],
+            &member_refs,
+            &mixture,
+        )
+    }
+
+    /// [`WideSampledEstimator::estimate`] over the protocol's full
+    /// horizon.
+    pub fn estimate_full<P: WideTurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+    ) -> DepthProfile {
+        self.estimate(protocol, members, baseline, protocol.horizon())
     }
 }
 
 /// Reads a whole [`DepthProfile`] off per-side *sorted* prefix-key
-/// arrays — the shared back half of [`SampledEstimator`] and
-/// [`AdaptiveEstimator`]. The profile is a pure function of the sorted
-/// arrays, so a one-shot sort and an incremental chunk-merge that reach
-/// the same multiset of keys produce bitwise-identical profiles.
+/// arrays — the shared back half of the sampled estimators (bit and
+/// wide: a turn at width `w` spans `bits_per_turn = w` key bits). The
+/// caller supplies the sorted mixture histogram (the multiset union of
+/// every member's keys): the one-shot estimators sort the concatenation
+/// once, while [`AdaptiveEstimator`] maintains it incrementally across
+/// batches — a sorted `u64` array is a pure function of its multiset, so
+/// both routes produce bitwise-identical profiles.
 fn profile_from_sorted_sides(
     horizon: u32,
+    bits_per_turn: u32,
     samples: usize,
     base_keys: &[u64],
     member_keys: &[&[u64]],
+    mixture_keys: &[u64],
 ) -> DepthProfile {
     let m = member_keys.len();
+    debug_assert_eq!(mixture_keys.len(), m * samples);
     let depths = horizon as usize + 1;
     let side_weight = 1.0 / samples as f64;
     let mut progress_by_depth = vec![0.0; depths];
     let mut per_member_tv = Vec::with_capacity(m);
-    let mut mixture_keys: Vec<u64> = Vec::with_capacity(m * samples);
     for keys in member_keys {
         let mut member_final_tv = 0.0;
         for (t, slot) in progress_by_depth.iter_mut().enumerate() {
-            let tv = sorted_tv_at_depth(keys, base_keys, side_weight, side_weight, t as u32);
+            let tv = sorted_tv_at_depth(
+                keys,
+                base_keys,
+                side_weight,
+                side_weight,
+                t as u32 * bits_per_turn,
+            );
             *slot += tv / m as f64;
             member_final_tv = tv;
         }
         per_member_tv.push(member_final_tv);
-        mixture_keys.extend_from_slice(keys);
     }
-    radix_sort_u64(&mut mixture_keys);
 
     let mixture_weight = 1.0 / (m * samples) as f64;
     let mixture_tv_by_depth: Vec<f64> = (0..depths)
         .map(|t| {
             sorted_tv_at_depth(
-                &mixture_keys,
+                mixture_keys,
                 base_keys,
                 mixture_weight,
                 side_weight,
-                t as u32,
+                t as u32 * bits_per_turn,
             )
         })
         .collect();
-    let support_seen = sorted_support_union(&mixture_keys, base_keys);
+    let support_seen = sorted_support_union(mixture_keys, base_keys);
 
     DepthProfile {
         horizon,
@@ -550,6 +704,19 @@ fn profile_from_sorted_sides(
             support_seen,
         },
     }
+}
+
+/// Concatenates and sorts every member side's keys into the mixture
+/// histogram — the one-shot construction of the sorted mixture that
+/// [`profile_from_sorted_sides`] consumes.
+fn sorted_mixture(member_keys: &[&[u64]]) -> Vec<u64> {
+    let total = member_keys.iter().map(|k| k.len()).sum();
+    let mut mixture = Vec::with_capacity(total);
+    for keys in member_keys {
+        mixture.extend_from_slice(keys);
+    }
+    radix_sort_u64(&mut mixture);
+    mixture
 }
 
 /// How an [`AdaptiveEstimator`] run spent its budget.
@@ -651,14 +818,71 @@ impl AdaptiveEstimator {
         baseline: &ProductInput,
         horizon: u32,
     ) -> (DepthProfile, AdaptiveReport) {
-        assert!(!members.is_empty(), "need at least one family member");
+        self.validate(members.len(), horizon, protocol.horizon());
+        let truncated = Truncated {
+            inner: protocol,
+            horizon,
+        };
+        self.run_adaptive(horizon, 1, members.len(), |side, sampler, delta| {
+            let input = if side == 0 {
+                baseline
+            } else {
+                &members[side - 1]
+            };
+            sampler.extend_with(delta, |rng, delta, chunk| {
+                collect_sorted_keys(&truncated, |r| input.sample(r), delta, rng, chunk);
+            });
+        })
+    }
+
+    /// The `BCAST(w)` twin of [`AdaptiveEstimator::estimate_with_report`]:
+    /// the same incremental batch discipline over wide-transcript keys
+    /// (`w` bits per turn), returning a depth profile over *wide turns*.
+    /// Bitwise identical to a one-shot [`WideSampledEstimator`] at the
+    /// final budget, which is what keeps `bcc-lab`'s sampled wide sweeps
+    /// resumable bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`AdaptiveEstimator::estimate_with_report`], plus if
+    /// `horizon × width` exceeds the 64-bit key packing.
+    pub fn estimate_wide_with_report<P: WideTurnProtocol + Sync + ?Sized>(
+        &self,
+        protocol: &P,
+        members: &[ProductInput],
+        baseline: &ProductInput,
+        horizon: u32,
+    ) -> (DepthProfile, AdaptiveReport) {
+        self.validate(members.len(), horizon, protocol.horizon());
+        let width = protocol.width();
         assert!(
-            horizon <= protocol.horizon(),
-            "horizon {horizon} beyond the protocol's {}",
-            protocol.horizon()
+            u64::from(horizon) * u64::from(width) <= 64,
+            "horizon {horizon} at width {width} exceeds the u64 key packing"
         );
-        // Re-checked here because the fields are public (mirrors the
-        // constructor's validation).
+        let truncated = WideTruncated {
+            inner: protocol,
+            horizon,
+        };
+        self.run_adaptive(horizon, width, members.len(), |side, sampler, delta| {
+            let input = if side == 0 {
+                baseline
+            } else {
+                &members[side - 1]
+            };
+            sampler.extend_with(delta, |rng, delta, chunk| {
+                collect_sorted_wide_keys(&truncated, |r| input.sample(r), delta, rng, chunk);
+            });
+        })
+    }
+
+    /// The shared argument validation (mirrors the constructor's checks —
+    /// the fields are public).
+    fn validate(&self, members: usize, horizon: u32, protocol_horizon: u32) {
+        assert!(members > 0, "need at least one family member");
+        assert!(
+            horizon <= protocol_horizon,
+            "horizon {horizon} beyond the protocol's {protocol_horizon}"
+        );
         assert!(
             self.initial_samples > 0,
             "need at least one sample per side"
@@ -669,12 +893,32 @@ impl AdaptiveEstimator {
             self.max_samples_per_side,
             self.initial_samples
         );
-        let truncated = Truncated {
-            inner: protocol,
-            horizon,
-        };
-        let m = members.len();
+    }
 
+    /// The engine-agnostic adaptive loop: grows the budget in seeded
+    /// batches, with `collect(side, sampler, delta)` drawing one side's
+    /// next `delta` keys (sorted into the sampler's chunk and merged into
+    /// its persistent key array).
+    ///
+    /// The mixture histogram is **also persistent**: each batch merges
+    /// the member sides' freshly sorted chunks into one sorted delta and
+    /// two-pointer-merges that into the accumulated mixture, so across a
+    /// whole run the mixture costs merges only — the radix-sort work of
+    /// the entire estimator is exactly the per-side chunk sorts, 1× the
+    /// final budget per side (pinned by `crates/core/tests/work.rs`
+    /// against [`crate::sample::keys_sorted_total`]). The sorted mixture
+    /// is a pure function of the key multiset, so the profile stays
+    /// bitwise the one-shot estimator's, which re-sorts from scratch.
+    fn run_adaptive<C>(
+        &self,
+        horizon: u32,
+        bits_per_turn: u32,
+        m: usize,
+        collect: C,
+    ) -> (DepthProfile, AdaptiveReport)
+    where
+        C: Fn(usize, &mut SideSampler, usize) + Sync,
+    {
         // One persistent sampler per side: the ChaCha stream and the
         // sorted keys survive across batches, so batch b only simulates
         // the (budget_b − budget_{b−1}) new transcripts and merges them
@@ -683,6 +927,9 @@ impl AdaptiveEstimator {
         let mut sides: Vec<SideSampler> = (0..=m)
             .map(|side| SideSampler::new(derive_seed(self.seed, side as u64)))
             .collect();
+        let mut mixture: Vec<u64> = Vec::new();
+        let mut delta_mix: Vec<u64> = Vec::new();
+        let mut merge_scratch: Vec<u64> = Vec::new();
 
         let mut samples = self.initial_samples.min(self.max_samples_per_side);
         let mut batches = 0usize;
@@ -691,12 +938,7 @@ impl AdaptiveEstimator {
             batches += 1;
             let delta = samples.saturating_sub(drawn);
             let extend = |(side, mut sampler): (usize, SideSampler)| -> SideSampler {
-                let input = if side == 0 {
-                    baseline
-                } else {
-                    &members[side - 1]
-                };
-                sampler.extend(&truncated, input, delta);
+                collect(side, &mut sampler, delta);
                 sampler
             };
             let indexed: Vec<(usize, SideSampler)> = sides.into_iter().enumerate().collect();
@@ -706,8 +948,25 @@ impl AdaptiveEstimator {
             };
             drawn = samples;
 
+            // Fold this batch's member chunks (already sorted by the side
+            // samplers — no re-sort) into the persistent mixture.
+            delta_mix.clear();
+            for sampler in &sides[1..] {
+                merge_sorted_u64(&delta_mix, &sampler.chunk, &mut merge_scratch);
+                std::mem::swap(&mut delta_mix, &mut merge_scratch);
+            }
+            merge_sorted_u64(&mixture, &delta_mix, &mut merge_scratch);
+            std::mem::swap(&mut mixture, &mut merge_scratch);
+
             let member_refs: Vec<&[u64]> = sides[1..].iter().map(|s| s.keys.as_slice()).collect();
-            let profile = profile_from_sorted_sides(horizon, samples, &sides[0].keys, &member_refs);
+            let profile = profile_from_sorted_sides(
+                horizon,
+                bits_per_turn,
+                samples,
+                &sides[0].keys,
+                &member_refs,
+                &mixture,
+            );
             let floor = profile.noise_floor();
             let met = floor <= self.tolerance;
             if met || samples >= self.max_samples_per_side {
@@ -765,24 +1024,19 @@ impl SideSampler {
         }
     }
 
-    /// Draws `delta` more transcripts from the continued stream, sorts
-    /// the chunk, and merges it into the sorted keys.
-    fn extend<P: TurnProtocol + Sync + ?Sized>(
-        &mut self,
-        protocol: &P,
-        input: &ProductInput,
-        delta: usize,
-    ) {
+    /// Draws `delta` more keys from the continued stream via `collect`
+    /// (which must leave the chunk sorted), and merges the chunk into the
+    /// persistent sorted keys. A zero `delta` clears the chunk, so stale
+    /// keys can never leak into the caller's mixture bookkeeping.
+    fn extend_with<C>(&mut self, delta: usize, collect: C)
+    where
+        C: FnOnce(&mut ChaCha12Rng, usize, &mut Vec<u64>),
+    {
         if delta == 0 {
+            self.chunk.clear();
             return;
         }
-        collect_sorted_keys(
-            protocol,
-            |r| input.sample(r),
-            delta,
-            &mut self.rng,
-            &mut self.chunk,
-        );
+        collect(&mut self.rng, delta, &mut self.chunk);
         self.drawn += self.chunk.len();
         merge_sorted_u64(&self.keys, &self.chunk, &mut self.scratch);
         std::mem::swap(&mut self.keys, &mut self.scratch);
@@ -1081,6 +1335,183 @@ mod tests {
     #[should_panic(expected = "below the initial budget")]
     fn adaptive_rejects_cap_below_initial() {
         let _ = AdaptiveEstimator::new(0.1, 100, 50, 1);
+    }
+
+    #[test]
+    fn wide_sampled_estimator_is_reproducible_and_close_to_exact() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let (members, baseline) = family();
+        let exact = WideExactEstimator::default().estimate_full(&p, &members, &baseline);
+        let est = WideSampledEstimator::new(20_000, 0x5EED);
+        let a = est.estimate_full(&p, &members, &baseline);
+        let b = est.estimate_full(&p, &members, &baseline);
+        assert_eq!(
+            a.tv().to_bits(),
+            b.tv().to_bits(),
+            "seeded reruns must agree"
+        );
+        assert!(!a.is_exact());
+        assert!(
+            (a.tv() - exact.tv()).abs() <= a.noise_floor() + 0.02,
+            "sampled {} vs exact {} (floor {})",
+            a.tv(),
+            exact.tv(),
+            a.noise_floor()
+        );
+        for t in 0..a.mixture_tv_by_depth.len() {
+            assert!(a.mixture_tv_by_depth[t] <= a.progress_by_depth[t] + 1e-12);
+        }
+        let avg: f64 = a.per_member_tv.iter().sum::<f64>() / a.per_member_tv.len() as f64;
+        assert!((a.progress() - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_sampled_profile_shape_matches_request() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let (members, baseline) = family();
+        let profile = WideSampledEstimator::new(2_000, 1).estimate(&p, &members, &baseline, 4);
+        assert_eq!(profile.horizon, 4);
+        assert_eq!(profile.mixture_tv_by_depth.len(), 5);
+        assert_eq!(profile.progress_by_depth.len(), 5);
+        assert_eq!(profile.per_member_tv.len(), 2);
+        assert!(profile.speaker_stats.is_empty());
+        assert!(profile.noise_floor() > 0.0);
+        assert!(profile.mixture_tv_by_depth[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_sampled_parallel_matches_sequential_bitwise() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 3, 5, |_, input, tr| (input >> (tr.len() % 2)) & 0b111);
+        let (members, baseline) = family();
+        let par = WideSampledEstimator::new(4_000, 9).estimate_full(&p, &members, &baseline);
+        let seq = WideSampledEstimator::sequential(4_000, 9).estimate_full(&p, &members, &baseline);
+        for t in 0..par.mixture_tv_by_depth.len() {
+            assert_eq!(
+                par.mixture_tv_by_depth[t].to_bits(),
+                seq.mixture_tv_by_depth[t].to_bits(),
+                "mixture tv differs at depth {t}"
+            );
+            assert_eq!(
+                par.progress_by_depth[t].to_bits(),
+                seq.progress_by_depth[t].to_bits(),
+                "progress differs at depth {t}"
+            );
+        }
+        for i in 0..par.per_member_tv.len() {
+            assert_eq!(
+                par.per_member_tv[i].to_bits(),
+                seq.per_member_tv[i].to_bits(),
+                "member {i} differs"
+            );
+        }
+        assert_eq!(par.provenance, seq.provenance);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_sample_wide_estimator_rejected() {
+        let _ = WideSampledEstimator::new(0, 1);
+    }
+
+    #[test]
+    fn wide_adaptive_matches_one_shot_at_the_final_budget() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let (members, baseline) = family();
+        // Unreachable tolerance, cap binds: forces a multi-batch run, the
+        // regime where incremental merging could diverge from one-shot.
+        let adaptive = AdaptiveEstimator::new(1e-9, 64, 2048, 0xFEED);
+        let (profile, report) = adaptive.estimate_wide_with_report(&p, &members, &baseline, 6);
+        assert!(report.batches > 1, "want a multi-batch run: {report:?}");
+        assert_eq!(report.samples_per_side, 2048);
+        assert_eq!(
+            report.samples_drawn, report.samples_per_side,
+            "incremental batches must not re-simulate earlier samples"
+        );
+        let one_shot =
+            WideSampledEstimator::new(2048, 0xFEED).estimate_full(&p, &members, &baseline);
+        for t in 0..profile.mixture_tv_by_depth.len() {
+            assert_eq!(
+                profile.mixture_tv_by_depth[t].to_bits(),
+                one_shot.mixture_tv_by_depth[t].to_bits(),
+                "depth {t}"
+            );
+            assert_eq!(
+                profile.progress_by_depth[t].to_bits(),
+                one_shot.progress_by_depth[t].to_bits(),
+                "depth {t}"
+            );
+        }
+        assert_eq!(profile.per_member_tv, one_shot.per_member_tv);
+        assert_eq!(profile.provenance, one_shot.provenance);
+    }
+
+    #[test]
+    fn wide_adaptive_stops_at_tolerance() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 4, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let (members, baseline) = family();
+        let adaptive = AdaptiveEstimator::new(0.2, 100, 1 << 20, 0x5EED);
+        let (profile, report) = adaptive.estimate_wide_with_report(&p, &members, &baseline, 4);
+        assert!(report.met_tolerance, "report: {report:?}");
+        assert!(profile.noise_floor() <= 0.2);
+        assert!(report.samples_per_side < 1 << 20, "cap should not bind");
+    }
+
+    #[test]
+    fn wide_adaptive_parallel_matches_sequential_bitwise() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let (members, baseline) = family();
+        let par = AdaptiveEstimator::new(1e-9, 50, 1600, 21);
+        let seq = AdaptiveEstimator {
+            mode: ExecMode::Sequential,
+            ..par
+        };
+        let (pp, rp) = par.estimate_wide_with_report(&p, &members, &baseline, 6);
+        let (sp, rs) = seq.estimate_wide_with_report(&p, &members, &baseline, 6);
+        assert_eq!(rp, rs);
+        for t in 0..pp.mixture_tv_by_depth.len() {
+            assert_eq!(
+                pp.mixture_tv_by_depth[t].to_bits(),
+                sp.mixture_tv_by_depth[t].to_bits(),
+                "depth {t}"
+            );
+        }
+        assert_eq!(pp.per_member_tv, sp.per_member_tv);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u64 key packing")]
+    fn wide_sampled_rejects_overflowing_packings() {
+        use bcc_congest::wide::{WideTranscript, WideTurnProtocol};
+        struct Overflowing;
+        impl WideTurnProtocol for Overflowing {
+            fn n(&self) -> usize {
+                1
+            }
+            fn input_bits(&self) -> u32 {
+                1
+            }
+            fn width(&self) -> u32 {
+                16
+            }
+            fn horizon(&self) -> u32 {
+                5
+            }
+            fn message(&self, _: usize, input: u64, _: &WideTranscript) -> u64 {
+                input
+            }
+        }
+        let a = ProductInput::uniform(1, 1);
+        let _ = WideSampledEstimator::new(10, 1).estimate_full(
+            &Overflowing,
+            std::slice::from_ref(&a),
+            &a,
+        );
     }
 
     #[test]

@@ -50,10 +50,13 @@ pub use engine::{
 };
 pub use exec::{
     derive_seed, AdaptiveEstimator, AdaptiveReport, DepthProfile, Estimator, ExactEstimator,
-    Provenance, SampledEstimator, WideExactEstimator,
+    Provenance, SampledEstimator, WideExactEstimator, WideSampledEstimator,
 };
 pub use input::{ProductInput, RowSupport};
-pub use sample::{radix_sort_u64, sampled_comparison, sampled_comparison_with, TranscriptArena};
+pub use sample::{
+    keys_sorted_total, radix_sort_u64, sampled_comparison, sampled_comparison_with,
+    sampled_wide_comparison, wide_prefix_key, TranscriptArena,
+};
 pub use walk::{adaptive_split_depth, split_depth_for_threads, MAX_SPLIT_DEPTH, SPLIT_DEPTH};
 pub use wide::{
     exact_wide_comparison, exact_wide_comparison_mode, exact_wide_comparison_reference,

@@ -16,8 +16,20 @@
 //! [`crate::exec::SampledEstimator`] exploits for whole depth profiles.
 //! The sort itself is [`radix_sort_u64`], an LSD radix sort that skips
 //! the constant low bytes the bit-reversed packing produces.
+//!
+//! # Wide transcripts
+//!
+//! `BCAST(w)` transcripts get the same treatment at `w` bits per turn:
+//! [`wide_prefix_key`] stores turn `t`'s message in bits
+//! `[64 − (t+1)·w, 64 − t·w)` — turn-major from the top of the key — so
+//! `t`-turn prefixes again group contiguously and a TV merge at turn
+//! depth `t` is a merge at *bit* depth `t·w`. At `w = 1` this packing is
+//! exactly [`prefix_key`]'s bit-reversal, which is what pins the width-1
+//! wide sampler to the bit sampler bit for bit
+//! (`crates/core/tests/differential.rs`).
 
 use bcc_congest::turn::run_turn_protocol;
+use bcc_congest::wide::{run_wide_protocol, WideTranscript, WideTurnProtocol};
 use bcc_congest::TurnProtocol;
 use bcc_stats::sampling::MeanEstimator;
 use rand::Rng;
@@ -46,6 +58,41 @@ pub(crate) fn prefix_key(packed_transcript: u64) -> u64 {
     packed_transcript.reverse_bits()
 }
 
+/// Packs a wide transcript with turn `t`'s `w`-bit message at bits
+/// `[64 − (t+1)·w, 64 − t·w)` (turn-major from the top), so `t`-turn
+/// prefixes group contiguously under the full-key sort order at bit depth
+/// `t·w`. The width-1 packing coincides with [`prefix_key`] of the
+/// single-bit transcript.
+#[inline]
+pub fn wide_prefix_key(transcript: &WideTranscript) -> u64 {
+    let width = transcript.width();
+    let mut key = 0u64;
+    for t in 0..transcript.len() {
+        key |= transcript.message(t) << (64 - (t + 1) * width);
+    }
+    key
+}
+
+/// Fills `out` with `samples` sorted keys drawn by `draw` — the generic
+/// core of [`collect_sorted_keys`] and [`collect_sorted_wide_keys`], and
+/// the per-batch chunk collector of the adaptive estimators.
+pub(crate) fn collect_sorted_keys_with<R, F>(
+    mut draw: F,
+    samples: usize,
+    rng: &mut R,
+    out: &mut Vec<u64>,
+) where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> u64,
+{
+    out.clear();
+    out.reserve(samples);
+    for _ in 0..samples {
+        out.push(draw(rng));
+    }
+    radix_sort_u64(out);
+}
+
 /// Fills `out` with `samples` sorted prefix keys of `protocol` run on
 /// inputs drawn from `sampler`.
 pub(crate) fn collect_sorted_keys<P, R, F>(
@@ -59,14 +106,33 @@ pub(crate) fn collect_sorted_keys<P, R, F>(
     R: Rng + ?Sized,
     F: FnMut(&mut R) -> Vec<u64>,
 {
-    out.clear();
-    out.reserve(samples);
-    for _ in 0..samples {
-        out.push(prefix_key(
-            run_turn_protocol(protocol, &sampler(rng)).as_u64(),
-        ));
-    }
-    radix_sort_u64(out);
+    collect_sorted_keys_with(
+        |rng| prefix_key(run_turn_protocol(protocol, &sampler(rng)).as_u64()),
+        samples,
+        rng,
+        out,
+    );
+}
+
+/// The wide sibling of [`collect_sorted_keys`]: sorted [`wide_prefix_key`]s
+/// of `protocol` run on inputs drawn from `sampler`.
+pub(crate) fn collect_sorted_wide_keys<P, R, F>(
+    protocol: &P,
+    mut sampler: F,
+    samples: usize,
+    rng: &mut R,
+    out: &mut Vec<u64>,
+) where
+    P: WideTurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> Vec<u64>,
+{
+    collect_sorted_keys_with(
+        |rng| wide_prefix_key(&run_wide_protocol(protocol, &sampler(rng))),
+        samples,
+        rng,
+        out,
+    );
 }
 
 /// Merges two sorted key arrays into `out` (cleared first), preserving
@@ -101,6 +167,24 @@ const RADIX_CUTOFF: usize = 256;
 /// `criterion_micro/transcript_sort`), so the hybrid falls back.
 const RADIX_MAX_VARYING_BYTES: u32 = 4;
 
+/// Process-wide count of keys fed through [`radix_sort_u64`] (fallback
+/// path included) — see [`keys_sorted_total`].
+static KEYS_SORTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The cumulative number of keys this process has fed through
+/// [`radix_sort_u64`], its comparison-sort fallback included.
+///
+/// This is the observable behind the work-counting tests
+/// (`crates/core/tests/work.rs`): an incremental estimator that claims
+/// "1× final-budget sort work" is pinned by reading this counter before
+/// and after a run, which catches regressions to per-batch re-sorting
+/// that produce bitwise-identical results. The counter is monotone and
+/// shared across threads; meaningful deltas require no concurrent sorts
+/// (the work-counting tests live alone in their own test binary).
+pub fn keys_sorted_total() -> u64 {
+    KEYS_SORTED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Sorts packed transcript keys ascending with an LSD radix sort (byte
 /// digits, stable counting passes), producing exactly the order
 /// `sort_unstable` would.
@@ -116,6 +200,7 @@ const RADIX_MAX_VARYING_BYTES: u32 = 4;
 /// outweigh the comparison sort) fall back to `sort_unstable`.
 pub fn radix_sort_u64(keys: &mut Vec<u64>) {
     let n = keys.len();
+    KEYS_SORTED.fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
     if n < RADIX_CUTOFF {
         keys.sort_unstable();
         return;
@@ -326,6 +411,66 @@ where
     }
 }
 
+/// Estimates `‖P(Π, A) − P(Π, B)‖` for a `BCAST(w)` protocol by running
+/// it `samples` times per side and comparing wide-transcript histograms —
+/// the Monte-Carlo path past the exact wide engine's
+/// [`crate::wide::MAX_WIDE_NODES`] budget.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or if the protocol's `horizon × width`
+/// exceeds the 64-bit key packing.
+pub fn sampled_wide_comparison<P, R>(
+    protocol: &P,
+    a: &ProductInput,
+    b: &ProductInput,
+    samples: usize,
+    rng: &mut R,
+) -> SampledComparison
+where
+    P: WideTurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut arena = TranscriptArena::new();
+    sampled_wide_comparison_in(&mut arena, protocol, a, b, samples, rng)
+}
+
+/// [`sampled_wide_comparison`] writing through a caller-held
+/// [`TranscriptArena`], for sweeps that run many comparisons.
+pub fn sampled_wide_comparison_in<P, R>(
+    arena: &mut TranscriptArena,
+    protocol: &P,
+    a: &ProductInput,
+    b: &ProductInput,
+    samples: usize,
+    rng: &mut R,
+) -> SampledComparison
+where
+    P: WideTurnProtocol + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(samples > 0, "need at least one sample");
+    let (width, horizon) = (protocol.width(), protocol.horizon());
+    assert!(
+        u64::from(horizon) * u64::from(width) <= 64,
+        "horizon {horizon} at width {width} exceeds the u64 key packing"
+    );
+    collect_sorted_wide_keys(protocol, |r| a.sample(r), samples, rng, &mut arena.side_a);
+    collect_sorted_wide_keys(protocol, |r| b.sample(r), samples, rng, &mut arena.side_b);
+    let weight = 1.0 / samples as f64;
+    SampledComparison {
+        tv: sorted_tv_at_depth(
+            &arena.side_a,
+            &arena.side_b,
+            weight,
+            weight,
+            horizon * width,
+        ),
+        samples_per_side: samples,
+        support_seen: sorted_support_union(&arena.side_a, &arena.side_b),
+    }
+}
+
 /// Estimates the acceptance probability of a Boolean test of the
 /// transcript under one input distribution.
 pub fn acceptance_rate<P, R, F>(
@@ -495,6 +640,96 @@ mod tests {
                 assert_eq!(keys, expected, "len {len} shape {shape}");
             }
         }
+    }
+
+    #[test]
+    fn wide_prefix_key_is_turn_major_from_the_top() {
+        let mut t = WideTranscript::empty(3);
+        t.push(0b101);
+        t.push(0b010);
+        let key = wide_prefix_key(&t);
+        assert_eq!(key >> 61, 0b101, "turn 0 in the top 3 bits");
+        assert_eq!((key >> 58) & 0b111, 0b010, "turn 1 in the next 3");
+        assert_eq!(key & ((1 << 58) - 1), 0, "unused bits zero");
+    }
+
+    #[test]
+    fn width_one_wide_key_is_the_bit_reversed_packing() {
+        // The packings must coincide at w = 1 — the invariant behind the
+        // bit-for-bit width-1 differential test.
+        for bits in [0b0u64, 0b1, 0b1011, 0b110101] {
+            let len = 6;
+            let mut t = WideTranscript::empty(1);
+            for i in 0..len {
+                t.push((bits >> i) & 1);
+            }
+            assert_eq!(wide_prefix_key(&t), prefix_key(t.as_u64()), "bits {bits:b}");
+        }
+    }
+
+    #[test]
+    fn sampled_wide_matches_exact_on_small_instance() {
+        use crate::wide::exact_wide_comparison;
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 3, 2, 4, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+        let a = ProductInput::uniform(2, 3);
+        let b = ProductInput::new(vec![
+            RowSupport::explicit(3, vec![1, 3, 5, 7]),
+            RowSupport::uniform(3),
+        ]);
+        let exact = exact_wide_comparison(&p, std::slice::from_ref(&a), &b).tv();
+        let mut rng = StdRng::seed_from_u64(17);
+        let sampled = sampled_wide_comparison(&p, &a, &b, 40_000, &mut rng);
+        assert!(
+            (sampled.tv - exact).abs() < sampled.noise_floor() + 0.02,
+            "sampled {} vs exact {exact} (floor {})",
+            sampled.tv,
+            sampled.noise_floor()
+        );
+    }
+
+    #[test]
+    fn sampled_wide_identical_inputs_fall_below_noise_floor() {
+        use bcc_congest::wide::FnWideProtocol;
+        let p = FnWideProtocol::new(2, 2, 3, 4, |_, input, tr| (input >> (tr.len() % 2)) & 0b111);
+        let a = ProductInput::uniform(2, 2);
+        let mut rng = StdRng::seed_from_u64(23);
+        let s = sampled_wide_comparison(&p, &a, &a, 20_000, &mut rng);
+        assert!(
+            s.tv <= s.noise_floor(),
+            "tv {} floor {}",
+            s.tv,
+            s.noise_floor()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u64 key packing")]
+    fn sampled_wide_rejects_overflowing_packings() {
+        use bcc_congest::wide::WideTurnProtocol;
+        // A hand-rolled protocol lying past the packed capacity must hit
+        // the estimator's own guard, not a shift overflow mid-run.
+        struct Overflowing;
+        impl WideTurnProtocol for Overflowing {
+            fn n(&self) -> usize {
+                1
+            }
+            fn input_bits(&self) -> u32 {
+                1
+            }
+            fn width(&self) -> u32 {
+                16
+            }
+            fn horizon(&self) -> u32 {
+                5
+            }
+            fn message(&self, _: usize, input: u64, _: &WideTranscript) -> u64 {
+                input
+            }
+        }
+        let a = ProductInput::uniform(1, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sampled_wide_comparison(&Overflowing, &a, &a, 10, &mut rng);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! The differential suite pinning the **sampled** wide-message estimators
+//! to the **exact** engines everywhere the exact engines can go.
+//!
+//! The sampled path exists to extend `BCAST(w)` coverage past the exact
+//! walk's `2^26` reachable-node budget, where no oracle exists. What
+//! makes the extrapolated regime trustworthy is this suite: inside the
+//! budget — including *at* the budget boundary for each width — the
+//! sampled estimator must agree with the exact walk within its own
+//! reported `noise_floor()`, and at width 1 the wide sampled path must
+//! reproduce the established bit-engine sampler **bit for bit** (the two
+//! key packings coincide at `w = 1`). Property tests add the structural
+//! invariants (parallel == sequential bitwise, arena reuse observationally
+//! pure) over arbitrary supports and `(width, horizon)` shapes, using the
+//! vendored proptest's `prop_filter` to generate exactly the shapes that
+//! pack into a `u64`.
+
+use bcc_congest::wide::FnWideProtocol;
+use bcc_congest::FnProtocol;
+use bcc_core::exec::{
+    AdaptiveEstimator, Estimator, SampledEstimator, WideExactEstimator, WideSampledEstimator,
+};
+use bcc_core::sample::{sampled_wide_comparison, sampled_wide_comparison_in, TranscriptArena};
+use bcc_core::{wide_walk_nodes, DepthProfile, ProductInput, RowSupport, MAX_WIDE_NODES};
+use proptest::prelude::*;
+
+/// The seeded pseudo-random decision shared with `tests/prop.rs`: one bit
+/// per `(proc, input, transcript length, packed transcript)` query, so
+/// "arbitrary protocol" tests are reproducible.
+fn decision_bit(seed: u64, proc: usize, input: u64, len: u32, packed: u64) -> bool {
+    let mut z = seed
+        .wrapping_add(input.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add((proc as u64) << 24)
+        .wrapping_add(u64::from(len) << 48)
+        .wrapping_add(packed.wrapping_mul(0xBF58476D1CE4E5B9));
+    z ^= z >> 29;
+    z = z.wrapping_mul(0x94D049BB133111EB);
+    (z >> 33) & 1 == 1
+}
+
+/// An arbitrary deterministic `BCAST(w)` protocol seeded by `seed`.
+fn wide_protocol(
+    n: usize,
+    bits: u32,
+    width: u32,
+    horizon: u32,
+    seed: u64,
+) -> FnWideProtocol<impl Fn(usize, u64, &bcc_congest::wide::WideTranscript) -> u64> {
+    FnWideProtocol::new(n, bits, width, horizon, move |proc, input, tr| {
+        let mut message = 0u64;
+        for b in 0..width {
+            if decision_bit(
+                seed ^ (u64::from(b) << 17),
+                proc,
+                input,
+                tr.len(),
+                tr.as_u64(),
+            ) {
+                message |= 1 << b;
+            }
+        }
+        message
+    })
+}
+
+/// A two-member family plus baseline over `bits`-bit rows (small supports
+/// keep the exact walk's *live* tree tiny even at the deepest horizons,
+/// so the budget-boundary walks finish in milliseconds).
+fn small_family() -> (Vec<ProductInput>, ProductInput) {
+    let members = vec![
+        ProductInput::new(vec![
+            RowSupport::explicit(3, vec![1, 3, 5, 7]),
+            RowSupport::uniform(3),
+        ]),
+        ProductInput::new(vec![
+            RowSupport::uniform(3),
+            RowSupport::explicit(3, vec![0, 2, 6]),
+        ]),
+    ];
+    (members, ProductInput::uniform(2, 3))
+}
+
+/// Asserts every number of two depth profiles is bitwise identical.
+fn assert_profile_bitwise_eq(a: &DepthProfile, b: &DepthProfile, what: &str) {
+    assert_eq!(a.horizon, b.horizon, "{what}: horizon");
+    for t in 0..a.mixture_tv_by_depth.len() {
+        assert_eq!(
+            a.mixture_tv_by_depth[t].to_bits(),
+            b.mixture_tv_by_depth[t].to_bits(),
+            "{what}: mixture tv differs at depth {t}"
+        );
+        assert_eq!(
+            a.progress_by_depth[t].to_bits(),
+            b.progress_by_depth[t].to_bits(),
+            "{what}: progress differs at depth {t}"
+        );
+    }
+    for i in 0..a.per_member_tv.len() {
+        assert_eq!(
+            a.per_member_tv[i].to_bits(),
+            b.per_member_tv[i].to_bits(),
+            "{what}: member {i} differs"
+        );
+    }
+    assert_eq!(a.provenance, b.provenance, "{what}: provenance");
+}
+
+/// The convergence contract: on seeded grids **inside** the exact node
+/// budget — up to and including the boundary horizon for each width — the
+/// sampled wide estimator's whole depth profile lands within its own
+/// noise floor of the exact walk's.
+#[test]
+fn sampled_wide_agrees_with_exact_up_to_the_node_budget_boundary() {
+    // The deepest horizons whose complete 2^w-ary trees still fit the
+    // 2^26-node budget: T = 25 (w 1), 12 (w 2), 8 (w 3) — plus interior
+    // depths so convergence is checked across the grid, not one corner.
+    let grid: &[(u32, &[u32])] = &[(1, &[6, 12, 25]), (2, &[4, 8, 12]), (3, &[3, 5, 8])];
+    let (members, baseline) = small_family();
+    for &(w, horizons) in grid {
+        for &t in horizons {
+            assert!(
+                wide_walk_nodes(w, t) <= MAX_WIDE_NODES,
+                "grid point (w {w}, T {t}) must be inside the exact budget"
+            );
+            let p = wide_protocol(2, 3, w, t, 0xD1FF ^ (u64::from(w) << 8) ^ u64::from(t));
+            let exact = WideExactEstimator::default().estimate_full(&p, &members, &baseline);
+            assert!(exact.is_exact());
+            let sampled = WideSampledEstimator::new(16_384, 0x5EED ^ u64::from(w * 31 + t))
+                .estimate_full(&p, &members, &baseline);
+            let floor = sampled.noise_floor();
+            assert!(floor.is_finite() && floor > 0.0);
+            for depth in 0..exact.mixture_tv_by_depth.len() {
+                assert!(
+                    (sampled.mixture_tv_by_depth[depth] - exact.mixture_tv_by_depth[depth]).abs()
+                        <= floor,
+                    "(w {w}, T {t}) depth {depth}: sampled {} vs exact {} beyond floor {floor}",
+                    sampled.mixture_tv_by_depth[depth],
+                    exact.mixture_tv_by_depth[depth],
+                );
+                assert!(
+                    (sampled.progress_by_depth[depth] - exact.progress_by_depth[depth]).abs()
+                        <= floor,
+                    "(w {w}, T {t}) depth {depth}: progress beyond floor"
+                );
+            }
+            for i in 0..exact.per_member_tv.len() {
+                assert!(
+                    (sampled.per_member_tv[i] - exact.per_member_tv[i]).abs() <= floor,
+                    "(w {w}, T {t}) member {i} beyond floor"
+                );
+            }
+        }
+    }
+}
+
+/// Past the boundary the exact engine refuses — and the sampled estimator
+/// is the continuation: the same protocol family one turn deeper than the
+/// exact budget admits still yields a finite, in-range estimate.
+#[test]
+fn sampled_wide_continues_past_the_exact_cliff() {
+    let (members, baseline) = small_family();
+    // w = 2, T = 13: wide_walk_nodes(2, 13) > 2^26 (the exact engine's
+    // budget guard panics here — pinned in crates/core/src/wide.rs).
+    assert!(wide_walk_nodes(2, 13) > MAX_WIDE_NODES);
+    let p = wide_protocol(2, 3, 2, 13, 0xC11F);
+    let profile = WideSampledEstimator::new(8_192, 7).estimate_full(&p, &members, &baseline);
+    assert_eq!(profile.horizon, 13);
+    assert!(profile.noise_floor().is_finite());
+    for &tv in &profile.mixture_tv_by_depth {
+        assert!((0.0..=1.0 + 1e-12).contains(&tv));
+    }
+    // Seeded rerun is bitwise identical (the property lab resume needs).
+    let again = WideSampledEstimator::new(8_192, 7).estimate_full(&p, &members, &baseline);
+    assert_profile_bitwise_eq(&profile, &again, "past-cliff rerun");
+}
+
+/// The width-1 wide sampler and the bit-engine sampler share the same
+/// key packing, seed derivation, and RNG consumption — so on the same
+/// decision function they must produce **bit for bit** the same profile,
+/// one-shot and adaptive alike.
+#[test]
+fn width_one_sampled_path_is_bitwise_the_bit_sampler() {
+    let seed = 0xB17;
+    let bitp = FnProtocol::new(2, 3, 9, move |proc, input, tr| {
+        decision_bit(seed, proc, input, tr.len(), tr.as_u64())
+    });
+    let widep = FnWideProtocol::new(2, 3, 1, 9, move |proc, input, tr| {
+        u64::from(decision_bit(seed, proc, input, tr.len(), tr.as_u64()))
+    });
+    let (members, baseline) = small_family();
+
+    let bit = SampledEstimator::new(6_000, 0xAB).estimate_full(&bitp, &members, &baseline);
+    let wide = WideSampledEstimator::new(6_000, 0xAB).estimate_full(&widep, &members, &baseline);
+    assert_profile_bitwise_eq(&bit, &wide, "one-shot w=1");
+
+    let est = AdaptiveEstimator::new(1e-9, 50, 1600, 0xCD);
+    let (bit_a, bit_r) = est.estimate_with_report(&bitp, &members, &baseline, 9);
+    let (wide_a, wide_r) = est.estimate_wide_with_report(&widep, &members, &baseline, 9);
+    assert_eq!(bit_r, wide_r, "adaptive reports must coincide at w = 1");
+    assert!(bit_r.batches > 1, "want a multi-batch adaptive run");
+    assert_profile_bitwise_eq(&bit_a, &wide_a, "adaptive w=1");
+}
+
+fn arb_support(bits: u32) -> impl Strategy<Value = RowSupport> {
+    let size = 1u64 << bits;
+    proptest::collection::btree_set(0..size, 1..=size as usize)
+        .prop_map(move |set| RowSupport::explicit(bits, set.into_iter().collect()))
+}
+
+fn arb_input(n: usize, bits: u32) -> impl Strategy<Value = ProductInput> {
+    proptest::collection::vec(arb_support(bits), n).prop_map(ProductInput::new)
+}
+
+/// `(width, horizon)` shapes that pack into the u64 key and stay cheap:
+/// exactly the filter the estimators enforce, expressed as a
+/// `prop_filter` so every generated case is executable.
+fn arb_wide_shape() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..=4, 2u32..=10).prop_filter("fits the sampling budget of a test case", |&(w, t)| {
+        w * t <= 16
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wide_sampler_parallel_matches_sequential_bitwise(
+        base in arb_input(2, 3),
+        shape in arb_wide_shape(),
+        seed in any::<u64>(),
+    ) {
+        let (w, t) = shape;
+        let p = wide_protocol(2, 3, w, t, seed);
+        let members: Vec<ProductInput> = (0..5u64)
+            .map(|i| {
+                let points: Vec<u64> = (0..8).filter(|x| (x ^ i) % 3 != 0).collect();
+                ProductInput::new(vec![
+                    RowSupport::explicit(3, points),
+                    RowSupport::uniform(3),
+                ])
+            })
+            .collect();
+        let par = WideSampledEstimator::new(2_000, seed).estimate_full(&p, &members, &base);
+        let seq = WideSampledEstimator::sequential(2_000, seed).estimate_full(&p, &members, &base);
+        for depth in 0..par.mixture_tv_by_depth.len() {
+            prop_assert_eq!(
+                par.mixture_tv_by_depth[depth].to_bits(),
+                seq.mixture_tv_by_depth[depth].to_bits(),
+                "mixture tv differs at depth {}", depth
+            );
+            prop_assert_eq!(
+                par.progress_by_depth[depth].to_bits(),
+                seq.progress_by_depth[depth].to_bits(),
+                "progress differs at depth {}", depth
+            );
+        }
+        for i in 0..par.per_member_tv.len() {
+            prop_assert_eq!(
+                par.per_member_tv[i].to_bits(),
+                seq.per_member_tv[i].to_bits(),
+                "member {} differs", i
+            );
+        }
+        prop_assert_eq!(par.provenance, seq.provenance);
+    }
+
+    #[test]
+    fn wide_adaptive_is_bitwise_the_one_shot_at_the_final_budget(
+        a in arb_input(2, 3),
+        base in arb_input(2, 3),
+        shape in arb_wide_shape(),
+        seed in any::<u64>(),
+    ) {
+        let (w, t) = shape;
+        let p = wide_protocol(2, 3, w, t, seed);
+        let members = vec![a];
+        let est = AdaptiveEstimator::new(0.3, 64, 1 << 12, seed);
+        let (profile, report) = est.estimate_wide_with_report(&p, &members, &base, t);
+        let one_shot = WideSampledEstimator::new(report.samples_per_side, seed)
+            .estimate_full(&p, &members, &base);
+        prop_assert_eq!(profile.tv().to_bits(), one_shot.tv().to_bits());
+        prop_assert_eq!(profile.progress().to_bits(), one_shot.progress().to_bits());
+        prop_assert_eq!(report.samples_drawn, report.samples_per_side);
+    }
+
+    #[test]
+    fn wide_arena_reuse_is_observationally_pure(
+        a in arb_input(2, 3),
+        b in arb_input(2, 3),
+        shape in arb_wide_shape(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let (w, t) = shape;
+        let p = wide_protocol(2, 3, w, t, seed);
+        let fresh = {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA1);
+            sampled_wide_comparison(&p, &a, &b, 2_000, &mut rng)
+        };
+        // The same arena runs a *different* comparison first (leaving
+        // leftover keys of another shape), then the one under test: the
+        // result must be bitwise the fresh-arena run.
+        let mut arena = TranscriptArena::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB2);
+        let _ = sampled_wide_comparison_in(&mut arena, &p, &b, &a, 3_000, &mut rng);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA1);
+        let reused = sampled_wide_comparison_in(&mut arena, &p, &a, &b, 2_000, &mut rng);
+        prop_assert_eq!(fresh.tv.to_bits(), reused.tv.to_bits());
+        prop_assert_eq!(fresh.support_seen, reused.support_seen);
+        prop_assert_eq!(fresh.samples_per_side, reused.samples_per_side);
+    }
+}

@@ -1,0 +1,81 @@
+//! Sort-work accounting for the adaptive estimators, pinned against
+//! [`bcc_core::keys_sorted_total`] — the process-wide count of keys fed
+//! through `radix_sort_u64`.
+//!
+//! The adaptive layer's contract is **1× final-budget sort work**: every
+//! transcript's key is radix-sorted exactly once (in the batch chunk that
+//! drew it), and both the per-side arrays *and the mixture histogram* are
+//! maintained by merges from then on. Before this suite existed the
+//! mixture was silently re-sorted per batch (`O(m · samples)` of hidden
+//! sort work per batch, up to 2× the final budget in total) while
+//! producing bitwise-identical profiles — exactly the kind of regression
+//! only a work counter can catch.
+//!
+//! This file must stay a **single-test binary**: the counter is global,
+//! so a concurrently running test that sorts anything would corrupt the
+//! deltas.
+
+use bcc_congest::wide::FnWideProtocol;
+use bcc_congest::FnProtocol;
+use bcc_core::{
+    keys_sorted_total, AdaptiveEstimator, ProductInput, RowSupport, WideSampledEstimator,
+};
+
+#[test]
+fn adaptive_runs_sort_exactly_one_final_budget_per_side() {
+    let members = vec![
+        ProductInput::new(vec![
+            RowSupport::explicit(3, vec![1, 3, 5, 7]),
+            RowSupport::uniform(3),
+        ]),
+        ProductInput::new(vec![
+            RowSupport::uniform(3),
+            RowSupport::explicit(3, vec![0, 2]),
+        ]),
+    ];
+    let baseline = ProductInput::uniform(2, 3);
+    let sides = members.len() as u64 + 1;
+    let cap = 2048usize;
+    // Unreachable tolerance: the cap binds after several doubling
+    // batches — the regime where per-batch re-sorting would multiply the
+    // counted work.
+    let est = AdaptiveEstimator::new(1e-9, 64, cap, 0xFEED);
+
+    // The bit path.
+    let bitp = FnProtocol::new(2, 3, 6, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
+    let before = keys_sorted_total();
+    let (_, report) = est.estimate_with_report(&bitp, &members, &baseline, 6);
+    let sorted = keys_sorted_total() - before;
+    assert!(report.batches > 1, "want a multi-batch run: {report:?}");
+    assert_eq!(report.samples_per_side, cap);
+    assert_eq!(
+        sorted,
+        sides * cap as u64,
+        "bit adaptive run must sort each side's keys exactly once \
+         ({} batches drew {} per side; a mixture re-sort per batch would \
+         roughly double this)",
+        report.batches,
+        cap
+    );
+
+    // The wide path, same contract.
+    let widep = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
+    let before = keys_sorted_total();
+    let (_, report) = est.estimate_wide_with_report(&widep, &members, &baseline, 6);
+    let sorted = keys_sorted_total() - before;
+    assert!(report.batches > 1, "want a multi-batch run: {report:?}");
+    assert_eq!(
+        sorted,
+        sides * cap as u64,
+        "wide adaptive run must sort each side's keys exactly once"
+    );
+
+    // Contrast: the one-shot estimator legitimately sorts the mixture
+    // once on top of the per-side sorts — (sides + members) × budget —
+    // which pins that the counter actually sees mixture sorting (the
+    // adaptive numbers above are not an accounting blind spot).
+    let before = keys_sorted_total();
+    let _ = WideSampledEstimator::new(cap, 0xFEED).estimate_full(&widep, &members, &baseline);
+    let sorted = keys_sorted_total() - before;
+    assert_eq!(sorted, (sides + members.len() as u64) * cap as u64);
+}

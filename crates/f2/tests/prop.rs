@@ -162,4 +162,22 @@ proptest! {
             prop_assert!(set.contains(i as usize));
         }
     }
+
+    #[test]
+    fn demotion_flag_tracks_the_budget_exactly_at_the_boundary(
+        // prop_filter concentrates every case within two elements of the
+        // dense↔sparse demotion boundary — the sizes where an off-by-one
+        // in the budget comparison would actually flip the representation
+        // (uniform sizes would hit this window in a small minority of
+        // cases).
+        indices in proptest::collection::btree_set(0u32..300, 1..=80usize)
+            .prop_filter("within 2 of the sparse budget", |s| {
+                s.len().abs_diff(sparse_budget(300)) <= 2
+            }),
+    ) {
+        let sorted: Vec<u32> = indices.into_iter().collect();
+        let set = ConsistentSet::from_indices(300, &sorted);
+        prop_assert_eq!(set.is_sparse(), set.count() <= sparse_budget(300));
+        prop_assert!(set.iter().map(|i| i as u32).eq(sorted.iter().copied()));
+    }
 }

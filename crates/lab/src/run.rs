@@ -19,7 +19,9 @@ use std::time::Instant;
 
 use bcc_congest::wide::FnWideProtocol;
 use bcc_congest::FnProtocol;
-use bcc_core::{derive_seed, wide_walk_nodes, AdaptiveEstimator, WideExactEstimator};
+use bcc_core::{
+    derive_seed, wide_walk_nodes, AdaptiveEstimator, WideExactEstimator, MAX_WIDE_NODES,
+};
 use bcc_f2::{BitMatrix, BitVec};
 use bcc_planted::find::{activation_probability, measure_find};
 use bcc_prg::toy;
@@ -88,6 +90,9 @@ pub fn run_point(scenario: &Scenario, point_id: usize, point: &ScenarioPoint) ->
         Workload::FindClique => find_clique(point, &precision),
         Workload::PrgThroughput => prg_throughput(point, &precision),
         Workload::WideMessages { members } => wide_messages(point, members, &precision),
+        Workload::WideMessagesSampled { members } => {
+            wide_messages_sampled(point, members, &precision)
+        }
     };
     PointRecord {
         point_id,
@@ -180,6 +185,31 @@ fn draw_secrets(rng: &mut StdRng, members: usize, k: u32) -> Vec<u64> {
 /// inside `toy::pseudo_input`), while the logical `n` parameterizes the
 /// message masks.
 fn wide_messages(point: &ScenarioPoint, members: usize, precision: &Precision) -> Outcome {
+    let (protocol, family, baseline) = wide_setup(point, members);
+    let profile = WideExactEstimator::default().estimate_full(&protocol, &family, &baseline);
+    Outcome {
+        estimate: profile.tv(),
+        noise_floor: profile.noise_floor(),
+        samples: wide_walk_nodes(point.bandwidth, point.rounds),
+        met_tolerance: profile.noise_floor() <= precision.tolerance,
+    }
+}
+
+/// The shared declarative half of the wide-message workloads: the masked
+/// `w`-bit parity protocol plus the point's coset family and uniform
+/// baseline, all derived from the point's own streams. Exact and sampled
+/// routes consume identical setups, which is what makes the in-budget
+/// cells of a [`Workload::WideMessagesSampled`] grid directly
+/// cross-checkable against [`Workload::WideMessages`] records.
+#[allow(clippy::type_complexity)]
+fn wide_setup(
+    point: &ScenarioPoint,
+    members: usize,
+) -> (
+    FnWideProtocol<impl Fn(usize, u64, &bcc_congest::wide::WideTranscript) -> u64>,
+    Vec<bcc_core::ProductInput>,
+    bcc_core::ProductInput,
+) {
     let w = point.bandwidth;
     let rounds = point.rounds;
     let k = point.k;
@@ -214,13 +244,39 @@ fn wide_messages(point: &ScenarioPoint, members: usize, precision: &Precision) -
         .map(|&b| toy::pseudo_input(n_speak, k, b))
         .collect();
     let baseline = toy::uniform_input(n_speak, k);
+    (protocol, family, baseline)
+}
 
-    let profile = WideExactEstimator::default().estimate_full(&protocol, &family, &baseline);
+/// [`wide_messages`] past the exact cliff: the identical protocol family,
+/// with the backend routed per point — the exact wide walk when the
+/// complete tree fits [`bcc_core::MAX_WIDE_NODES`], the adaptive wide
+/// sampler ([`AdaptiveEstimator::estimate_wide_with_report`], per-side
+/// derived ChaCha streams, incremental batches) exactly when it does not.
+///
+/// Sampled records report the estimator's honest `noise_floor()` — for
+/// deep wide horizons the transcript support can exceed any sample
+/// budget, so the floor may stay above the tolerance and the record then
+/// says `met_tolerance = false` at the cap rather than overstating its
+/// precision. Both routes are bitwise-deterministic from the point's
+/// coordinates, so resume semantics are unchanged.
+fn wide_messages_sampled(point: &ScenarioPoint, members: usize, precision: &Precision) -> Outcome {
+    if wide_walk_nodes(point.bandwidth, point.rounds) <= MAX_WIDE_NODES {
+        return wide_messages(point, members, precision);
+    }
+    let (protocol, family, baseline) = wide_setup(point, members);
+    let estimator = AdaptiveEstimator::new(
+        precision.tolerance,
+        precision.initial_samples,
+        precision.max_samples,
+        derive_seed(point.stream_root(), 6),
+    );
+    let (profile, report) =
+        estimator.estimate_wide_with_report(&protocol, &family, &baseline, point.rounds);
     Outcome {
         estimate: profile.tv(),
         noise_floor: profile.noise_floor(),
-        samples: wide_walk_nodes(w, rounds),
-        met_tolerance: profile.noise_floor() <= precision.tolerance,
+        samples: report.samples_per_side as u64,
+        met_tolerance: report.met_tolerance,
     }
 }
 
@@ -441,6 +497,71 @@ mod tests {
             signal > 0.0,
             "masked output-bit parities must distinguish the coset family"
         );
+    }
+
+    #[test]
+    fn wide_sampled_routes_exact_inside_the_budget_and_samples_beyond() {
+        let scenario = Scenario::builder("t")
+            .workload(Workload::WideMessagesSampled { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[5, 14])
+            .bandwidth(&[2])
+            .tolerance(0.25)
+            .initial_samples(256)
+            .max_samples(1 << 12)
+            .build();
+        // Inside the budget (w 2, T 5): exact route — zero floor, node
+        // budget recorded, identical to the exact-only workload's record.
+        let inside = ScenarioPoint {
+            n: 1024,
+            k: 4,
+            rounds: 5,
+            bandwidth: 2,
+            seed: 3,
+        };
+        let routed = run_point(&scenario, 0, &inside);
+        assert_eq!(routed.noise_floor, 0.0);
+        assert_eq!(routed.samples, bcc_core::wide_walk_nodes(2, 5));
+        assert!(routed.met_tolerance);
+        let exact_only = Scenario::builder("t")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[5])
+            .bandwidth(&[2])
+            .tolerance(0.25)
+            .build();
+        let reference = run_point(&exact_only, 0, &inside);
+        assert_eq!(
+            routed.estimate.to_bits(),
+            reference.estimate.to_bits(),
+            "in-budget routing must reproduce the exact workload bit for bit"
+        );
+
+        // Beyond the budget (w 2, T 14 > the T = 12 boundary): the exact
+        // engine would refuse; the router must sample instead.
+        assert!(bcc_core::wide_walk_nodes(2, 14) > bcc_core::MAX_WIDE_NODES);
+        let beyond = ScenarioPoint {
+            n: 1024,
+            k: 4,
+            rounds: 14,
+            bandwidth: 2,
+            seed: 3,
+        };
+        let sampled = run_point(&scenario, 1, &beyond);
+        assert!(sampled.noise_floor > 0.0, "sampled records carry noise");
+        assert!(
+            sampled.samples <= 1 << 12,
+            "sampled budget is per-side samples, capped: {}",
+            sampled.samples
+        );
+        assert!((0.0..=1.0).contains(&sampled.estimate));
+        // Deterministic — the property resume rests on.
+        let again = run_point(&scenario, 1, &beyond);
+        assert_eq!(sampled.estimate.to_bits(), again.estimate.to_bits());
+        assert_eq!(sampled.noise_floor.to_bits(), again.noise_floor.to_bits());
+        assert_eq!(sampled.samples, again.samples);
     }
 
     #[test]

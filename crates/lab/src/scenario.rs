@@ -19,9 +19,10 @@
 //! * `bandwidth` — bits per broadcast (`BCAST(b)`). For the sampled
 //!   distance workloads a `b`-bit message is `b` consecutive one-bit
 //!   turns by the same speaker, so they walk `rounds × bandwidth`
-//!   transcript turns; for [`Workload::WideMessages`] `b` is the *literal*
-//!   message width of one wide turn walked by the exact `BCAST(w)`
-//!   engine.
+//!   transcript turns; for [`Workload::WideMessages`] and
+//!   [`Workload::WideMessagesSampled`] `b` is the *literal* message width
+//!   of one wide turn (walked exactly, or Monte-Carlo-sampled past the
+//!   exact node budget).
 //! * `seed` — the replication axis: same parameters, fresh randomness.
 //!
 //! Axes a workload ignores should be pinned to one value so they do not
@@ -189,6 +190,31 @@ pub enum Workload {
         /// own stream. Clamped to the `2^k` distinct secrets.
         members: usize,
     },
+    /// [`Workload::WideMessages`] past the exact cliff: the same coset
+    /// family under the same `w`-bit masked-parity protocol, but per
+    /// point the backend is **routed** — the exact wide walk wherever the
+    /// complete tree fits the engine's [`bcc_core::MAX_WIDE_NODES`]
+    /// budget (`wide_walk_nodes(w, rounds) ≤ 2^26`), and the adaptive
+    /// wide *sampler* ([`bcc_core::AdaptiveEstimator`] over
+    /// `w`-bit-per-turn packed keys) exactly when it does not. In-budget
+    /// records are exact (noise floor 0, budget = the reachable-node
+    /// bound); past-budget records carry the sampler's honest
+    /// `noise_floor()` and its settled per-side sample budget. Deep wide
+    /// horizons have transcript supports that dwarf any sample budget, so
+    /// such points may report `met_tolerance = false` at the cap — the
+    /// floor is recorded, not hidden. Both routes are deterministic from
+    /// the point's coordinate-derived streams, so sweeps still resume
+    /// bit-for-bit; the sampled route is pinned to the exact engines
+    /// inside the budget by `crates/core/tests/differential.rs`.
+    ///
+    /// Axes: as [`Workload::WideMessages`], except the node budget no
+    /// longer constrains the grid — only the `u64` transcript packing
+    /// (`rounds × bandwidth ≤ 64`) does.
+    WideMessagesSampled {
+        /// Family members (secrets `b`) drawn per point, from the point's
+        /// own stream. Clamped to the `2^k` distinct secrets.
+        members: usize,
+    },
 }
 
 impl Workload {
@@ -199,6 +225,7 @@ impl Workload {
             Workload::FindClique => "find_clique",
             Workload::PrgThroughput => "prg_throughput",
             Workload::WideMessages { .. } => "wide_messages",
+            Workload::WideMessagesSampled { .. } => "wide_messages_sampled",
         }
     }
 
@@ -291,9 +318,9 @@ impl Scenario {
             Value::Raw(format!("[{}]", cells.join(",")))
         };
         let members = match self.workload {
-            Workload::RankDistance { members } | Workload::WideMessages { members } => {
-                members as u64
-            }
+            Workload::RankDistance { members }
+            | Workload::WideMessages { members }
+            | Workload::WideMessagesSampled { members } => members as u64,
             _ => 0,
         };
         let mut fields = vec![
@@ -346,7 +373,7 @@ impl Scenario {
             ),
             ("max_samples", num(self.precision.max_samples as u64)),
         ];
-        if matches!(self.workload, Workload::WideMessages { .. }) {
+        if self.pins_walk_depths() {
             let depths: Vec<u64> = self
                 .grid
                 .bandwidth
@@ -356,6 +383,27 @@ impl Scenario {
             fields.push(("walk_split_depths", axis(&depths)));
         }
         write_object(&fields)
+    }
+
+    /// Whether this scenario's records can depend on the exact walk's
+    /// adaptive frontier depth (and its fingerprint must therefore pin
+    /// the effective depths): every [`Workload::WideMessages`] scenario,
+    /// and a [`Workload::WideMessagesSampled`] scenario whose grid has at
+    /// least one `(rounds, bandwidth)` cell inside the exact node budget
+    /// (those cells route to the exact walk). An all-sampled grid is
+    /// frontier-independent, and pinning would only refuse legitimate
+    /// cross-machine resumes.
+    fn pins_walk_depths(&self) -> bool {
+        match self.workload {
+            Workload::WideMessages { .. } => true,
+            Workload::WideMessagesSampled { .. } => self.grid.rounds.iter().any(|&rounds| {
+                self.grid
+                    .bandwidth
+                    .iter()
+                    .any(|&b| wide_walk_nodes(b, rounds) <= MAX_WIDE_NODES)
+            }),
+            _ => false,
+        }
     }
 }
 
@@ -505,7 +553,7 @@ impl ScenarioBuilder {
                     );
                 }
             }
-            Workload::WideMessages { members } => {
+            Workload::WideMessages { members } | Workload::WideMessagesSampled { members } => {
                 assert!(members > 0, "need at least one family member");
                 for &k in &grid.k {
                     assert!(
@@ -513,6 +561,7 @@ impl ScenarioBuilder {
                         "k = {k} outside 1..=12 (coset supports are enumerated)"
                     );
                 }
+                let exact_only = matches!(workload, Workload::WideMessages { .. });
                 for &rounds in &grid.rounds {
                     for &bandwidth in &grid.bandwidth {
                         assert!(
@@ -525,12 +574,16 @@ impl ScenarioBuilder {
                             "rounds x bandwidth = {rounds} x {bandwidth} outside 1..=64 \
                              (wide transcripts pack into a u64)"
                         );
+                        // The sampled-capable workload exists precisely to
+                        // cross this budget: only the exact-only workload
+                        // refuses past-budget cells.
                         let nodes = wide_walk_nodes(bandwidth, rounds);
                         assert!(
-                            nodes <= MAX_WIDE_NODES,
+                            !exact_only || nodes <= MAX_WIDE_NODES,
                             "rounds = {rounds} at bandwidth = {bandwidth} reaches up to \
                              {nodes} tree nodes, beyond the exact wide engine's \
-                             {MAX_WIDE_NODES}-node budget"
+                             {MAX_WIDE_NODES}-node budget (use WideMessagesSampled to \
+                             route such points to the sampler)"
                         );
                     }
                 }
@@ -734,6 +787,64 @@ mod tests {
             .bandwidth(&[2])
             .build();
         assert!(!rank.fingerprint().contains("walk_split_depths"));
+    }
+
+    #[test]
+    fn sampled_wide_grids_may_cross_the_node_budget() {
+        // The same grid the exact-only workload refuses (depth-14 4-ary
+        // tree) builds under the sampled-capable workload; only the u64
+        // packing constrains it.
+        let s = Scenario::builder("ws")
+            .workload(Workload::WideMessagesSampled { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[6, 14])
+            .bandwidth(&[2])
+            .build();
+        assert_eq!(s.workload().tag(), "wide_messages_sampled");
+        assert_eq!(s.grid().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=64")]
+    fn sampled_wide_grids_still_respect_the_u64_packing() {
+        let _ = Scenario::builder("ws")
+            .workload(Workload::WideMessagesSampled { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[40])
+            .bandwidth(&[2])
+            .build();
+    }
+
+    #[test]
+    fn sampled_wide_fingerprint_pins_depths_only_when_a_cell_routes_exact() {
+        let build = |rounds: &[u32]| {
+            Scenario::builder("ws")
+                .workload(Workload::WideMessagesSampled { members: 2 })
+                .n(&[1024])
+                .k(&[4])
+                .rounds(rounds)
+                .bandwidth(&[2])
+                .build()
+        };
+        // A straddling grid has exact-routed cells, whose floats depend
+        // on the walk's adaptive frontier depth: pinned.
+        assert!(build(&[6, 14]).fingerprint().contains("walk_split_depths"));
+        // An all-sampled grid is frontier-independent: not pinned, so
+        // cross-machine resumes are not refused for a depth that no
+        // record depends on.
+        assert!(!build(&[14, 16]).fingerprint().contains("walk_split_depths"));
+        // And the two workloads can never share a run directory.
+        let exact = Scenario::builder("ws")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[6])
+            .bandwidth(&[2])
+            .build();
+        let sampled = build(&[6]);
+        assert_ne!(exact.fingerprint(), sampled.fingerprint());
     }
 
     #[test]

@@ -179,6 +179,82 @@ fn wide_message_sweeps_persist_and_resume_bit_for_bit() {
 }
 
 #[test]
+fn straddling_sampled_wide_sweeps_persist_and_resume_bit_for_bit() {
+    // A grid that crosses the exact engine's node budget: rounds 5 routes
+    // to the exact walk, rounds 14 (beyond the w = 2 boundary at 12) to
+    // the adaptive wide sampler. The whole persisted lifecycle must hold
+    // across the routing seam — including a torn-log resume whose
+    // recomputed half contains points from *both* routes.
+    let scenario = Scenario::builder("wide-sampled-resume")
+        .workload(Workload::WideMessagesSampled { members: 2 })
+        .n(&[1024])
+        .k(&[4])
+        .rounds(&[5, 14])
+        .bandwidth(&[2])
+        .seeds(&[1, 2])
+        .tolerance(0.25)
+        .initial_samples(256)
+        .max_samples(1 << 12)
+        .build();
+    let (full_dir, _g1) = scratch_dir("wide-sampled-full");
+    let full = scenario.sweep_in(&full_dir);
+    assert_eq!(full.computed, 4);
+    // The exact-routed points are noiseless; the sampled ones are not.
+    let exact_records: Vec<_> = full.records.iter().filter(|r| r.rounds == 5).collect();
+    let sampled_records: Vec<_> = full.records.iter().filter(|r| r.rounds == 14).collect();
+    assert!(exact_records.iter().all(|r| r.noise_floor == 0.0));
+    assert!(sampled_records.iter().all(|r| r.noise_floor > 0.0));
+    assert!(
+        sampled_records.iter().all(|r| r.samples <= 1 << 12),
+        "sampled budgets are per-side samples, not node counts"
+    );
+
+    let again = scenario.sweep_in(&full_dir);
+    assert_eq!(again.computed, 0);
+    assert_eq!(again.resumed, 4);
+
+    let (half_dir, _g2) = scratch_dir("wide-sampled-half");
+    tear_into(&full_dir, &half_dir, 1);
+    let resumed = run_sweep(&scenario, Some(&half_dir));
+    assert_eq!(resumed.resumed, 1);
+    assert_eq!(resumed.computed, 3);
+    for (a, b) in full.records.iter().zip(&resumed.records) {
+        assert_eq!(
+            a.estimate.to_bits(),
+            b.estimate.to_bits(),
+            "point {} diverged across interruption",
+            a.point_id
+        );
+        assert_eq!(a.noise_floor.to_bits(), b.noise_floor.to_bits());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.met_tolerance, b.met_tolerance);
+    }
+}
+
+#[test]
+#[should_panic(expected = "different scenario")]
+fn sampled_wide_directories_refuse_a_foreign_budget() {
+    // The sample cap shapes every sampled record, so it is part of the
+    // fingerprint: reopening a run directory with a different budget must
+    // refuse rather than mix records computed under different caps.
+    let (dir, _guard) = scratch_dir("wide-budget");
+    let build = |max_samples: usize| {
+        Scenario::builder("wide-budget")
+            .workload(Workload::WideMessagesSampled { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[13])
+            .bandwidth(&[2])
+            .tolerance(0.25)
+            .initial_samples(128)
+            .max_samples(max_samples)
+            .build()
+    };
+    build(1 << 10).sweep_in(&dir);
+    build(1 << 11).sweep_in(&dir);
+}
+
+#[test]
 #[should_panic(expected = "different scenario")]
 fn directories_refuse_foreign_scenarios() {
     let (dir, _guard) = scratch_dir("foreign");

@@ -194,6 +194,107 @@ fn mixture_decomposition_identity() {
     );
 }
 
+/// A scratch run directory under the system temp dir, removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir =
+            std::env::temp_dir().join(format!("bcc-integration-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn straddling_wide_scenario(name: &str, max_samples: usize) -> bcc::lab::Scenario {
+    bcc::lab::Scenario::builder(name)
+        .workload(bcc::lab::Workload::WideMessagesSampled { members: 2 })
+        .n(&[1024, 2048])
+        .k(&[4])
+        .rounds(&[5, 13])
+        .bandwidth(&[2])
+        .seeds(&[1, 2])
+        .tolerance(0.25)
+        .initial_samples(256)
+        .max_samples(max_samples)
+        .build()
+}
+
+#[test]
+fn sampled_wide_lab_flow_crosses_the_exact_cliff_and_resumes_bitwise() {
+    // The full sampled-wide pipeline: a lab sweep whose grid straddles
+    // the exact engine's 2^26-node budget (rounds 13 at width 2 prices
+    // ~2^27 nodes — impossible for the exact walk), an interruption
+    // drill, and a bit-identical resume across the routing seam.
+    use bcc::core::{wide_walk_nodes, MAX_WIDE_NODES};
+    assert!(wide_walk_nodes(2, 5) <= MAX_WIDE_NODES);
+    assert!(wide_walk_nodes(2, 13) > MAX_WIDE_NODES);
+
+    let scenario = straddling_wide_scenario("integration-wide-sampled", 1 << 11);
+    let scratch = ScratchDir::new("wide-full");
+    let full = scenario.sweep_in(&scratch.0);
+    assert_eq!(full.records.len(), 8);
+    for r in &full.records {
+        if r.rounds == 5 {
+            assert_eq!(r.noise_floor, 0.0, "in-budget points walk exactly");
+            assert_eq!(r.samples, wide_walk_nodes(2, 5));
+            assert!(r.met_tolerance);
+        } else {
+            assert!(r.noise_floor > 0.0, "past-cliff points are sampled");
+            assert!(r.samples <= 1 << 11, "per-side budget respects the cap");
+        }
+        assert!((0.0..=1.0).contains(&r.estimate));
+    }
+
+    // Interruption drill: keep the manifest and 3 of 8 records plus a
+    // torn half-line, then resume and demand bitwise identity.
+    let half = ScratchDir::new("wide-half");
+    std::fs::create_dir_all(&half.0).unwrap();
+    std::fs::copy(
+        scratch.0.join("manifest.json"),
+        half.0.join("manifest.json"),
+    )
+    .unwrap();
+    let log = std::fs::read_to_string(scratch.0.join("records.jsonl")).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    let mut torn = lines[..3].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[3][..lines[3].len() / 2]);
+    std::fs::write(half.0.join("records.jsonl"), torn).unwrap();
+
+    let resumed = bcc::lab::run_sweep(&scenario, Some(&half.0));
+    assert_eq!(resumed.resumed, 3);
+    assert_eq!(resumed.computed, 5);
+    for (a, b) in full.records.iter().zip(&resumed.records) {
+        assert_eq!(a.point_id, b.point_id);
+        assert_eq!(
+            a.estimate.to_bits(),
+            b.estimate.to_bits(),
+            "point {} diverged across the interruption",
+            a.point_id
+        );
+        assert_eq!(a.noise_floor.to_bits(), b.noise_floor.to_bits());
+        assert_eq!(a.samples, b.samples);
+    }
+}
+
+#[test]
+#[should_panic(expected = "different scenario")]
+fn sampled_wide_run_directories_refuse_a_foreign_budget() {
+    // The sample cap shapes every sampled record bit for bit, so the
+    // manifest fingerprint pins it: a resume presenting a different
+    // budget must refuse instead of mixing records.
+    let scratch = ScratchDir::new("wide-foreign");
+    straddling_wide_scenario("integration-wide-foreign", 1 << 10).sweep_in(&scratch.0);
+    straddling_wide_scenario("integration-wide-foreign", 1 << 11).sweep_in(&scratch.0);
+}
+
 #[test]
 fn engine_two_sided_symmetry() {
     // ||P_A - P_B|| = ||P_B - P_A||.

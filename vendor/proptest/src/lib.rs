@@ -3,12 +3,17 @@
 //!
 //! Supports the subset the workspace's property tests use: the
 //! [`proptest!`] macro (with optional `#![proptest_config(...)]` header),
-//! range / `any` / `Just` / `prop_oneof!` strategies, `prop_map`,
-//! `collection::{vec, btree_set}`, and the `prop_assert*` / `prop_assume!`
-//! macros. Differences from the real crate: generation is seeded
-//! deterministically from the test's module path (every run explores the
-//! same cases — a feature for CI reproducibility), and failing inputs are
-//! reported but **not shrunk**.
+//! range / `any` / `Just` / `prop_oneof!` strategies, `prop_map` /
+//! `prop_filter`, `collection::{vec, btree_set}`, and the `prop_assert*`
+//! / `prop_assume!` macros. Failing inputs are *minimally shrunk*:
+//! structural candidates (range starts, halved magnitudes, shorter
+//! collections, dropped set elements) are re-run greedily until none
+//! still fails — see [`strategy::Strategy::shrink`]; strategies the stub
+//! cannot invert (notably `prop_map`) do not shrink. Differences from the
+//! real crate: generation is seeded deterministically from the test's
+//! module path (every run explores the same cases — a feature for CI
+//! reproducibility), and shrinking reports the minimal failure message
+//! rather than a `Debug` dump of the inputs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,12 +81,39 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S> Strategy for VecStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.pick(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Shorter first (never below the size range's minimum): the
+            // minimum length, half the length, one element fewer.
+            let lens = [self.size.lo, value.len() / 2, value.len().saturating_sub(1)];
+            let mut seen = Vec::new();
+            for &len in &lens {
+                if len >= self.size.lo && len < value.len() && !seen.contains(&len) {
+                    seen.push(len);
+                    out.push(value[..len].to_vec());
+                }
+            }
+            // Then element-wise simplification at the same length.
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -110,7 +142,7 @@ pub mod collection {
     impl<S> Strategy for BTreeSetStrategy<S>
     where
         S: Strategy,
-        S::Value: Ord,
+        S::Value: Ord + Clone,
     {
         fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
             let target = self.size.pick(rng);
@@ -123,6 +155,25 @@ pub mod collection {
             set
         }
 
+        fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+            // Drop one element at a time (largest first), never shrinking
+            // below the size range's minimum.
+            if value.len() <= self.size.lo {
+                return Vec::new();
+            }
+            value
+                .iter()
+                .rev()
+                .map(|drop| {
+                    value
+                        .iter()
+                        .filter(|x| *x != drop)
+                        .cloned()
+                        .collect::<BTreeSet<_>>()
+                })
+                .collect()
+        }
+
         type Value = BTreeSet<S::Value>;
     }
 }
@@ -132,6 +183,52 @@ pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_shrink_offers_shorter_vectors_within_the_size_floor() {
+        let s = crate::collection::vec(0u64..100, 2usize..10);
+        let value = vec![9, 8, 7, 6, 5, 4];
+        let candidates = crate::strategy::Strategy::shrink(&s, &value);
+        assert!(candidates.iter().any(|c| c.len() == 2), "minimum length");
+        assert!(candidates.iter().all(|c| c.len() >= 2), "floor respected");
+        assert!(
+            candidates.iter().any(|c| c.len() == value.len()),
+            "element-wise candidates keep the length"
+        );
+    }
+
+    #[test]
+    fn btree_set_shrink_drops_single_elements_down_to_the_floor() {
+        let s = crate::collection::btree_set(0u64..100, 2usize..=8);
+        let value: std::collections::BTreeSet<u64> = [1, 5, 9].into_iter().collect();
+        let candidates = crate::strategy::Strategy::shrink(&s, &value);
+        assert_eq!(candidates.len(), 3);
+        assert!(candidates.iter().all(|c| c.len() == 2));
+        let at_floor: std::collections::BTreeSet<u64> = [1, 5].into_iter().collect();
+        assert!(crate::strategy::Strategy::shrink(&s, &at_floor).is_empty());
+    }
+
+    #[test]
+    fn filtered_generation_composes_with_the_macro_plumbing() {
+        // Drive the same path the proptest! macro uses: a combined tuple
+        // strategy with a prop_filter component.
+        let combined = (
+            (1u64..64).prop_filter("odd", |x| x % 2 == 1),
+            0u32..4,
+        );
+        let mut rng = TestRng::deterministic("filter-macro-plumbing");
+        for _ in 0..100 {
+            let (x, y) = crate::strategy::Strategy::generate(&combined, &mut rng);
+            assert_eq!(x % 2, 1);
+            assert!(y < 4);
+        }
+    }
 }
 
 /// Asserts a condition inside a [`proptest!`] body, failing the case (with
@@ -244,18 +341,32 @@ macro_rules! proptest {
                 let mut rng = $crate::test_runner::TestRng::deterministic(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
+                // All arguments generate through one tuple strategy (in
+                // declaration order, so the case sequence matches the
+                // pre-shrinking runner), which is also what failing
+                // inputs shrink through.
+                let combined = ($(($strategy),)+);
+                let run_case = $crate::strategy::case_runner(&combined, |values| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(values);
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 for case in 0..config.cases {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
-                    let outcome: ::std::result::Result<(), ::std::string::String> =
-                        (move || {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(message) = outcome {
+                    let generated = $crate::strategy::Strategy::generate(&combined, &mut rng);
+                    if let ::std::result::Result::Err(message) = run_case(&generated) {
+                        let (_minimal, message, steps) = $crate::strategy::minimize(
+                            &combined,
+                            generated,
+                            message,
+                            500,
+                            |candidate| run_case(candidate),
+                        );
                         panic!(
-                            "proptest case {}/{} failed: {}",
+                            "proptest case {}/{} failed (minimized through {} shrink \
+                             evaluations): {}",
                             case + 1,
                             config.cases,
+                            steps,
                             message
                         );
                     }

@@ -1,9 +1,18 @@
-//! Value-generation strategies (no shrinking — see the crate docs).
+//! Value-generation strategies, with *minimal structural shrinking*: a
+//! failing case is reduced by [`Strategy::shrink`] candidates (toward
+//! range starts, shorter collections, zero integers) until no candidate
+//! still fails. Shrinking is best-effort — strategies whose output cannot
+//! be inverted (notably [`Map`]) simply offer no candidates, which the
+//! runner treats as "already minimal".
 
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 
 use crate::test_runner::TestRng;
+
+/// How many rejected values [`Filter`] tolerates per draw before giving
+/// up (mirrors the real crate's local-rejection cap).
+const FILTER_MAX_REJECTS: usize = 256;
 
 /// A recipe for generating values of one type.
 ///
@@ -16,13 +25,43 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, most aggressive first. The
+    /// runner re-runs the failing test body on each candidate and recurses
+    /// on the first that still fails; an empty list means `value` is as
+    /// small as this strategy knows how to make it (the default).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
+    ///
+    /// Mapped values do not shrink (the map cannot be inverted to shrink
+    /// the underlying value — the full crate's value trees can).
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `accept`, re-drawing rejected ones.
+    /// `whence` names the constraint in the panic raised if the filter
+    /// rejects [`FILTER_MAX_REJECTS`] draws in a row (a filter that is
+    /// almost never satisfiable should be a different strategy instead).
+    /// Shrink candidates are filtered through `accept` too, so shrinking
+    /// never escapes the constraint.
+    fn prop_filter<R, F>(self, whence: R, accept: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            accept,
+        }
     }
 }
 
@@ -42,6 +81,44 @@ where
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    accept: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_MAX_REJECTS {
+            let value = self.inner.generate(rng);
+            if (self.accept)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected {FILTER_MAX_REJECTS} values in a row; \
+             use a strategy that satisfies the constraint by construction",
+            self.whence
+        );
+    }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|candidate| (self.accept)(candidate))
+            .collect()
     }
 }
 
@@ -81,17 +158,54 @@ impl<S: Strategy> Strategy for Union<S> {
         let i = (rng.next_u64() as usize) % self.options.len();
         self.options[i].generate(rng)
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // The generating option is not recorded, so every option may
+        // propose simplifications (candidates that still fail the test
+        // are valid counterexamples wherever they came from).
+        self.options
+            .iter()
+            .flat_map(|option| option.shrink(value))
+            .collect()
+    }
 }
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Generates an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications for [`Strategy::shrink`] (empty by
+    /// default; numeric types head toward zero).
+    fn simplify(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for an unsigned value: zero first, then the value
+/// with half its magnitude removed — log-many steps to a minimal witness.
+fn shrink_toward<T: Copy + PartialEq>(value: T, zero: T, halfway: T) -> Vec<T> {
+    let mut out = Vec::new();
+    if value != zero {
+        out.push(zero);
+        if halfway != zero && halfway != value {
+            out.push(halfway);
+        }
+    }
+    out
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn simplify(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -99,11 +213,19 @@ impl Arbitrary for u32 {
     fn arbitrary(rng: &mut TestRng) -> u32 {
         rng.next_u64() as u32
     }
+
+    fn simplify(value: &u32) -> Vec<u32> {
+        shrink_toward(*value, 0, *value / 2)
+    }
 }
 
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut TestRng) -> u64 {
         rng.next_u64()
+    }
+
+    fn simplify(value: &u64) -> Vec<u64> {
+        shrink_toward(*value, 0, *value / 2)
     }
 }
 
@@ -111,11 +233,19 @@ impl Arbitrary for usize {
     fn arbitrary(rng: &mut TestRng) -> usize {
         rng.next_u64() as usize
     }
+
+    fn simplify(value: &usize) -> Vec<usize> {
+        shrink_toward(*value, 0, *value / 2)
+    }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         rng.next_f64()
+    }
+
+    fn simplify(value: &f64) -> Vec<f64> {
+        shrink_toward(*value, 0.0, *value / 2.0)
     }
 }
 
@@ -129,11 +259,62 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::simplify(value)
+    }
 }
 
 /// An unconstrained value of type `T`.
 pub fn any<T: Arbitrary>() -> Any<T> {
     Any(PhantomData)
+}
+
+/// Ties a case-running closure's parameter type to a strategy's value
+/// type, so the [`proptest!`](crate::proptest) macro's closure
+/// type-checks without naming the (unnameable) tuple type. Returns the
+/// closure unchanged.
+pub fn case_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    run
+}
+
+/// Minimizes a failing input (the [`proptest!`](crate::proptest) macro's
+/// shrink loop): greedily replaces the value by the first
+/// [`Strategy::shrink`] candidate that still fails, restarting from the
+/// new value, until no candidate fails or `budget` candidate evaluations
+/// are spent. Returns the minimal failing value, its failure message, and
+/// the evaluations spent.
+pub fn minimize<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    budget: usize,
+    run: F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    let mut spent = 0usize;
+    'outer: while spent < budget {
+        for candidate in strategy.shrink(&value) {
+            if spent >= budget {
+                break 'outer;
+            }
+            spent += 1;
+            if let Err(failure) = run(&candidate) {
+                value = candidate;
+                message = failure;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, message, spent)
 }
 
 macro_rules! int_range_strategy {
@@ -145,6 +326,17 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // A value this arm could not have generated (Union
+                // delegates failing values to *every* arm) gets no
+                // candidates — and must not reach the subtraction below,
+                // which would underflow for unsigned values under start.
+                if !self.contains(value) {
+                    return Vec::new();
+                }
+                int_range_shrink(*value, self.start)
             }
         }
 
@@ -160,9 +352,51 @@ macro_rules! int_range_strategy {
                 }
                 start + (rng.next_u64() % (span + 1)) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                if !self.contains(value) {
+                    return Vec::new();
+                }
+                int_range_shrink(*value, *self.start())
+            }
         }
     )*};
 }
+
+/// Range shrinking heads for the range's start: the start itself (the
+/// minimal witness), then the midpoint (log-many steps when the start
+/// alone no longer fails).
+fn int_range_shrink<T>(value: T, start: T) -> Vec<T>
+where
+    T: Copy + PartialEq + std::ops::Add<Output = T> + std::ops::Sub<Output = T> + HalfOf,
+{
+    if value == start {
+        return Vec::new();
+    }
+    let midpoint = start + (value - start).half();
+    let mut out = vec![start];
+    if midpoint != start && midpoint != value {
+        out.push(midpoint);
+    }
+    out
+}
+
+/// Halving, for [`int_range_shrink`]'s midpoint step.
+trait HalfOf {
+    fn half(self) -> Self;
+}
+
+macro_rules! half_of {
+    ($($t:ty),*) => {$(
+        impl HalfOf for $t {
+            fn half(self) -> $t {
+                self / 2
+            }
+        }
+    )*};
+}
+
+half_of!(u8, u16, u32, u64, usize, i32, i64);
 
 int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
 
@@ -173,11 +407,26 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.next_f64() * (self.end - self.start)
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        if !self.contains(value) || *value == self.start {
+            return Vec::new();
+        }
+        let midpoint = self.start + (value - self.start) / 2.0;
+        let mut out = vec![self.start];
+        if midpoint != self.start && midpoint != *value {
+            out.push(midpoint);
+        }
+        out
+    }
 }
 
 macro_rules! tuple_strategy {
-    ($($s:ident),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
@@ -185,15 +434,31 @@ macro_rules! tuple_strategy {
                 let ($($s,)+) = self;
                 ($($s.generate(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component shrinks at a time, the rest held fixed —
+                // the runner recurses, so multi-component minimization
+                // still happens across rounds.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-tuple_strategy!(S0, S1);
-tuple_strategy!(S0, S1, S2);
-tuple_strategy!(S0, S1, S2, S3);
-tuple_strategy!(S0, S1, S2, S3, S4);
-tuple_strategy!(S0, S1, S2, S3, S4, S5);
+tuple_strategy!(S0: 0);
+tuple_strategy!(S0: 0, S1: 1);
+tuple_strategy!(S0: 0, S1: 1, S2: 2);
+tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3);
+tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4);
+tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5);
 
 #[cfg(test)]
 mod tests {
@@ -232,6 +497,92 @@ mod tests {
             seen[s.generate(&mut r) as usize] = true;
         }
         assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn filter_only_yields_accepted_values_and_shrinks_inside() {
+        let mut r = rng();
+        let s = (0u64..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..200 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+        // Shrink candidates of 50 head toward 0 but stay even.
+        let candidates = s.shrink(&50);
+        assert!(candidates.contains(&0));
+        assert!(candidates.iter().all(|c| c % 2 == 0 && *c < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected")]
+    fn unsatisfiable_filter_panics_with_its_name() {
+        let mut r = rng();
+        let s = (0u64..10).prop_filter("impossible", |_| false);
+        let _ = s.generate(&mut r);
+    }
+
+    #[test]
+    fn range_shrink_heads_for_the_start() {
+        assert_eq!((3u64..17).shrink(&3), Vec::<u64>::new());
+        let candidates = (3u64..17).shrink(&15);
+        assert_eq!(candidates, vec![3, 9]);
+        let inclusive = (0usize..=4).shrink(&4);
+        assert_eq!(inclusive, vec![0, 2]);
+    }
+
+    #[test]
+    fn minimize_converges_to_the_smallest_failing_value() {
+        // Failure iff value >= 13: greedy shrinking through starts and
+        // midpoints must land on exactly 13.
+        let s = 0u64..1000;
+        let run = |v: &u64| {
+            if *v >= 13 {
+                Err(format!("{v} too big"))
+            } else {
+                Ok(())
+            }
+        };
+        // Repeated halving from 999: 0 passes, 499 fails, ... binary
+        // search narrows but greedy midpoint-only shrinking stalls at the
+        // first value whose candidates (start, midpoint) both pass; the
+        // guarantee is "no candidate still fails", not global optimality.
+        let (minimal, message, steps) = minimize(&s, 999, "seed".into(), 500, run);
+        assert!(minimal >= 13, "must still fail: {minimal}");
+        assert!(run(&minimal).is_err());
+        // Both shrink candidates of the survivor pass the test.
+        assert!(s.shrink(&minimal).iter().all(|c| run(c).is_ok()));
+        assert!(message.contains("too big"));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = (0u64..10, 0u32..10);
+        let candidates = s.shrink(&(4, 6));
+        assert!(!candidates.is_empty());
+        for (a, b) in &candidates {
+            let changed_a = *a != 4;
+            let changed_b = *b != 6;
+            assert!(changed_a ^ changed_b, "candidate ({a},{b}) changed both");
+        }
+    }
+
+    #[test]
+    fn union_shrink_delegates_to_options() {
+        let s = Union::new(vec![0u64..8, 0u64..4]);
+        let candidates = s.shrink(&6);
+        assert!(candidates.contains(&0));
+    }
+
+    #[test]
+    fn union_shrink_of_heterogeneous_arms_skips_foreign_values() {
+        // A failing value from the low arm reaches the high arm's shrink
+        // (Union cannot know which arm generated it): the high arm must
+        // offer nothing rather than underflow `value - start`.
+        assert!((10u64..20).shrink(&2).is_empty());
+        assert!((10u64..=20).shrink(&2).is_empty());
+        let s = Union::new(vec![10u64..20, 0u64..5]);
+        let candidates = s.shrink(&2);
+        assert!(candidates.iter().all(|&c| c < 2), "candidates: {candidates:?}");
     }
 
     #[test]
