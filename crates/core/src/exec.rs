@@ -49,8 +49,8 @@ use rayon::prelude::*;
 use crate::engine::{exact_mixture_comparison_mode, SpeakerStats};
 use crate::input::ProductInput;
 use crate::sample::{
-    collect_sorted_keys, collect_sorted_wide_keys, merge_sorted_u64, radix_sort_u64,
-    sorted_support_union, sorted_tv_at_depth,
+    collect_sorted_keys, collect_sorted_wide_keys, merge_sorted_k_u64, merge_sorted_u64,
+    radix_sort_u64, sorted_support_union, sorted_tv_at_depth,
 };
 use crate::wide::exact_wide_comparison_mode;
 
@@ -949,12 +949,11 @@ impl AdaptiveEstimator {
             drawn = samples;
 
             // Fold this batch's member chunks (already sorted by the side
-            // samplers — no re-sort) into the persistent mixture.
-            delta_mix.clear();
-            for sampler in &sides[1..] {
-                merge_sorted_u64(&delta_mix, &sampler.chunk, &mut merge_scratch);
-                std::mem::swap(&mut delta_mix, &mut merge_scratch);
-            }
+            // samplers — no re-sort) into the persistent mixture: one
+            // k-way heap merge writes each chunk key once, where a
+            // pairwise fold would re-copy early chunks at every step.
+            let chunk_refs: Vec<&[u64]> = sides[1..].iter().map(|s| s.chunk.as_slice()).collect();
+            merge_sorted_k_u64(&chunk_refs, &mut delta_mix);
             merge_sorted_u64(&mixture, &delta_mix, &mut merge_scratch);
             std::mem::swap(&mut mixture, &mut merge_scratch);
 

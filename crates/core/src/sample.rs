@@ -31,6 +31,7 @@
 use bcc_congest::turn::run_turn_protocol;
 use bcc_congest::wide::{run_wide_protocol, WideTranscript, WideTurnProtocol};
 use bcc_congest::TurnProtocol;
+use bcc_f2::kernel::{self, WordKernel};
 use bcc_stats::sampling::MeanEstimator;
 use rand::Rng;
 
@@ -142,6 +143,10 @@ pub(crate) fn collect_sorted_wide_keys<P, R, F>(
 pub(crate) fn merge_sorted_u64(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    KEYS_MERGED.fetch_add(
+        (a.len() + b.len()) as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
     out.clear();
     out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
@@ -158,6 +163,49 @@ pub(crate) fn merge_sorted_u64(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
     out.extend_from_slice(&b[j..]);
 }
 
+/// Merges `k` sorted key arrays into `out` (cleared first) in one pass
+/// with a binary heap of cursors, preserving duplicates. For a wide
+/// family of `m` member chunks this writes each key **once** —
+/// `O(N log m)` comparisons for `N` output keys — where the pairwise
+/// fold it replaces re-copied early chunks at every step (`Σ i·Δ ≈ m²Δ/2`
+/// merge writes per batch). Delegates to [`merge_sorted_u64`] below
+/// three lists, and counts its output into [`keys_merged_total`].
+pub(crate) fn merge_sorted_k_u64(lists: &[&[u64]], out: &mut Vec<u64>) {
+    match lists {
+        [] => out.clear(),
+        [a] => {
+            KEYS_MERGED.fetch_add(a.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            out.clear();
+            out.extend_from_slice(a);
+        }
+        [a, b] => merge_sorted_u64(a, b, out),
+        _ => {
+            debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])));
+            let total: usize = lists.iter().map(|l| l.len()).sum();
+            KEYS_MERGED.fetch_add(total as u64, std::sync::atomic::Ordering::Relaxed);
+            out.clear();
+            out.reserve(total);
+            // Min-heap of (next key, list index); the list index
+            // tie-break is irrelevant to the output (keys are a
+            // multiset) but keeps the heap order total.
+            let mut heap = std::collections::BinaryHeap::with_capacity(lists.len());
+            let mut cursors = vec![0usize; lists.len()];
+            for (li, l) in lists.iter().enumerate() {
+                if let Some(&k) = l.first() {
+                    heap.push(std::cmp::Reverse((k, li)));
+                }
+            }
+            while let Some(std::cmp::Reverse((k, li))) = heap.pop() {
+                out.push(k);
+                cursors[li] += 1;
+                if let Some(&next) = lists[li].get(cursors[li]) {
+                    heap.push(std::cmp::Reverse((next, li)));
+                }
+            }
+        }
+    }
+}
+
 /// Below this length the comparison sort's cache behaviour beats the
 /// counting passes, and the scratch allocation is not worth it.
 const RADIX_CUTOFF: usize = 256;
@@ -170,6 +218,24 @@ const RADIX_MAX_VARYING_BYTES: u32 = 4;
 /// Process-wide count of keys fed through [`radix_sort_u64`] (fallback
 /// path included) — see [`keys_sorted_total`].
 static KEYS_SORTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide count of keys written by the sorted-array merges — see
+/// [`keys_merged_total`].
+static KEYS_MERGED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The cumulative number of keys this process has written through the
+/// sorted-key merges (`merge_sorted_u64` and the k-way heap merge).
+///
+/// The companion of [`keys_sorted_total`] for the *merge* half of the
+/// adaptive layer's work contract: a k-way fold of `m` member chunks
+/// writes each key once per fold level, where the pairwise fold it
+/// replaced re-copied early chunks `O(m)` times. The work-counting tests
+/// (`crates/core/tests/work.rs`) pin the total against the pairwise
+/// baseline. Monotone, process-wide; meaningful deltas require no
+/// concurrent merges.
+pub fn keys_merged_total() -> u64 {
+    KEYS_MERGED.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// The cumulative number of keys this process has fed through
 /// [`radix_sort_u64`], its comparison-sort fallback included.
@@ -199,6 +265,15 @@ pub fn keys_sorted_total() -> u64 {
 /// [`RADIX_MAX_VARYING_BYTES`] varying bytes, where scattered writes
 /// outweigh the comparison sort) fall back to `sort_unstable`.
 pub fn radix_sort_u64(keys: &mut Vec<u64>) {
+    radix_sort_u64_with(&kernel::active(), keys);
+}
+
+/// [`radix_sort_u64`] under an explicit [`WordKernel`] — the entry point
+/// differential tests and benches use to pin and price one kernel
+/// against another. The output order is bitwise independent of the
+/// kernel: the pre-scan and the counting passes are exact folds, and the
+/// scatter is the same stable serial permutation in every kernel.
+pub fn radix_sort_u64_with<K: WordKernel>(kernel: &K, keys: &mut Vec<u64>) {
     let n = keys.len();
     KEYS_SORTED.fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
     if n < RADIX_CUTOFF {
@@ -207,11 +282,7 @@ pub fn radix_sort_u64(keys: &mut Vec<u64>) {
     }
     // A byte is constant across the array iff every key agrees with every
     // other there, i.e. the OR and the AND of all keys coincide on it.
-    let (mut ones, mut zeros) = (0u64, u64::MAX);
-    for &key in keys.iter() {
-        ones |= key;
-        zeros &= key;
-    }
+    let (ones, zeros) = kernel.or_and_fold(keys);
     let varying = ones ^ zeros;
     let varying_bytes = (0..8).filter(|p| (varying >> (p * 8)) & 0xFF != 0).count() as u32;
     if varying_bytes > RADIX_MAX_VARYING_BYTES {
@@ -225,20 +296,14 @@ pub fn radix_sort_u64(keys: &mut Vec<u64>) {
             continue;
         }
         let mut hist = [0usize; 256];
-        for &key in keys.iter() {
-            hist[((key >> shift) & 0xFF) as usize] += 1;
-        }
+        kernel.byte_histogram(keys, shift, &mut hist);
         let mut offsets = [0usize; 256];
         let mut running = 0usize;
         for (offset, &count) in offsets.iter_mut().zip(hist.iter()) {
             *offset = running;
             running += count;
         }
-        for &key in keys.iter() {
-            let byte = ((key >> shift) & 0xFF) as usize;
-            scratch[offsets[byte]] = key;
-            offsets[byte] += 1;
-        }
+        kernel.byte_scatter(keys, shift, &mut offsets, &mut scratch);
         std::mem::swap(keys, &mut scratch);
     }
 }
@@ -616,6 +681,66 @@ mod tests {
             let mut out = Vec::new();
             merge_sorted_u64(&a, &b, &mut out);
             assert_eq!(out, expected, "lens {la}/{lb}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_k_matches_concat_and_sort() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for lens in &[
+            vec![],
+            vec![0usize],
+            vec![5],
+            vec![3, 0, 7],
+            vec![100, 1, 50, 0, 9],
+            vec![64; 8],
+        ] {
+            let lists: Vec<Vec<u64>> = lens
+                .iter()
+                .map(|&l| {
+                    let mut v: Vec<u64> = (0..l).map(|_| rng.gen::<u64>() % 40).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let refs: Vec<&[u64]> = lists.iter().map(|l| l.as_slice()).collect();
+            let mut expected: Vec<u64> = lists.concat();
+            expected.sort_unstable();
+            let mut out = vec![0xDEAD_BEEFu64]; // stale content must be cleared
+            let merged_before = keys_merged_total();
+            merge_sorted_k_u64(&refs, &mut out);
+            assert_eq!(out, expected, "lens {lens:?}");
+            assert_eq!(
+                keys_merged_total() - merged_before,
+                expected.len() as u64,
+                "k-way merge counts each output key once, lens {lens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_sort_is_kernel_invariant() {
+        use bcc_f2::kernel::Kernel;
+        let mut rng = StdRng::seed_from_u64(31);
+        let Some(avx2) = Kernel::avx2() else {
+            eprintln!("notice: no AVX2 on this host, skipping");
+            return;
+        };
+        for &len in &[300usize, 5_000] {
+            for shape in 0..3u32 {
+                let keys: Vec<u64> = (0..len)
+                    .map(|_| match shape {
+                        0 => prefix_key(rng.gen::<u64>() & 0xFFF),
+                        1 => rng.gen::<u64>() & 0xFF_FFFF,
+                        _ => rng.gen::<u64>() % 7,
+                    })
+                    .collect();
+                let mut scalar_sorted = keys.clone();
+                radix_sort_u64_with(&Kernel::scalar(), &mut scalar_sorted);
+                let mut avx2_sorted = keys;
+                radix_sort_u64_with(&avx2, &mut avx2_sorted);
+                assert_eq!(scalar_sorted, avx2_sorted, "len {len} shape {shape}");
+            }
         }
     }
 

@@ -51,7 +51,9 @@
 //! task (the mixture distance needs all members' probabilities *per
 //! node*, so fanning out over subtrees — not just over family members —
 //! is what parallelizes the whole computation), and task results are
-//! reduced **in frontier order**. Floating-point accumulation order is
+//! reduced **in frontier order**. Task snapshots are slim: only the rows
+//! spoken above the cut can differ from full, so only those are cloned
+//! per frontier node and each task reconstructs the rest. Floating-point accumulation order is
 //! therefore a function of the tree and the frontier depth alone, never
 //! of thread scheduling: [`ExecMode::Parallel`] and
 //! [`ExecMode::Sequential`] runs of the same walk return
@@ -65,6 +67,7 @@
 //! machines at equal thread counts (pin `RAYON_NUM_THREADS` to compare
 //! across different hardware).
 
+use bcc_f2::kernel::{self, WordKernel};
 use bcc_f2::ConsistentSet;
 use rayon::prelude::*;
 
@@ -271,16 +274,24 @@ pub fn exact_walk<B: Branching + ?Sized>(
 
     let m = members.len();
     let horizon = branching.horizon();
+    let split = branching.split_depth().min(horizon);
+    // Rows that can differ from full at the frontier: exactly the
+    // speakers of the turns above it. Frontier snapshots clone only
+    // these; tasks reconstruct the rest as full sets.
+    let mut touched: Vec<usize> = (0..split).map(|t| branching.speaker(t)).collect();
+    touched.sort_unstable();
+    touched.dedup();
     let ctx = Ctx {
         branching,
         members,
         baseline,
         horizon,
-        split: branching.split_depth().min(horizon),
+        split,
         n,
         m,
         binary: branching.binary(),
         groups: row_groups(members, baseline),
+        touched,
     };
 
     let mut acc = WalkOutcome::zeros(horizon as usize, m);
@@ -399,6 +410,9 @@ struct Ctx<'a, B: ?Sized> {
     binary: bool,
     /// Per row: distributions grouped by shared support allocation.
     groups: Vec<Vec<RowGroup>>,
+    /// Rows spoken above the frontier, ascending: the only rows whose
+    /// alive sets a [`SubtreeTask`] snapshot has to carry.
+    touched: Vec<usize>,
 }
 
 impl<B: ?Sized> Ctx<'_, B> {
@@ -419,11 +433,15 @@ impl<B: ?Sized> Ctx<'_, B> {
 }
 
 /// A live frontier node: everything a subtree walk needs. The alive
-/// state is snapshotted compactly — sparse rows copy only their live
+/// state is snapshotted compactly: only rows spoken above the frontier
+/// (`Ctx::touched`) are cloned — every other row is still full and is
+/// reconstructed by [`run_task`] — and sparse rows copy only their live
 /// indices.
 struct SubtreeTask<Pfx> {
     prefix: Pfx,
-    state: Vec<ConsistentSet>,
+    /// `touched.len()` sets per distribution, dist-major, rows in
+    /// `Ctx::touched` order.
+    touched_state: Vec<ConsistentSet>,
     probs: Vec<f64>,
     prob_base: f64,
 }
@@ -434,7 +452,21 @@ fn run_task<B: Branching + ?Sized>(
     ws: &mut Workspace,
 ) -> WalkOutcome {
     let mut acc = WalkOutcome::zeros(ctx.horizon as usize, ctx.m);
-    let mut state = task.state;
+    // Rebuild the full alive state: snapshot sets at touched rows, full
+    // sets (what phase 1 left untouched) everywhere else.
+    let mut snap = task.touched_state.into_iter();
+    let mut state = Vec::with_capacity((ctx.m + 1) * ctx.n);
+    for d in 0..=ctx.m {
+        let mut ti = 0;
+        for row in 0..ctx.n {
+            if ti < ctx.touched.len() && ctx.touched[ti] == row {
+                state.push(snap.next().expect("snapshot covers touched rows"));
+                ti += 1;
+            } else {
+                state.push(ConsistentSet::full(ctx.row(d, row).len()));
+            }
+        }
+    }
     walk(
         ctx,
         ctx.split,
@@ -466,11 +498,52 @@ struct NodeScratch {
     plane: Vec<u64>,
     /// Per-point label table indexed by absolute point index; only
     /// entries at the current group's union-live points are valid.
+    /// (Binary all-sparse groups only; non-binary groups use
+    /// `point_rank`.)
     point_label: Vec<u64>,
-    /// `(label, point)` bucketing scratch for non-binary splits.
-    pairs: Vec<(u64, u32)>,
+    /// Per-point label *rank* (index into `group_labels`) by absolute
+    /// point index; only entries at the current group's union-live
+    /// points are valid. Makes each distribution's split two direct
+    /// array reads per live point.
+    point_rank: Vec<u32>,
+    /// Distinct labels of the current group, ascending: the bucket keys
+    /// of the non-binary split.
+    group_labels: Vec<u64>,
+    /// Epoch-marked presence table over label values below
+    /// [`RANK_DIRECT_MAX`]: `mark[label] == epoch` iff the label was
+    /// seen in the current group (never cleared — the epoch bump
+    /// invalidates the whole table in O(1)).
+    mark: Vec<u64>,
+    /// The current `mark` epoch.
+    epoch: u64,
+    /// `rank[label] = index into group_labels`, for labels below
+    /// [`RANK_DIRECT_MAX`]; only entries at the current group's distinct
+    /// labels are valid (never cleared — stale slots are never read).
+    rank: Vec<u32>,
+    /// Per-rank live count of the distribution being split.
+    counts: Vec<u32>,
+    /// Per-rank child slot (or [`NO_SLOT`] where the rank is dead).
+    slot_of_rank: Vec<u32>,
     /// Label-union scratch.
     all_labels: Vec<u64>,
+}
+
+/// Labels below this get a direct-indexed rank table; wider labels fall
+/// back to binary search over the group's distinct list. `BCAST(w)`
+/// messages have `w <= 16`, so the wide engine always takes the direct
+/// path.
+const RANK_DIRECT_MAX: u64 = 1 << 16;
+
+/// The rank of `label` among the group's distinct labels.
+#[inline]
+fn label_rank(direct: bool, rank: &[u32], group_labels: &[u64], label: u64) -> usize {
+    if direct {
+        rank[label as usize] as usize
+    } else {
+        group_labels
+            .binary_search(&label)
+            .expect("every live point's label is in the group's distinct set")
+    }
 }
 
 /// Per-depth pooled scratch: child-set slots and the per-node tables
@@ -566,14 +639,11 @@ fn build_children<B: Branching + ?Sized>(
         } else {
             node.union_words.clear();
             node.union_words.resize(words, 0);
+            let k = kernel::active();
             for &d in &group.dists {
                 let set = &state[ctx.state_idx(d, speaker)];
                 match set.dense_words() {
-                    Some(w) => {
-                        for (acc, &x) in node.union_words.iter_mut().zip(w) {
-                            *acc |= x;
-                        }
-                    }
+                    Some(w) => k.or_in_place(&mut node.union_words, w),
                     None => {
                         for &i in set.sparse_indices().expect("not dense") {
                             node.union_words[i as usize / 64] |= 1u64 << (i % 64);
@@ -581,13 +651,7 @@ fn build_children<B: Branching + ?Sized>(
                     }
                 }
             }
-            for (wi, &word) in node.union_words.iter().enumerate() {
-                let mut w = word;
-                while w != 0 {
-                    node.union_idx.push((wi * 64) as u32 + w.trailing_zeros());
-                    w &= w - 1;
-                }
-            }
+            k.ones_indices(&node.union_words, &mut node.union_idx);
         }
         if node.union_idx.is_empty() {
             continue;
@@ -623,8 +687,9 @@ fn build_children<B: Branching + ?Sized>(
                     }
                 }
             }
-        } else {
-            // Per-point label table; entries at union points are fresh.
+        } else if ctx.binary {
+            // All-sparse binary group: fill the 0/1 label table and run
+            // two cheap filter passes per distribution.
             if node.point_label.len() < points.len() {
                 node.point_label.resize(points.len(), 0);
             }
@@ -636,41 +701,99 @@ fn build_children<B: Branching + ?Sized>(
                 if parent.is_empty() {
                     continue;
                 }
-                if ctx.binary {
-                    // All-sparse binary group: two cheap filter passes.
-                    for label in [0u64, 1] {
-                        let slot = scratch.alloc_slot();
-                        scratch.built[slot].begin(points.len());
-                        for i in parent.iter() {
-                            if node.point_label[i] == label {
-                                scratch.built[slot].push(i);
-                            }
-                        }
-                        scratch.built[slot].finish();
-                        if scratch.built[slot].is_empty() {
-                            scratch.built_len -= 1;
-                        } else {
-                            scratch.runs.push((d as u32, label, slot as u32));
-                        }
-                    }
-                } else {
-                    // Bucket the live points by label, ascending.
-                    node.pairs.clear();
+                for label in [0u64, 1] {
+                    let slot = scratch.alloc_slot();
+                    scratch.built[slot].begin(points.len());
                     for i in parent.iter() {
-                        node.pairs.push((node.point_label[i], i as u32));
-                    }
-                    node.pairs.sort_unstable();
-                    let mut k = 0;
-                    while k < node.pairs.len() {
-                        let label = node.pairs[k].0;
-                        let slot = scratch.alloc_slot();
-                        scratch.built[slot].begin(points.len());
-                        while k < node.pairs.len() && node.pairs[k].0 == label {
-                            scratch.built[slot].push(node.pairs[k].1 as usize);
-                            k += 1;
+                        if node.point_label[i] == label {
+                            scratch.built[slot].push(i);
                         }
-                        scratch.built[slot].finish();
+                    }
+                    scratch.built[slot].finish();
+                    if scratch.built[slot].is_empty() {
+                        scratch.built_len -= 1;
+                    } else {
                         scratch.runs.push((d as u32, label, slot as u32));
+                    }
+                }
+            }
+        } else {
+            // Non-binary split: rank every union point's label among
+            // the group's distinct labels once, then each
+            // distribution's split is two O(live) counting passes over
+            // direct array reads — no per-node sort anywhere.
+            node.group_labels.clear();
+            let small = node.labels.iter().all(|&l| l < RANK_DIRECT_MAX);
+            if small {
+                // Distinct labels via the epoch-marked presence table:
+                // O(union) to collect, then only the (tiny) distinct
+                // list is sorted.
+                node.epoch += 1;
+                for &label in &node.labels {
+                    let li = label as usize;
+                    if node.mark.len() <= li {
+                        node.mark.resize(li + 1, 0);
+                    }
+                    if node.mark[li] != node.epoch {
+                        node.mark[li] = node.epoch;
+                        node.group_labels.push(label);
+                    }
+                }
+                node.group_labels.sort_unstable();
+                let max_label = *node.group_labels.last().expect("union is non-empty");
+                if node.rank.len() <= max_label as usize {
+                    node.rank.resize(max_label as usize + 1, 0);
+                }
+                for (r, &label) in node.group_labels.iter().enumerate() {
+                    node.rank[label as usize] = r as u32;
+                }
+            } else {
+                node.group_labels.extend_from_slice(&node.labels);
+                node.group_labels.sort_unstable();
+                node.group_labels.dedup();
+            }
+            if node.point_rank.len() < points.len() {
+                node.point_rank.resize(points.len(), 0);
+            }
+            for (&i, &label) in node.union_idx.iter().zip(&node.labels) {
+                node.point_rank[i as usize] =
+                    label_rank(small, &node.rank, &node.group_labels, label) as u32;
+            }
+            for &d in &group.dists {
+                let parent = &state[ctx.state_idx(d, speaker)];
+                if parent.is_empty() {
+                    continue;
+                }
+                // Bucket the live points by label rank: one counting
+                // pass sizes the buckets, slots are allocated in
+                // ascending label order (the same child order a sort
+                // would produce), and a second pass pushes each point —
+                // ascending — into its bucket.
+                node.counts.clear();
+                node.counts.resize(node.group_labels.len(), 0);
+                for i in parent.iter() {
+                    node.counts[node.point_rank[i] as usize] += 1;
+                }
+                node.slot_of_rank.clear();
+                for (r, &count) in node.counts.iter().enumerate() {
+                    if count == 0 {
+                        node.slot_of_rank.push(NO_SLOT);
+                        continue;
+                    }
+                    let slot = scratch.alloc_slot();
+                    scratch.built[slot].begin(points.len());
+                    node.slot_of_rank.push(slot as u32);
+                    scratch
+                        .runs
+                        .push((d as u32, node.group_labels[r], slot as u32));
+                }
+                for i in parent.iter() {
+                    let slot = node.slot_of_rank[node.point_rank[i] as usize];
+                    scratch.built[slot as usize].push(i);
+                }
+                for &slot in &node.slot_of_rank {
+                    if slot != NO_SLOT {
+                        scratch.built[slot as usize].finish();
                     }
                 }
             }
@@ -733,9 +856,15 @@ fn walk<B: Branching + ?Sized>(
     // own depth-t contribution is accumulated by the task).
     if let Some(tasks) = frontier.as_deref_mut() {
         if depth == ctx.split && depth < ctx.horizon {
+            let mut touched_state = Vec::with_capacity((m + 1) * ctx.touched.len());
+            for d in 0..=m {
+                for &row in &ctx.touched {
+                    touched_state.push(state[ctx.state_idx(d, row)].clone());
+                }
+            }
             tasks.push(SubtreeTask {
                 prefix,
-                state: state.clone(),
+                touched_state,
                 probs: probs.to_vec(),
                 prob_base,
             });

@@ -18,7 +18,8 @@
 use bcc_congest::wide::FnWideProtocol;
 use bcc_congest::FnProtocol;
 use bcc_core::{
-    keys_sorted_total, AdaptiveEstimator, ProductInput, RowSupport, WideSampledEstimator,
+    keys_merged_total, keys_sorted_total, AdaptiveEstimator, ProductInput, RowSupport,
+    WideSampledEstimator,
 };
 
 #[test]
@@ -78,4 +79,66 @@ fn adaptive_runs_sort_exactly_one_final_budget_per_side() {
     let _ = WideSampledEstimator::new(cap, 0xFEED).estimate_full(&widep, &members, &baseline);
     let sorted = keys_sorted_total() - before;
     assert_eq!(sorted, (sides + members.len() as u64) * cap as u64);
+
+    // The merge half of the contract, on a wide (m = 6) family: per
+    // batch the member chunks fold through ONE k-way heap merge (each
+    // chunk key written once, m·Δ), not a pairwise chain that re-copies
+    // early chunks (Σ_{i≤m} i·Δ = 21Δ here). Total merge work — per-side
+    // extends + chunk fold + mixture merge — is pinned exactly, and the
+    // combined radix+merge work stays under the pairwise baseline.
+    let wide_members: Vec<ProductInput> = (0..6)
+        .map(|i| {
+            ProductInput::new(vec![
+                RowSupport::explicit(3, (0..=i as u64 + 1).collect()),
+                RowSupport::uniform(3),
+            ])
+        })
+        .collect();
+    let m = wide_members.len() as u64;
+    let sorted_before = keys_sorted_total();
+    let merged_before = keys_merged_total();
+    let (_, report) = est.estimate_with_report(&bitp, &wide_members, &baseline, 6);
+    let sorted = keys_sorted_total() - sorted_before;
+    let merged = keys_merged_total() - merged_before;
+    // The unreachable tolerance makes the budget schedule deterministic:
+    // batch 1 draws the initial 64, the support projection then jumps
+    // straight to the cap.
+    assert_eq!(report.batches, 2, "want the two-batch schedule: {report:?}");
+    assert_eq!(report.samples_per_side, cap);
+    let deltas = [64u64, cap as u64 - 64];
+    let mut expect_merged = 0u64;
+    let mut kway_fold = 0u64;
+    let mut pairwise_fold = 0u64;
+    let mut drawn = 0u64;
+    let mut mixture_len = 0u64;
+    for delta in deltas {
+        // Each side merges its sorted chunk into its persistent keys...
+        expect_merged += (m + 1) * (drawn + delta);
+        // ...the k-way fold writes the m member chunks once...
+        expect_merged += m * delta;
+        kway_fold += m * delta;
+        // ...and the folded delta merges into the persistent mixture.
+        expect_merged += mixture_len + m * delta;
+        drawn += delta;
+        mixture_len += m * delta;
+        // The pairwise chain this replaced: fold step i copies i·Δ + Δ.
+        pairwise_fold += (1..=m).map(|i| i * delta).sum::<u64>();
+    }
+    assert_eq!(
+        merged, expect_merged,
+        "adaptive merge work must be extends + one k-way fold + mixture \
+         merge per batch ({} batches): {report:?}",
+        report.batches
+    );
+    let merged_pairwise_baseline = expect_merged - kway_fold + pairwise_fold;
+    assert!(
+        merged < merged_pairwise_baseline,
+        "k-way fold ({merged}) must beat the pairwise chain \
+         ({merged_pairwise_baseline})"
+    );
+    assert_eq!(sorted, (m + 1) * cap as u64, "sort work stays 1× per side");
+    assert!(
+        sorted + merged <= sorted + merged_pairwise_baseline,
+        "total radix+merge work must stay within the pairwise baseline"
+    );
 }

@@ -5,6 +5,8 @@ use std::ops::{BitAnd, BitXor, BitXorAssign};
 
 use rand::Rng;
 
+use crate::kernel::{self, WordKernel};
+
 const WORD_BITS: usize = 64;
 
 /// A fixed-length vector over F₂, packed 64 coordinates per word.
@@ -149,7 +151,7 @@ impl BitVec {
 
     /// The number of coordinates equal to one (Hamming weight).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernel::active().count_ones(&self.words)
     }
 
     /// Whether every coordinate is zero.
@@ -168,11 +170,7 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "dot of mismatched lengths");
-        let mut acc = 0u64;
-        for (a, b) in self.words.iter().zip(&other.words) {
-            acc ^= a & b;
-        }
-        acc.count_ones() % 2 == 1
+        kernel::active().dot(&self.words, &other.words)
     }
 
     /// XORs `other` into `self` in place.
@@ -182,28 +180,24 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn xor_in_place(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "xor of mismatched lengths");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        kernel::active().xor_in_place(&mut self.words, &other.words);
     }
 
     /// Returns the concatenation `self ∥ other`.
+    ///
+    /// Word-at-a-time: `self`'s words are copied and `other`'s are
+    /// OR-shifted in at `self.len`, so the cost is `O(words)`, not
+    /// `O(bits)`.
     pub fn concat(&self, other: &BitVec) -> BitVec {
         let mut out = BitVec::zeros(self.len + other.len);
-        for i in 0..self.len {
-            if self.get(i) {
-                out.set(i, true);
-            }
-        }
-        for i in 0..other.len {
-            if other.get(i) {
-                out.set(self.len + i, true);
-            }
-        }
+        out.words[..self.words.len()].copy_from_slice(&self.words);
+        kernel::active().or_shifted_into(&other.words, self.len, &mut out.words);
         out
     }
 
     /// Returns the restriction of the vector to coordinates `[lo, hi)`.
+    ///
+    /// Word-at-a-time funnel shifts, `O(words)` rather than `O(bits)`.
     ///
     /// # Panics
     ///
@@ -211,11 +205,8 @@ impl BitVec {
     pub fn slice(&self, lo: usize, hi: usize) -> BitVec {
         assert!(lo <= hi && hi <= self.len, "slice [{lo},{hi}) out of range");
         let mut out = BitVec::zeros(hi - lo);
-        for i in lo..hi {
-            if self.get(i) {
-                out.set(i - lo, true);
-            }
-        }
+        kernel::active().extract_shifted(&self.words, lo, &mut out.words);
+        out.mask_tail();
         out
     }
 
@@ -244,9 +235,7 @@ impl BitVec {
     pub fn and_not(&self, other: &BitVec) -> BitVec {
         assert_eq!(self.len, other.len, "and_not of mismatched lengths");
         let mut out = self.clone();
-        for (a, b) in out.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        kernel::active().and_not_in_place(&mut out.words, &other.words);
         out.mask_tail();
         out
     }
@@ -301,9 +290,7 @@ impl BitAnd for &BitVec {
     fn bitand(self, rhs: &BitVec) -> BitVec {
         assert_eq!(self.len, rhs.len, "and of mismatched lengths");
         let mut out = self.clone();
-        for (a, b) in out.words.iter_mut().zip(&rhs.words) {
-            *a &= b;
-        }
+        kernel::active().and_in_place(&mut out.words, &rhs.words);
         out
     }
 }

@@ -24,6 +24,7 @@
 //! across tree nodes and run its steady-state recursion without heap
 //! allocation.
 
+use crate::kernel::{self, WordKernel};
 use crate::BitVec;
 
 const WORD_BITS: usize = 64;
@@ -264,6 +265,20 @@ impl ConsistentSet {
     /// Panics if `plane` holds fewer words than the parent's universe
     /// needs.
     pub fn assign_filtered(&mut self, parent: &ConsistentSet, plane: &[u64], keep: bool) {
+        self.assign_filtered_with(parent, plane, keep, &kernel::active());
+    }
+
+    /// [`assign_filtered`](ConsistentSet::assign_filtered) under an
+    /// explicit [`WordKernel`] — the entry point differential tests and
+    /// benches use to pin and price one kernel against another. The
+    /// result is bitwise independent of the kernel choice.
+    pub fn assign_filtered_with<K: WordKernel>(
+        &mut self,
+        parent: &ConsistentSet,
+        plane: &[u64],
+        keep: bool,
+        kernel: &K,
+    ) {
         let universe = parent.universe;
         let words = sparse_budget(universe);
         assert!(plane.len() >= words, "plane narrower than the universe");
@@ -291,34 +306,17 @@ impl ConsistentSet {
             SetRepr::Dense => {
                 // Pass 1: count, to choose the result regime without
                 // materializing twice.
-                let mut count = 0usize;
-                for (&a, &p) in parent.words.iter().zip(plane) {
-                    let w = if keep { a & p } else { a & !p };
-                    count += w.count_ones() as usize;
-                }
+                let count = kernel.filter_count(&parent.words, plane, keep);
                 self.count = count;
                 if count <= sparse_budget(universe) {
                     self.repr = SetRepr::Sparse;
                     self.indices.clear();
-                    for (wi, (&a, &p)) in parent.words.iter().zip(plane).enumerate() {
-                        let mut w = if keep { a & p } else { a & !p };
-                        while w != 0 {
-                            self.indices
-                                .push((wi * WORD_BITS) as u32 + w.trailing_zeros());
-                            w &= w - 1;
-                        }
-                    }
+                    kernel.filter_indices(&parent.words, plane, keep, &mut self.indices);
                 } else {
                     self.repr = SetRepr::Dense;
                     self.words.clear();
-                    self.words
-                        .extend(parent.words.iter().zip(plane).map(|(&a, &p)| {
-                            if keep {
-                                a & p
-                            } else {
-                                a & !p
-                            }
-                        }));
+                    self.words.resize(parent.words.len(), 0);
+                    kernel.filter_into(&parent.words, plane, keep, &mut self.words);
                 }
             }
         }

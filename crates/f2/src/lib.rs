@@ -19,7 +19,11 @@
 //!   cube, the support shape of every planted-clique row distribution;
 //! * [`ConsistentSet`] — hybrid dense/sparse live-point sets, the
 //!   consistent-set representation of the exact transcript walks (dense
-//!   word masks that demote to sorted index lists at low occupancy).
+//!   word masks that demote to sorted index lists at low occupancy);
+//! * [`kernel`] — the word-loop kernel layer: every `u64` hot loop
+//!   behind the [`kernel::WordKernel`] trait, with a scalar oracle and
+//!   an AVX2 lane implementation selected once at startup
+//!   (`BCC_KERNEL=scalar|avx2` overrides).
 //!
 //! # Example
 //!
@@ -32,7 +36,10 @@
 //! assert_eq!(bcc_f2::gauss::rank(&m), 4);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the kernel module carries the crate's
+// only `unsafe` (stable `std::arch` AVX2 intrinsics behind a
+// feature-detection proof) under a scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitvec;
@@ -40,6 +47,7 @@ mod consistent;
 mod matrix;
 
 pub mod gauss;
+pub mod kernel;
 pub mod rank_dist;
 pub mod subcube;
 

@@ -1,5 +1,6 @@
 //! Property-based tests for the F₂ substrate.
 
+use bcc_f2::kernel::{Kernel, WordKernel};
 use bcc_f2::subcube::Subcube64;
 use bcc_f2::{gauss, sparse_budget, BitMatrix, BitVec, ConsistentSet};
 use proptest::prelude::*;
@@ -179,5 +180,218 @@ proptest! {
         let set = ConsistentSet::from_indices(300, &sorted);
         prop_assert_eq!(set.is_sparse(), set.count() <= sparse_budget(300));
         prop_assert!(set.iter().map(|i| i as u32).eq(sorted.iter().copied()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The kernel layer: every `WordKernel` method pinned bitwise against the
+// scalar oracle. On hosts without AVX2 (or off x86-64) `lane_kernels()`
+// is empty and these properties degenerate to vacuous truths — the
+// `kernel-matrix` CI leg is what guarantees an AVX2 host runs them.
+// ---------------------------------------------------------------------
+
+/// Every non-scalar kernel the host can run (to be pinned against
+/// [`Kernel::scalar`]).
+fn lane_kernels() -> Vec<Kernel> {
+    Kernel::avx2().into_iter().collect()
+}
+
+/// Word slices sized 0..=12 so lane bodies (4 words per step), scalar
+/// tails and the empty case all occur.
+fn arb_words() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..=12)
+}
+
+/// Reference bit-at-a-time slice (the loop `BitVec::slice` replaced).
+fn slice_reference(v: &BitVec, lo: usize, hi: usize) -> BitVec {
+    let mut out = BitVec::zeros(hi - lo);
+    for i in lo..hi {
+        if v.get(i) {
+            out.set(i - lo, true);
+        }
+    }
+    out
+}
+
+/// Reference bit-at-a-time concat (the loop `BitVec::concat` replaced).
+fn concat_reference(a: &BitVec, b: &BitVec) -> BitVec {
+    let mut out = BitVec::zeros(a.len() + b.len());
+    for i in 0..a.len() {
+        if a.get(i) {
+            out.set(i, true);
+        }
+    }
+    for i in 0..b.len() {
+        if b.get(i) {
+            out.set(a.len() + i, true);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn kernel_bulk_ops_match_scalar(a in arb_words(), b in arb_words()) {
+        let s = Kernel::scalar();
+        for k in lane_kernels() {
+            prop_assert_ne!(k.name(), s.name());
+            for op in 0..4usize {
+                let mut want = a.clone();
+                let mut got = a.clone();
+                match op {
+                    0 => { s.and_in_place(&mut want, &b); k.and_in_place(&mut got, &b) }
+                    1 => { s.or_in_place(&mut want, &b); k.or_in_place(&mut got, &b) }
+                    2 => { s.xor_in_place(&mut want, &b); k.xor_in_place(&mut got, &b) }
+                    _ => { s.and_not_in_place(&mut want, &b); k.and_not_in_place(&mut got, &b) }
+                }
+                prop_assert_eq!(&want, &got, "op {} under {}", op, k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_counts_and_folds_match_scalar(a in arb_words(), b in arb_words()) {
+        let s = Kernel::scalar();
+        for k in lane_kernels() {
+            prop_assert_eq!(k.count_ones(&a), s.count_ones(&a));
+            prop_assert_eq!(k.dot(&a, &b), s.dot(&a, &b));
+            prop_assert_eq!(k.or_and_fold(&a), s.or_and_fold(&a));
+        }
+    }
+
+    #[test]
+    fn kernel_filter_family_matches_scalar(
+        a in arb_words(),
+        plane in proptest::collection::vec(any::<u64>(), 12),
+        keep in any::<bool>(),
+    ) {
+        let s = Kernel::scalar();
+        for k in lane_kernels() {
+            prop_assert_eq!(
+                k.filter_count(&a, &plane, keep),
+                s.filter_count(&a, &plane, keep)
+            );
+            let mut want = vec![0u64; a.len()];
+            let mut got = vec![!0u64; a.len()];
+            s.filter_into(&a, &plane, keep, &mut want);
+            k.filter_into(&a, &plane, keep, &mut got);
+            prop_assert_eq!(&want, &got);
+            let mut want_idx = Vec::new();
+            let mut got_idx = Vec::new();
+            s.filter_indices(&a, &plane, keep, &mut want_idx);
+            k.filter_indices(&a, &plane, keep, &mut got_idx);
+            prop_assert_eq!(&want_idx, &got_idx);
+            want_idx.clear();
+            got_idx.clear();
+            s.ones_indices(&a, &mut want_idx);
+            k.ones_indices(&a, &mut got_idx);
+            prop_assert_eq!(&want_idx, &got_idx);
+        }
+    }
+
+    #[test]
+    fn kernel_radix_passes_match_scalar(
+        keys in proptest::collection::vec(any::<u64>(), 0..40),
+        byte in 0u32..8,
+    ) {
+        let shift = byte * 8;
+        let s = Kernel::scalar();
+        for k in lane_kernels() {
+            let mut want_hist = [0usize; 256];
+            let mut got_hist = [0usize; 256];
+            s.byte_histogram(&keys, shift, &mut want_hist);
+            k.byte_histogram(&keys, shift, &mut got_hist);
+            prop_assert!(want_hist == got_hist, "histogram under {}", k.name());
+            // Scatter with the offsets a radix pass would derive.
+            let mut offsets = [0usize; 256];
+            let mut sum = 0usize;
+            for (b, o) in offsets.iter_mut().enumerate() {
+                *o = sum;
+                sum += want_hist[b];
+            }
+            let mut want_out = vec![0u64; keys.len()];
+            let mut got_out = vec![!0u64; keys.len()];
+            let mut off2 = offsets;
+            s.byte_scatter(&keys, shift, &mut offsets, &mut want_out);
+            k.byte_scatter(&keys, shift, &mut off2, &mut got_out);
+            prop_assert_eq!(&want_out, &got_out);
+            prop_assert!(offsets == off2, "advanced offsets under {}", k.name());
+        }
+    }
+
+    #[test]
+    fn kernel_shift_family_matches_scalar(
+        src in arb_words(),
+        lo_bit in 0usize..800,
+        out_len in 0usize..12,
+        base in arb_words(),
+    ) {
+        let s = Kernel::scalar();
+        for k in lane_kernels() {
+            let mut want = vec![!0u64; out_len];
+            let mut got = vec![0u64; out_len];
+            s.extract_shifted(&src, lo_bit, &mut want);
+            k.extract_shifted(&src, lo_bit, &mut got);
+            prop_assert_eq!(&want, &got, "extract at {} under {}", lo_bit, k.name());
+            // or_shifted_into: size the output so every bit fits (its
+            // contract for out-of-range bits requires them to be zero).
+            let bit_offset = lo_bit % 130;
+            let words = src.len() + bit_offset / 64 + 2;
+            let mut want = base.clone();
+            want.resize(words, 0);
+            let mut got = want.clone();
+            s.or_shifted_into(&src, bit_offset, &mut want);
+            k.or_shifted_into(&src, bit_offset, &mut got);
+            prop_assert_eq!(&want, &got, "or-shift at {} under {}", bit_offset, k.name());
+        }
+    }
+
+    #[test]
+    fn kernel_partition_split_matches_scalar_at_the_demotion_boundary(
+        // Parent occupancies concentrated around the dense↔sparse budget
+        // (300/64 -> 5 words) so both child regimes and the boundary
+        // itself occur; universe 300 leaves a 44-bit tail word.
+        indices in proptest::collection::btree_set(0u32..300, 1..=24usize),
+        plane_mask in arb_bitvec(300),
+        keep in any::<bool>(),
+    ) {
+        let sorted: Vec<u32> = indices.into_iter().collect();
+        let parent = ConsistentSet::from_indices(300, &sorted);
+        let scalar = Kernel::scalar();
+        let mut want = ConsistentSet::empty(0);
+        want.assign_filtered_with(&parent, plane_mask.as_words(), keep, &scalar);
+        for k in lane_kernels() {
+            let mut got = ConsistentSet::empty(0);
+            got.assign_filtered_with(&parent, plane_mask.as_words(), keep, &k);
+            prop_assert_eq!(got.repr(), want.repr());
+            prop_assert_eq!(got.count(), want.count());
+            prop_assert!(got.iter().eq(want.iter()), "points differ under {}", k.name());
+        }
+    }
+
+    #[test]
+    fn slice_matches_the_bitwise_reference(
+        bits in proptest::collection::vec(any::<bool>(), 300),
+        len in 0usize..=300,
+        a in 0usize..=300,
+        b in 0usize..=300,
+    ) {
+        let v = BitVec::from_bools(&bits[..len]);
+        let (lo, hi) = (a.min(b).min(len), a.max(b).min(len));
+        prop_assert_eq!(v.slice(lo, hi), slice_reference(&v, lo, hi));
+    }
+
+    #[test]
+    fn concat_matches_the_bitwise_reference(
+        bits_a in proptest::collection::vec(any::<bool>(), 200),
+        bits_b in proptest::collection::vec(any::<bool>(), 200),
+        len_a in 0usize..=200,
+        len_b in 0usize..=200,
+    ) {
+        let a = BitVec::from_bools(&bits_a[..len_a]);
+        let b = BitVec::from_bools(&bits_b[..len_b]);
+        let cat = a.concat(&b);
+        prop_assert_eq!(cat.len(), a.len() + b.len());
+        prop_assert_eq!(cat, concat_reference(&a, &b));
     }
 }
