@@ -323,6 +323,27 @@ fn main() {
     }
     print_table(&["speedup", "x"], &speedup_rows);
 
+    // -- headline work counters of one representative run ---------------
+    // A timing without its work denominator is hard to compare across
+    // machines, so one scoped pass over the overhauled bit walk plus one
+    // radix sort records nodes, kernel words and sorted keys alongside
+    // the nanoseconds.
+    let work_registry = bcc_obs::Registry::new();
+    {
+        let _scope = work_registry.install();
+        let _ = exact_mixture_comparison_mode(&proto, &members, &baseline, ExecMode::Sequential);
+        let mut keys = radix_keys.clone();
+        radix_sort_u64_with(&scalar, &mut keys);
+        std::hint::black_box(keys);
+    }
+    let work = work_registry.snapshot();
+    let kernel_words: u64 = work
+        .work
+        .iter()
+        .filter(|(name, _)| name.starts_with("kernel.words."))
+        .map(|&(_, words)| words)
+        .sum();
+
     // Default to the workspace root (cargo bench runs in crates/bench)
     // so the committed baseline is where readers look for it.
     let path = std::env::var("BCC_BENCH_WALK_OUT")
@@ -366,6 +387,20 @@ fn main() {
                 "partition/intersect >= 2.0; partition_wide >= 2.0; \
                  kernel_intersect and kernel_partition >= 1.5 where AVX2 exists"
                     .into(),
+            ),
+            // One representative bit walk + one radix pass, from bcc_obs.
+            (
+                "work_walk_nodes",
+                work.work_counter("walk.nodes").to_string(),
+            ),
+            (
+                "work_walk_live_points",
+                work.work_counter("walk.live_points").to_string(),
+            ),
+            ("work_kernel_words", kernel_words.to_string()),
+            (
+                "work_keys_sorted",
+                work.work_counter("global.keys_sorted").to_string(),
             ),
         ],
     );

@@ -46,6 +46,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use rayon::prelude::*;
 
+use bcc_obs::{Class, Span};
+
 use crate::engine::{exact_mixture_comparison_mode, SpeakerStats};
 use crate::input::ProductInput;
 use crate::sample::{
@@ -450,6 +452,7 @@ impl Estimator for SampledEstimator {
         baseline: &ProductInput,
         horizon: u32,
     ) -> DepthProfile {
+        let _span = bcc_obs::span("exec.sampled");
         assert!(!members.is_empty(), "need at least one family member");
         assert!(
             horizon <= protocol.horizon(),
@@ -500,7 +503,27 @@ impl Estimator for SampledEstimator {
         };
         let member_refs: Vec<&[u64]> = side_keys[1..].iter().map(Vec::as_slice).collect();
         let mixture = sorted_mixture(&member_refs);
+        flush_sampled_work(&side_keys, mixture.len());
         profile_from_sorted_sides(horizon, 1, samples, &side_keys[0], &member_refs, &mixture)
+    }
+}
+
+/// Reports a one-shot sampled run's work into the scope installed on
+/// the calling thread (resolved here, *after* the parallel side
+/// sampling — the counts are slice lengths gathered run-locally, so
+/// they are identical whichever thread drew which side).
+fn flush_sampled_work(side_keys: &[Vec<u64>], mixture_len: usize) {
+    if let Some(obs) = bcc_obs::current() {
+        let side_total: u64 = side_keys.iter().map(|k| k.len() as u64).sum();
+        obs.add("exec.runs", Class::Work, 1);
+        obs.add("exec.samples_drawn", Class::Work, side_total);
+        // Each side's collect sorted its own keys once; the mixture
+        // concatenation is radix-sorted once on top.
+        obs.add(
+            "exec.keys_sorted",
+            Class::Work,
+            side_total + mixture_len as u64,
+        );
     }
 }
 
@@ -569,6 +592,7 @@ impl WideSampledEstimator {
         baseline: &ProductInput,
         horizon: u32,
     ) -> DepthProfile {
+        let _span = bcc_obs::span("exec.sampled");
         assert!(!members.is_empty(), "need at least one family member");
         assert!(
             horizon <= protocol.horizon(),
@@ -619,6 +643,7 @@ impl WideSampledEstimator {
         };
         let member_refs: Vec<&[u64]> = side_keys[1..].iter().map(Vec::as_slice).collect();
         let mixture = sorted_mixture(&member_refs);
+        flush_sampled_work(&side_keys, mixture.len());
         profile_from_sorted_sides(
             horizon,
             width,
@@ -919,23 +944,28 @@ impl AdaptiveEstimator {
     where
         C: Fn(usize, &mut SideSampler, usize) + Sync,
     {
-        // One persistent sampler per side: the ChaCha stream and the
-        // sorted keys survive across batches, so batch b only simulates
-        // the (budget_b − budget_{b−1}) new transcripts and merges them
-        // in. The continued stream yields exactly the sample sequence a
-        // one-shot run at the final budget would draw.
+        // The scope is resolved once on the calling thread; side
+        // extension below fans out over rayon, so all work counts are
+        // gathered run-locally (in the samplers and in this frame) and
+        // flushed coarsely at return — never through thread-locals on
+        // worker threads.
+        let obs = bcc_obs::current();
+        let _run_span = Span::begin_for("exec.adaptive", obs.clone());
         let mut sides: Vec<SideSampler> = (0..=m)
             .map(|side| SideSampler::new(derive_seed(self.seed, side as u64)))
             .collect();
         let mut mixture: Vec<u64> = Vec::new();
         let mut delta_mix: Vec<u64> = Vec::new();
         let mut merge_scratch: Vec<u64> = Vec::new();
+        let mut mixture_merged = 0u64;
+        let mut budget_growths = 0u64;
 
         let mut samples = self.initial_samples.min(self.max_samples_per_side);
         let mut batches = 0usize;
         let mut drawn = 0usize;
         loop {
             batches += 1;
+            let batch_span = Span::begin_for("exec.adaptive_batch", obs.clone());
             let delta = samples.saturating_sub(drawn);
             let extend = |(side, mut sampler): (usize, SideSampler)| -> SideSampler {
                 collect(side, &mut sampler, delta);
@@ -956,6 +986,10 @@ impl AdaptiveEstimator {
             merge_sorted_k_u64(&chunk_refs, &mut delta_mix);
             merge_sorted_u64(&mixture, &delta_mix, &mut merge_scratch);
             std::mem::swap(&mut mixture, &mut merge_scratch);
+            // Mirrors the counting sites inside the merges just called:
+            // the k-way fold writes delta_mix once, the two-pointer merge
+            // reads old mixture + delta_mix = the new mixture's length.
+            mixture_merged += (delta_mix.len() + mixture.len()) as u64;
 
             let member_refs: Vec<&[u64]> = sides[1..].iter().map(|s| s.keys.as_slice()).collect();
             let profile = profile_from_sorted_sides(
@@ -966,6 +1000,7 @@ impl AdaptiveEstimator {
                 &member_refs,
                 &mixture,
             );
+            drop(batch_span);
             let floor = profile.noise_floor();
             let met = floor <= self.tolerance;
             if met || samples >= self.max_samples_per_side {
@@ -979,6 +1014,26 @@ impl AdaptiveEstimator {
                     samples_drawn: sides[0].drawn,
                     met_tolerance: met,
                 };
+                if let Some(obs) = &obs {
+                    obs.add("exec.runs", Class::Work, 1);
+                    obs.add("exec.adaptive.batches", Class::Work, batches as u64);
+                    obs.add("exec.adaptive.budget_growths", Class::Work, budget_growths);
+                    obs.add(
+                        "exec.samples_drawn",
+                        Class::Work,
+                        sides.iter().map(|s| s.drawn as u64).sum(),
+                    );
+                    obs.add(
+                        "exec.keys_sorted",
+                        Class::Work,
+                        sides.iter().map(|s| s.sorted).sum(),
+                    );
+                    obs.add(
+                        "exec.keys_merged",
+                        Class::Work,
+                        mixture_merged + sides.iter().map(|s| s.merged).sum::<u64>(),
+                    );
+                }
                 return (profile, report);
             }
             // floor = sqrt(support / samples), so the support seen at this
@@ -995,6 +1050,10 @@ impl AdaptiveEstimator {
                 .saturating_mul(2)
                 .max(projected)
                 .min(self.max_samples_per_side);
+            budget_growths += 1;
+            // A zero-length span doubles as a budget-growth event marker
+            // in the trace timeline.
+            drop(Span::begin_for("exec.budget_growth", obs.clone()));
         }
     }
 }
@@ -1010,6 +1069,15 @@ struct SideSampler {
     /// Transcripts this side has actually simulated, counted at the
     /// draw site ([`AdaptiveReport::samples_drawn`]'s source of truth).
     drawn: usize,
+    /// Keys this side fed through the radix sorter (each chunk is
+    /// sorted once by `collect`) — run-local, flushed into the scoped
+    /// `exec.keys_sorted` counter. Mirrors the process-wide site in
+    /// `radix_sort_u64`, but attributes the work to *this* run even
+    /// with concurrent estimators in the process.
+    sorted: u64,
+    /// Keys this side's incremental merges wrote (old keys + chunk per
+    /// batch) — run-local source of the scoped `exec.keys_merged`.
+    merged: u64,
 }
 
 impl SideSampler {
@@ -1020,6 +1088,8 @@ impl SideSampler {
             chunk: Vec::new(),
             scratch: Vec::new(),
             drawn: 0,
+            sorted: 0,
+            merged: 0,
         }
     }
 
@@ -1037,8 +1107,10 @@ impl SideSampler {
         }
         collect(&mut self.rng, delta, &mut self.chunk);
         self.drawn += self.chunk.len();
+        self.sorted += self.chunk.len() as u64;
         merge_sorted_u64(&self.keys, &self.chunk, &mut self.scratch);
         std::mem::swap(&mut self.keys, &mut self.scratch);
+        self.merged += self.keys.len() as u64;
     }
 }
 

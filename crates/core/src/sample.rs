@@ -143,10 +143,7 @@ pub(crate) fn collect_sorted_wide_keys<P, R, F>(
 pub(crate) fn merge_sorted_u64(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
-    KEYS_MERGED.fetch_add(
-        (a.len() + b.len()) as u64,
-        std::sync::atomic::Ordering::Relaxed,
-    );
+    bcc_obs::add_keys_merged((a.len() + b.len()) as u64);
     out.clear();
     out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
@@ -174,7 +171,7 @@ pub(crate) fn merge_sorted_k_u64(lists: &[&[u64]], out: &mut Vec<u64>) {
     match lists {
         [] => out.clear(),
         [a] => {
-            KEYS_MERGED.fetch_add(a.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            bcc_obs::add_keys_merged(a.len() as u64);
             out.clear();
             out.extend_from_slice(a);
         }
@@ -182,7 +179,7 @@ pub(crate) fn merge_sorted_k_u64(lists: &[&[u64]], out: &mut Vec<u64>) {
         _ => {
             debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])));
             let total: usize = lists.iter().map(|l| l.len()).sum();
-            KEYS_MERGED.fetch_add(total as u64, std::sync::atomic::Ordering::Relaxed);
+            bcc_obs::add_keys_merged(total as u64);
             out.clear();
             out.reserve(total);
             // Min-heap of (next key, list index); the list index
@@ -215,40 +212,33 @@ const RADIX_CUTOFF: usize = 256;
 /// `criterion_micro/transcript_sort`), so the hybrid falls back.
 const RADIX_MAX_VARYING_BYTES: u32 = 4;
 
-/// Process-wide count of keys fed through [`radix_sort_u64`] (fallback
-/// path included) — see [`keys_sorted_total`].
-static KEYS_SORTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-
-/// Process-wide count of keys written by the sorted-array merges — see
-/// [`keys_merged_total`].
-static KEYS_MERGED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-
 /// The cumulative number of keys this process has written through the
 /// sorted-key merges (`merge_sorted_u64` and the k-way heap merge).
 ///
 /// The companion of [`keys_sorted_total`] for the *merge* half of the
 /// adaptive layer's work contract: a k-way fold of `m` member chunks
 /// writes each key once per fold level, where the pairwise fold it
-/// replaced re-copied early chunks `O(m)` times. The work-counting tests
-/// (`crates/core/tests/work.rs`) pin the total against the pairwise
-/// baseline. Monotone, process-wide; meaningful deltas require no
-/// concurrent merges.
+/// replaced re-copied early chunks `O(m)` times. The counter now lives
+/// in `bcc_obs` (this is a delegation kept for compatibility); the
+/// work-counting tests (`crates/core/tests/work.rs`) pin the *scoped*
+/// per-run `exec.keys_merged` counter against the pairwise baseline,
+/// which — unlike this process-wide monotone total — is immune to
+/// concurrent runs.
 pub fn keys_merged_total() -> u64 {
-    KEYS_MERGED.load(std::sync::atomic::Ordering::Relaxed)
+    bcc_obs::keys_merged_total()
 }
 
 /// The cumulative number of keys this process has fed through
 /// [`radix_sort_u64`], its comparison-sort fallback included.
 ///
-/// This is the observable behind the work-counting tests
-/// (`crates/core/tests/work.rs`): an incremental estimator that claims
-/// "1× final-budget sort work" is pinned by reading this counter before
-/// and after a run, which catches regressions to per-batch re-sorting
-/// that produce bitwise-identical results. The counter is monotone and
-/// shared across threads; meaningful deltas require no concurrent sorts
-/// (the work-counting tests live alone in their own test binary).
+/// An incremental estimator that claims "1× final-budget sort work" is
+/// pinned by the work-counting tests (`crates/core/tests/work.rs`)
+/// against the scoped per-run `exec.keys_sorted` counter; this
+/// process-wide monotone total (now hosted by `bcc_obs`, delegation
+/// kept for compatibility) remains the whole-process observable —
+/// meaningful deltas require no concurrent sorts.
 pub fn keys_sorted_total() -> u64 {
-    KEYS_SORTED.load(std::sync::atomic::Ordering::Relaxed)
+    bcc_obs::keys_sorted_total()
 }
 
 /// Sorts packed transcript keys ascending with an LSD radix sort (byte
@@ -275,7 +265,7 @@ pub fn radix_sort_u64(keys: &mut Vec<u64>) {
 /// scatter is the same stable serial permutation in every kernel.
 pub fn radix_sort_u64_with<K: WordKernel>(kernel: &K, keys: &mut Vec<u64>) {
     let n = keys.len();
-    KEYS_SORTED.fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+    bcc_obs::add_keys_sorted(n as u64);
     if n < RADIX_CUTOFF {
         keys.sort_unstable();
         return;

@@ -294,6 +294,13 @@ pub fn exact_walk<B: Branching + ?Sized>(
         touched,
     };
 
+    // Observability: resolve the installed registry once on the calling
+    // thread (thread-local scopes do not cross rayon spawns) and carry
+    // the handle into the parallel phase. With no registry installed
+    // every tally flush below is a no-op.
+    let obs = bcc_obs::current();
+    let _walk_span = bcc_obs::Span::begin_for("walk.exact", obs.clone());
+
     let mut acc = WalkOutcome::zeros(horizon as usize, m);
     // Dist-major alive state: dist 0 is the baseline, dist i+1 member i.
     let ctx_ref = &ctx;
@@ -318,6 +325,15 @@ pub fn exact_walk<B: Branching + ?Sized>(
         &mut ws,
     );
 
+    if let Some(o) = &obs {
+        o.add(
+            "walk.frontier_tasks",
+            bcc_obs::Class::Work,
+            frontier.len() as u64,
+        );
+        o.note("kernel.dispatch", kernel::active().name());
+    }
+
     // Phase 2: run the subtree tasks. `collect` preserves frontier order
     // (and chunks are contiguous), so the reduction below adds task
     // results in a schedule-independent order and the two modes agree
@@ -341,14 +357,20 @@ pub fn exact_walk<B: Branching + ?Sized>(
                 }
                 chunks
             };
+            let obs_ref = &obs;
             chunks
                 .into_par_iter()
                 .map(|chunk| {
+                    let _chunk_span = bcc_obs::Span::begin_for("walk.chunk", obs_ref.clone());
                     let mut task_ws = Workspace::new(ctx.horizon);
-                    chunk
+                    let outcomes = chunk
                         .into_iter()
                         .map(|task| run_task(&ctx, task, &mut task_ws))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    if let Some(o) = obs_ref {
+                        task_ws.tally.flush(o);
+                    }
+                    outcomes
                 })
                 .collect::<Vec<_>>()
                 .into_iter()
@@ -362,6 +384,10 @@ pub fn exact_walk<B: Branching + ?Sized>(
     };
     for task_acc in &task_accs {
         acc.add(task_acc);
+    }
+    // Phase-1 work, plus the sequential tasks' (which shared `ws`).
+    if let Some(o) = &obs {
+        ws.tally.flush(o);
     }
     acc
 }
@@ -579,11 +605,62 @@ impl DepthScratch {
     }
 }
 
+/// Run-local deterministic work tally. Preallocated with the workspace
+/// so the steady-state recursion stays allocation-free (the
+/// `crates/core/tests/alloc.rs` pin), and flushed into the installed
+/// [`bcc_obs::Registry`] — if any — once per workspace use (per chunk
+/// in parallel mode), never per node. Every count is a pure function of
+/// the tree and the frontier depth, so totals agree across execution
+/// modes, kernels, and thread counts at equal split depth.
+#[derive(Default)]
+struct WalkTally {
+    /// Nodes whose depth-`t` contribution this workspace accumulated.
+    nodes: u64,
+    /// Sum over internal nodes of the per-distribution live counts at
+    /// the speaker row: the points the node's splits actually price.
+    live_points: u64,
+    /// Non-empty child consistent sets constructed.
+    children_built: u64,
+    /// Dense parents that produced a sparse child (hybrid-set
+    /// demotions to sorted index lists).
+    demotions: u64,
+    /// Nodes per depth, `horizon + 1` entries.
+    nodes_by_depth: Vec<u64>,
+}
+
+impl WalkTally {
+    fn new(horizon: u32) -> Self {
+        WalkTally {
+            nodes_by_depth: vec![0; horizon as usize + 1],
+            ..WalkTally::default()
+        }
+    }
+
+    fn flush(&self, obs: &bcc_obs::Registry) {
+        use bcc_obs::Class;
+        obs.add("walk.nodes", Class::Work, self.nodes);
+        obs.add("walk.live_points", Class::Work, self.live_points);
+        obs.add("walk.children_built", Class::Work, self.children_built);
+        obs.add(
+            "walk.demotions_dense_to_sparse",
+            Class::Work,
+            self.demotions,
+        );
+        for (depth, &count) in self.nodes_by_depth.iter().enumerate() {
+            if count > 0 {
+                obs.add_at("walk.nodes_by_depth", Class::Work, depth, count);
+            }
+        }
+    }
+}
+
 /// The walk's reusable buffers: one [`NodeScratch`] (consumed within a
-/// node) plus one [`DepthScratch`] per recursion level.
+/// node) plus one [`DepthScratch`] per recursion level, plus the work
+/// tally the buffers' owner flushes when it is done.
 struct Workspace {
     node: NodeScratch,
     depths: Vec<DepthScratch>,
+    tally: WalkTally,
 }
 
 impl Workspace {
@@ -593,6 +670,7 @@ impl Workspace {
             depths: (0..horizon.max(1))
                 .map(|_| DepthScratch::default())
                 .collect(),
+            tally: WalkTally::new(horizon),
         }
     }
 }
@@ -607,6 +685,7 @@ fn build_children<B: Branching + ?Sized>(
     state: &[ConsistentSet],
     node: &mut NodeScratch,
     scratch: &mut DepthScratch,
+    tally: &mut WalkTally,
 ) {
     let dcount = ctx.m + 1;
     scratch.built_len = 0;
@@ -677,12 +756,16 @@ fn build_children<B: Branching + ?Sized>(
                 if parent.is_empty() {
                     continue;
                 }
+                let parent_sparse = parent.is_sparse();
                 for (label, keep) in [(0u64, false), (1u64, true)] {
                     let slot = scratch.alloc_slot();
                     scratch.built[slot].assign_filtered(parent, &node.plane, keep);
                     if scratch.built[slot].is_empty() {
                         scratch.built_len -= 1;
                     } else {
+                        if !parent_sparse && scratch.built[slot].is_sparse() {
+                            tally.demotions += 1;
+                        }
                         scratch.runs.push((d as u32, label, slot as u32));
                     }
                 }
@@ -791,9 +874,13 @@ fn build_children<B: Branching + ?Sized>(
                     let slot = node.slot_of_rank[node.point_rank[i] as usize];
                     scratch.built[slot as usize].push(i);
                 }
+                let parent_sparse = parent.is_sparse();
                 for &slot in &node.slot_of_rank {
                     if slot != NO_SLOT {
                         scratch.built[slot as usize].finish();
+                        if !parent_sparse && scratch.built[slot as usize].is_sparse() {
+                            tally.demotions += 1;
+                        }
                     }
                 }
             }
@@ -872,7 +959,12 @@ fn walk<B: Branching + ?Sized>(
         }
     }
 
-    // Depth-t prefix accumulation.
+    // Depth-t prefix accumulation. Frontier-cut nodes were handed off
+    // above, so every accumulated node is tallied exactly once — by
+    // phase 1 or by the task that owns its subtree.
+    ws.tally.nodes += 1;
+    ws.tally.nodes_by_depth[t] += 1;
+
     let avg: f64 = probs.iter().sum::<f64>() / m as f64;
     acc.mixture_tv_by_depth[t] += (avg - prob_base).abs() / 2.0;
     let mut progress = 0.0;
@@ -903,7 +995,17 @@ fn walk<B: Branching + ?Sized>(
     }
 
     let mut scratch = std::mem::take(&mut ws.depths[t]);
-    build_children(ctx, speaker, &prefix, state, &mut ws.node, &mut scratch);
+    build_children(
+        ctx,
+        speaker,
+        &prefix,
+        state,
+        &mut ws.node,
+        &mut scratch,
+        &mut ws.tally,
+    );
+    ws.tally.live_points += scratch.totals.iter().map(|&c| c as u64).sum::<u64>();
+    ws.tally.children_built += scratch.runs.len() as u64;
 
     let dcount = m + 1;
     for li in 0..scratch.labels.len() {

@@ -1,6 +1,7 @@
-//! Sort-work accounting for the adaptive estimators, pinned against
-//! [`bcc_core::keys_sorted_total`] — the process-wide count of keys fed
-//! through `radix_sort_u64`.
+//! Sort-work accounting for the adaptive estimators, pinned against the
+//! scoped [`bcc_obs`] work counters (`exec.keys_sorted`,
+//! `exec.keys_merged`, `exec.samples_drawn`) that an installed
+//! [`bcc_obs::Registry`] collects per run.
 //!
 //! The adaptive layer's contract is **1× final-budget sort work**: every
 //! transcript's key is radix-sorted exactly once (in the batch chunk that
@@ -11,16 +12,41 @@
 //! producing bitwise-identical profiles — exactly the kind of regression
 //! only a work counter can catch.
 //!
-//! This file must stay a **single-test binary**: the counter is global,
-//! so a concurrently running test that sorts anything would corrupt the
-//! deltas.
+//! Each estimator run installs a fresh registry, so the pinned deltas are
+//! scoped to that run. Every snapshot also carries the process-global
+//! totals as deltas from registry creation (`global.keys_sorted`,
+//! `global.keys_merged`); this file asserts the scoped counters agree
+//! with them, proving the registry migration of the old
+//! [`bcc_core::keys_sorted_total`] statics lost no work. That cross-check
+//! is why this file must stay a **single-test binary**: a concurrently
+//! running test that sorts anything would corrupt the global deltas.
 
 use bcc_congest::wide::FnWideProtocol;
 use bcc_congest::FnProtocol;
-use bcc_core::{
-    keys_merged_total, keys_sorted_total, AdaptiveEstimator, ProductInput, RowSupport,
-    WideSampledEstimator,
-};
+use bcc_core::{AdaptiveEstimator, ProductInput, RowSupport, WideSampledEstimator};
+use bcc_obs::{Registry, Snapshot};
+
+/// Runs `f` under a fresh scoped registry and returns its result plus
+/// the run's work snapshot.
+fn scoped<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    let registry = Registry::new();
+    let scope = registry.install();
+    let out = f();
+    drop(scope);
+    (out, registry.snapshot())
+}
+
+/// The scoped counter, asserted equal to the process-global delta over
+/// the same run (the migration-is-lossless cross-check).
+fn counter_cross_checked(snap: &Snapshot, scoped_name: &str, global_name: &str) -> u64 {
+    let scoped = snap.work_counter(scoped_name);
+    let global = snap.work_counter(global_name);
+    assert_eq!(
+        scoped, global,
+        "{scoped_name} must account for every key {global_name} saw"
+    );
+    scoped
+}
 
 #[test]
 fn adaptive_runs_sort_exactly_one_final_budget_per_side() {
@@ -44,9 +70,11 @@ fn adaptive_runs_sort_exactly_one_final_budget_per_side() {
 
     // The bit path.
     let bitp = FnProtocol::new(2, 3, 6, |_, input, tr| (input >> (tr.len() / 2)) & 1 == 1);
-    let before = keys_sorted_total();
-    let (_, report) = est.estimate_with_report(&bitp, &members, &baseline, 6);
-    let sorted = keys_sorted_total() - before;
+    let (report, snap) = scoped(|| {
+        let (_, report) = est.estimate_with_report(&bitp, &members, &baseline, 6);
+        report
+    });
+    let sorted = counter_cross_checked(&snap, "exec.keys_sorted", "global.keys_sorted");
     assert!(report.batches > 1, "want a multi-batch run: {report:?}");
     assert_eq!(report.samples_per_side, cap);
     assert_eq!(
@@ -58,12 +86,24 @@ fn adaptive_runs_sort_exactly_one_final_budget_per_side() {
         report.batches,
         cap
     );
+    assert_eq!(
+        snap.work_counter("exec.samples_drawn"),
+        sides * cap as u64,
+        "every side draws exactly the final budget"
+    );
+    assert_eq!(
+        snap.work_counter("exec.adaptive.batches"),
+        report.batches as u64,
+        "the scoped batch count mirrors the report"
+    );
 
     // The wide path, same contract.
     let widep = FnWideProtocol::new(2, 3, 2, 6, |_, input, tr| (input >> (tr.len() % 2)) & 0b11);
-    let before = keys_sorted_total();
-    let (_, report) = est.estimate_wide_with_report(&widep, &members, &baseline, 6);
-    let sorted = keys_sorted_total() - before;
+    let (report, snap) = scoped(|| {
+        let (_, report) = est.estimate_wide_with_report(&widep, &members, &baseline, 6);
+        report
+    });
+    let sorted = counter_cross_checked(&snap, "exec.keys_sorted", "global.keys_sorted");
     assert!(report.batches > 1, "want a multi-batch run: {report:?}");
     assert_eq!(
         sorted,
@@ -75,10 +115,16 @@ fn adaptive_runs_sort_exactly_one_final_budget_per_side() {
     // once on top of the per-side sorts — (sides + members) × budget —
     // which pins that the counter actually sees mixture sorting (the
     // adaptive numbers above are not an accounting blind spot).
-    let before = keys_sorted_total();
-    let _ = WideSampledEstimator::new(cap, 0xFEED).estimate_full(&widep, &members, &baseline);
-    let sorted = keys_sorted_total() - before;
+    let (_, snap) = scoped(|| {
+        WideSampledEstimator::new(cap, 0xFEED).estimate_full(&widep, &members, &baseline)
+    });
+    let sorted = counter_cross_checked(&snap, "exec.keys_sorted", "global.keys_sorted");
     assert_eq!(sorted, (sides + members.len() as u64) * cap as u64);
+    assert_eq!(
+        snap.work_counter("exec.samples_drawn"),
+        sides * cap as u64,
+        "the mixture re-sort is accounting, not extra draws"
+    );
 
     // The merge half of the contract, on a wide (m = 6) family: per
     // batch the member chunks fold through ONE k-way heap merge (each
@@ -95,11 +141,12 @@ fn adaptive_runs_sort_exactly_one_final_budget_per_side() {
         })
         .collect();
     let m = wide_members.len() as u64;
-    let sorted_before = keys_sorted_total();
-    let merged_before = keys_merged_total();
-    let (_, report) = est.estimate_with_report(&bitp, &wide_members, &baseline, 6);
-    let sorted = keys_sorted_total() - sorted_before;
-    let merged = keys_merged_total() - merged_before;
+    let (report, snap) = scoped(|| {
+        let (_, report) = est.estimate_with_report(&bitp, &wide_members, &baseline, 6);
+        report
+    });
+    let sorted = counter_cross_checked(&snap, "exec.keys_sorted", "global.keys_sorted");
+    let merged = counter_cross_checked(&snap, "exec.keys_merged", "global.keys_merged");
     // The unreachable tolerance makes the budget schedule deterministic:
     // batch 1 draws the initial 64, the support projection then jumps
     // straight to the cap.

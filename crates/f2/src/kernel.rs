@@ -783,6 +783,18 @@ macro_rules! dispatch {
     };
 }
 
+/// Words-processed accounting at the dispatch seam. Counting here (not
+/// inside the concrete kernels) means every `active()` caller is
+/// covered once, and the count is derived from *input* lengths — so it
+/// is identical for scalar and AVX2 by construction, keeping
+/// `kernel.words.*` in the deterministic-work metric class. The
+/// underlying counter is gated on an observation scope being active,
+/// so the unobserved cost is one relaxed load.
+#[inline]
+fn obs_words(family: bcc_obs::KernelFamily, words: usize) {
+    bcc_obs::add_kernel_words(family, words as u64);
+}
+
 impl WordKernel for Kernel {
     #[inline]
     fn name(&self) -> &'static str {
@@ -791,76 +803,91 @@ impl WordKernel for Kernel {
 
     #[inline]
     fn and_in_place(&self, a: &mut [u64], b: &[u64]) {
+        obs_words(bcc_obs::KernelFamily::Boolean, a.len().min(b.len()));
         dispatch!(self, k => k.and_in_place(a, b))
     }
 
     #[inline]
     fn and_not_in_place(&self, a: &mut [u64], b: &[u64]) {
+        obs_words(bcc_obs::KernelFamily::Boolean, a.len().min(b.len()));
         dispatch!(self, k => k.and_not_in_place(a, b))
     }
 
     #[inline]
     fn or_in_place(&self, a: &mut [u64], b: &[u64]) {
+        obs_words(bcc_obs::KernelFamily::Boolean, a.len().min(b.len()));
         dispatch!(self, k => k.or_in_place(a, b))
     }
 
     #[inline]
     fn xor_in_place(&self, a: &mut [u64], b: &[u64]) {
+        obs_words(bcc_obs::KernelFamily::Boolean, a.len().min(b.len()));
         dispatch!(self, k => k.xor_in_place(a, b))
     }
 
     #[inline]
     fn count_ones(&self, a: &[u64]) -> usize {
+        obs_words(bcc_obs::KernelFamily::Reduce, a.len());
         dispatch!(self, k => k.count_ones(a))
     }
 
     #[inline]
     fn dot(&self, a: &[u64], b: &[u64]) -> bool {
+        obs_words(bcc_obs::KernelFamily::Reduce, a.len().min(b.len()));
         dispatch!(self, k => k.dot(a, b))
     }
 
     #[inline]
     fn filter_count(&self, a: &[u64], plane: &[u64], keep: bool) -> usize {
+        obs_words(bcc_obs::KernelFamily::Filter, a.len());
         dispatch!(self, k => k.filter_count(a, plane, keep))
     }
 
     #[inline]
     fn filter_into(&self, a: &[u64], plane: &[u64], keep: bool, out: &mut [u64]) {
+        obs_words(bcc_obs::KernelFamily::Filter, a.len());
         dispatch!(self, k => k.filter_into(a, plane, keep, out))
     }
 
     #[inline]
     fn filter_indices(&self, a: &[u64], plane: &[u64], keep: bool, out: &mut Vec<u32>) {
+        obs_words(bcc_obs::KernelFamily::Filter, a.len());
         dispatch!(self, k => k.filter_indices(a, plane, keep, out))
     }
 
     #[inline]
     fn ones_indices(&self, a: &[u64], out: &mut Vec<u32>) {
+        obs_words(bcc_obs::KernelFamily::Filter, a.len());
         dispatch!(self, k => k.ones_indices(a, out))
     }
 
     #[inline]
     fn or_and_fold(&self, keys: &[u64]) -> (u64, u64) {
+        obs_words(bcc_obs::KernelFamily::Reduce, keys.len());
         dispatch!(self, k => k.or_and_fold(keys))
     }
 
     #[inline]
     fn byte_histogram(&self, keys: &[u64], shift: u32, hist: &mut [usize; 256]) {
+        obs_words(bcc_obs::KernelFamily::Bytes, keys.len());
         dispatch!(self, k => k.byte_histogram(keys, shift, hist))
     }
 
     #[inline]
     fn byte_scatter(&self, keys: &[u64], shift: u32, offsets: &mut [usize; 256], out: &mut [u64]) {
+        obs_words(bcc_obs::KernelFamily::Bytes, keys.len());
         dispatch!(self, k => k.byte_scatter(keys, shift, offsets, out))
     }
 
     #[inline]
     fn extract_shifted(&self, src: &[u64], lo_bit: usize, out: &mut [u64]) {
+        obs_words(bcc_obs::KernelFamily::Shift, out.len());
         dispatch!(self, k => k.extract_shifted(src, lo_bit, out))
     }
 
     #[inline]
     fn or_shifted_into(&self, src: &[u64], bit_offset: usize, out: &mut [u64]) {
+        obs_words(bcc_obs::KernelFamily::Shift, src.len());
         dispatch!(self, k => k.or_shifted_into(src, bit_offset, out))
     }
 }

@@ -261,7 +261,13 @@ fn wide_setup(
 /// coordinates, so resume semantics are unchanged.
 fn wide_messages_sampled(point: &ScenarioPoint, members: usize, precision: &Precision) -> Outcome {
     if wide_walk_nodes(point.bandwidth, point.rounds) <= MAX_WIDE_NODES {
+        if let Some(obs) = bcc_obs::current() {
+            obs.add("lab.route_exact", bcc_obs::Class::Work, 1);
+        }
         return wide_messages(point, members, precision);
+    }
+    if let Some(obs) = bcc_obs::current() {
+        obs.add("lab.route_sampled", bcc_obs::Class::Work, 1);
     }
     let (protocol, family, baseline) = wide_setup(point, members);
     let estimator = AdaptiveEstimator::new(

@@ -31,6 +31,7 @@ use crate::scenario::Scenario;
 pub struct RunStore {
     dir: PathBuf,
     log: BufWriter<File>,
+    healed: usize,
 }
 
 impl RunStore {
@@ -65,12 +66,16 @@ impl RunStore {
         }
 
         let log_path = dir.join("records.jsonl");
+        let mut healed = 0;
         let existing = if log_path.exists() {
             let mut text = String::new();
             File::open(&log_path)
                 .and_then(|mut f| f.read_to_string(&mut text))
                 .unwrap_or_else(|e| panic!("cannot read {}: {e}", log_path.display()));
             let records = parse_records(&text);
+            // Lines the compaction drops: torn tails, foreign garbage and
+            // superseded duplicates alike — the log's healed-line count.
+            healed = text.lines().filter(|l| !l.trim().is_empty()).count() - records.len();
             // Compact: rewrite exactly the valid records, one per line, in
             // point order. This heals a torn final line (which would
             // otherwise glue onto the next append) and drops duplicates.
@@ -102,6 +107,7 @@ impl RunStore {
             RunStore {
                 dir: dir.to_path_buf(),
                 log: BufWriter::new(log),
+                healed,
             },
             existing,
         )
@@ -110,6 +116,13 @@ impl RunStore {
     /// The directory this store writes into.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// How many log lines [`RunStore::open`] dropped while compacting:
+    /// torn final lines from an interrupted run, foreign garbage, and
+    /// superseded duplicate records.
+    pub fn healed_lines(&self) -> usize {
+        self.healed
     }
 
     /// Appends one completed point and flushes, so an interruption can

@@ -34,6 +34,15 @@ pub struct SweepResult {
     pub resumed: usize,
     /// Points computed by this invocation.
     pub computed: usize,
+    /// Log lines the store dropped while compacting on open — torn
+    /// tails of an interrupted run, foreign garbage, superseded
+    /// duplicates. Zero for ephemeral sweeps and clean directories.
+    pub healed: usize,
+    /// The sweep's observability snapshot: deterministic work counters
+    /// (walk/exec/kernel/lab), wall-clock span histograms, and notes.
+    /// Also written as `metrics.json` next to `records.jsonl` when the
+    /// sweep persists.
+    pub metrics: bcc_obs::Snapshot,
 }
 
 impl SweepResult {
@@ -89,14 +98,33 @@ impl Scenario {
 /// fingerprint, or if a record on disk carries parameters that disagree
 /// with the grid point of the same id (a corrupt or hand-edited log).
 pub fn run_sweep(scenario: &Scenario, dir: Option<&Path>) -> SweepResult {
+    // One registry per sweep. Points run on rayon workers, where the
+    // caller's thread-local scope is invisible, so each point installs
+    // this registry on its own worker thread for the duration of the
+    // point. Work counters are integer adds — commutative — so the
+    // totals are independent of scheduling.
+    let registry = bcc_obs::Registry::new();
+    let _sweep_span = registry.span("lab.sweep");
+
     let points = scenario.grid().points();
-    let (store, existing) = match dir {
+    let (store, existing, healed) = match dir {
         Some(dir) => {
             let (store, existing) = RunStore::open(dir, scenario);
-            (Some(Mutex::new(store)), existing)
+            let healed = store.healed_lines();
+            (Some(Mutex::new(store)), existing, healed)
         }
-        None => (None, std::collections::BTreeMap::new()),
+        None => (None, std::collections::BTreeMap::new(), 0),
     };
+    registry.add(
+        "lab.store.healed_lines",
+        bcc_obs::Class::Work,
+        healed as u64,
+    );
+    registry.add(
+        "lab.store.resumed_records",
+        bcc_obs::Class::Work,
+        existing.len() as u64,
+    );
     for (&id, record) in &existing {
         let point = points.get(id).unwrap_or_else(|| {
             panic!(
@@ -117,7 +145,10 @@ pub fn run_sweep(scenario: &Scenario, dir: Option<&Path>) -> SweepResult {
         .map(|(id, point)| (id, *point))
         .collect();
     let computed = pending.len();
+    registry.add("lab.points_computed", bcc_obs::Class::Work, computed as u64);
     let one_point = |&(id, point): &(usize, crate::ScenarioPoint)| {
+        let _scope = registry.install();
+        let _span = registry.span("lab.point");
         let record = run_point(scenario, id, &point);
         if let Some(store) = &store {
             store.lock().expect("store mutex poisoned").append(&record);
@@ -139,9 +170,25 @@ pub fn run_sweep(scenario: &Scenario, dir: Option<&Path>) -> SweepResult {
     }
     let records: Vec<PointRecord> = by_id.into_values().collect();
     debug_assert_eq!(records.len(), points.len());
+
+    drop(_sweep_span);
+    let metrics = registry.snapshot();
+    if let Some(dir) = dir {
+        let path = dir.join("metrics.json");
+        std::fs::write(&path, metrics.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+    // Persist any trace events this sweep contributed (no-op unless
+    // tracing was enabled via `BCC_TRACE` or `bcc_obs::trace::install`).
+    if let Some(Err(e)) = bcc_obs::trace::flush() {
+        eprintln!("bcc-lab: could not flush trace: {e}");
+    }
+
     SweepResult {
         records,
         resumed,
         computed,
+        healed,
+        metrics,
     }
 }

@@ -1,0 +1,127 @@
+//! Chrome-trace-event sink behind `BCC_TRACE=<path>`.
+//!
+//! Spans buffer complete events (`"ph":"X"`) in memory; [`flush`]
+//! rewrites the target file with everything recorded so far, so a
+//! caller can flush after every sweep and still end with one valid
+//! JSON document. Open the file in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! The sink is process-global: either the `BCC_TRACE` environment
+//! variable (read once, at first use) or an [`install`] call names the
+//! output path; once a path is set it cannot be redirected (spans may
+//! already reference it from other threads), but a process whose
+//! environment left tracing off can still [`install`] later.
+//!
+//! Timestamps are µs since a process-wide epoch taken at first use;
+//! both `ts` and the span's end are floored to the same µs clock, so
+//! per-thread RAII nesting survives integer truncation exactly — the
+//! property `crates/obs/tests/trace_check.rs` validates.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+struct Event {
+    name: &'static str,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+static ENV_INIT: Once = Once::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads `BCC_TRACE` exactly once for the process's lifetime.
+fn ensure_env() {
+    ENV_INIT.call_once(|| {
+        if let Some(p) = std::env::var_os("BCC_TRACE") {
+            if !p.is_empty() {
+                *PATH.lock().unwrap_or_else(|e| e.into_inner()) = Some(PathBuf::from(p));
+                ENABLED.store(true, Ordering::Release);
+            }
+        }
+    });
+}
+
+fn path() -> Option<PathBuf> {
+    ensure_env();
+    PATH.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Programmatically enable tracing to `path` (the in-process
+/// alternative to setting `BCC_TRACE` before launch). Returns `false`
+/// if a sink path is already set — by the environment or an earlier
+/// call — which cannot be redirected.
+pub fn install(path: &Path) -> bool {
+    ensure_env();
+    let mut guard = PATH.lock().unwrap_or_else(|e| e.into_inner());
+    if guard.is_some() {
+        return false;
+    }
+    *guard = Some(path.to_path_buf());
+    ENABLED.store(true, Ordering::Release);
+    true
+}
+
+/// Is the trace sink enabled? (Reads the `BCC_TRACE` decision on first
+/// call; a later [`install`] can still turn tracing on.)
+#[inline]
+pub fn enabled() -> bool {
+    ensure_env();
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Record one complete span event. Called by `Span::drop`; `start` and
+/// `end` are floored against the shared epoch so nesting survives
+/// truncation.
+pub(crate) fn record(name: &'static str, start: Instant, end: Instant) {
+    if !enabled() {
+        return;
+    }
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let ts_us = start.saturating_duration_since(epoch).as_micros() as u64;
+    let end_us = end.saturating_duration_since(epoch).as_micros() as u64;
+    let tid = TID.with(|t| *t);
+    let mut events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    events.push(Event {
+        name,
+        ts_us,
+        dur_us: end_us.saturating_sub(ts_us),
+        tid,
+    });
+}
+
+/// Number of events buffered so far (0 when disabled).
+pub fn event_count() -> usize {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+/// Rewrite the trace file with every event recorded so far. Returns
+/// the path written, or `None` when tracing is disabled. Safe to call
+/// repeatedly; the last flush wins with a superset of earlier ones.
+pub fn flush() -> Option<std::io::Result<PathBuf>> {
+    let path = path()?;
+    let events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"bcc\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            e.name, e.ts_us, e.dur_us, e.tid
+        ));
+    }
+    out.push_str("]}");
+    drop(events);
+    Some(std::fs::write(&path, out).map(|()| path))
+}

@@ -1,0 +1,350 @@
+//! Hand-rolled Chrome-trace validator.
+//!
+//! Three consumers:
+//! - unit tests on literal strings pin the validator itself,
+//! - `emitted_trace_parses_and_nests` generates a real trace through
+//!   the span API (programmatic [`bcc_obs::trace::install`]) and
+//!   validates it end to end,
+//! - `validates_external_file` re-checks a trace produced by another
+//!   process when `BCC_TRACE_CHECK=<path>` is set — the CI
+//!   `trace-smoke` step points it at the file `lab_sweep --smoke`
+//!   wrote under `BCC_TRACE`.
+
+use std::collections::BTreeMap;
+
+/// One parsed trace event.
+#[derive(Debug, Clone)]
+struct Event {
+    name: String,
+    ph: String,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+}
+
+/// Minimal JSON scanner for the Chrome trace shape: a top-level object
+/// holding a `traceEvents` array of flat objects with string / integer
+/// fields. Returns `Err` with a position-tagged message on anything
+/// malformed.
+fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if *pos < bytes.len() && bytes[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, pos))
+        }
+    }
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < bytes.len() {
+            match bytes[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    let esc = *bytes.get(*pos).ok_or("truncated escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            *pos += 4;
+                            char::from_u32(code).ok_or("bad \\u code point")?
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    });
+                    *pos += 1;
+                }
+                b => {
+                    // Multi-byte UTF-8 continuation bytes pass through.
+                    out.push_str(
+                        std::str::from_utf8(&bytes[*pos..*pos + utf8_len(b)])
+                            .map_err(|e| e.to_string())?,
+                    );
+                    *pos += utf8_len(b);
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+    fn utf8_len(b: u8) -> usize {
+        match b {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+        skip_ws(bytes, pos);
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .unwrap()
+            .parse::<u64>()
+            .map_err(|e| e.to_string())
+    }
+
+    expect(bytes, &mut pos, b'{')?;
+    // Scan top-level keys until traceEvents; tolerate (and skip) other
+    // scalar-valued keys so hand-written fixtures can carry metadata.
+    loop {
+        skip_ws(bytes, &mut pos);
+        let key = parse_string(bytes, &mut pos)?;
+        expect(bytes, &mut pos, b':')?;
+        if key == "traceEvents" {
+            break;
+        }
+        skip_ws(bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(b'"') => {
+                parse_string(bytes, &mut pos)?;
+            }
+            Some(b'0'..=b'9') => {
+                parse_number(bytes, &mut pos)?;
+            }
+            _ => return Err(format!("unsupported value for key {key}")),
+        }
+        expect(bytes, &mut pos, b',')?;
+    }
+
+    expect(bytes, &mut pos, b'[')?;
+    let mut events = Vec::new();
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) == Some(&b']') {
+        pos += 1;
+    } else {
+        loop {
+            expect(bytes, &mut pos, b'{')?;
+            let mut strings: BTreeMap<String, String> = BTreeMap::new();
+            let mut numbers: BTreeMap<String, u64> = BTreeMap::new();
+            loop {
+                skip_ws(bytes, &mut pos);
+                let key = parse_string(bytes, &mut pos)?;
+                expect(bytes, &mut pos, b':')?;
+                skip_ws(bytes, &mut pos);
+                match bytes.get(pos) {
+                    Some(b'"') => {
+                        let v = parse_string(bytes, &mut pos)?;
+                        strings.insert(key, v);
+                    }
+                    _ => {
+                        let v = parse_number(bytes, &mut pos)?;
+                        numbers.insert(key, v);
+                    }
+                }
+                skip_ws(bytes, &mut pos);
+                match bytes.get(pos) {
+                    Some(b',') => pos += 1,
+                    Some(b'}') => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+            events.push(Event {
+                name: strings.remove("name").ok_or("event missing name")?,
+                ph: strings.remove("ph").ok_or("event missing ph")?,
+                ts: *numbers.get("ts").ok_or("event missing ts")?,
+                dur: *numbers.get("dur").ok_or("event missing dur")?,
+                tid: *numbers.get("tid").ok_or("event missing tid")?,
+            });
+            skip_ws(bytes, &mut pos);
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b']') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+    expect(bytes, &mut pos, b'}')?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(events)
+}
+
+/// Validate that complete events nest properly per thread: sorted by
+/// (ts asc, dur desc), every event either starts after the enclosing
+/// span ended or ends within it. RAII span guards guarantee this by
+/// construction; a violation means the writer (or a clock) is broken.
+fn check_nesting(events: &[Event]) -> Result<(), String> {
+    let mut by_tid: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    for e in events {
+        if e.ph != "X" {
+            return Err(format!("event {} has ph {:?}, want \"X\"", e.name, e.ph));
+        }
+        by_tid.entry(e.tid).or_default().push(e);
+    }
+    for (tid, mut evs) in by_tid {
+        evs.sort_by_key(|e| (e.ts, std::cmp::Reverse(e.dur)));
+        let mut stack: Vec<&Event> = Vec::new();
+        for e in evs {
+            while let Some(top) = stack.last() {
+                if top.ts + top.dur <= e.ts {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                let (end, top_end) = (e.ts + e.dur, top.ts + top.dur);
+                if end > top_end {
+                    return Err(format!(
+                        "tid {tid}: span {:?} [{}..{}] overlaps enclosing {:?} [{}..{}]",
+                        e.name, e.ts, end, top.name, top.ts, top_end
+                    ));
+                }
+            }
+            stack.push(e);
+        }
+    }
+    Ok(())
+}
+
+fn validate(text: &str) -> Result<Vec<Event>, String> {
+    let events = parse_trace(text)?;
+    check_nesting(&events)?;
+    Ok(events)
+}
+
+#[test]
+fn validator_accepts_nested_and_rejects_overlap() {
+    let good = r#"{"displayTimeUnit":"ms","traceEvents":[
+        {"name":"outer","cat":"bcc","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+        {"name":"inner","cat":"bcc","ph":"X","ts":10,"dur":20,"pid":1,"tid":1},
+        {"name":"sibling","cat":"bcc","ph":"X","ts":30,"dur":70,"pid":1,"tid":1},
+        {"name":"other-thread","cat":"bcc","ph":"X","ts":5,"dur":500,"pid":1,"tid":2}
+    ]}"#;
+    let events = validate(good).expect("well-nested trace validates");
+    assert_eq!(events.len(), 4);
+
+    let overlapping = r#"{"traceEvents":[
+        {"name":"a","ph":"X","ts":0,"dur":10,"tid":1},
+        {"name":"b","ph":"X","ts":5,"dur":10,"tid":1}
+    ]}"#;
+    let err = validate(overlapping).expect_err("partial overlap must fail");
+    assert!(err.contains("overlaps"), "got: {err}");
+
+    assert!(validate("{\"traceEvents\":[]}")
+        .expect("empty ok")
+        .is_empty());
+    assert!(validate("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
+    assert!(validate("not json").is_err());
+}
+
+#[test]
+fn emitted_trace_parses_and_nests() {
+    let path = std::env::temp_dir().join(format!("bcc-trace-selftest-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        bcc_obs::trace::install(&path),
+        "this test must be the first trace-sink user in the binary"
+    );
+
+    {
+        let _outer = bcc_obs::span("selftest.outer");
+        {
+            let _inner = bcc_obs::span("selftest.inner");
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        let _tail = bcc_obs::span("selftest.tail");
+    }
+    std::thread::spawn(|| {
+        let _worker = bcc_obs::span("selftest.worker");
+        let _child = bcc_obs::span("selftest.worker_child");
+        std::hint::black_box((0..1000).product::<u64>());
+    })
+    .join()
+    .unwrap();
+
+    bcc_obs::trace::flush()
+        .expect("sink enabled")
+        .expect("flush writes");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let events = validate(&text).expect("emitted trace is valid and nested");
+    assert_eq!(events.len(), 5, "five spans emitted: {events:?}");
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    for want in [
+        "selftest.outer",
+        "selftest.inner",
+        "selftest.tail",
+        "selftest.worker",
+        "selftest.worker_child",
+    ] {
+        assert!(names.contains(&want), "{want} missing from {names:?}");
+    }
+    // The spawned thread's spans carry a distinct tid.
+    let main_tid = events
+        .iter()
+        .find(|e| e.name == "selftest.outer")
+        .unwrap()
+        .tid;
+    let worker_tid = events
+        .iter()
+        .find(|e| e.name == "selftest.worker")
+        .unwrap()
+        .tid;
+    assert_ne!(main_tid, worker_tid);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// CI hook: when `BCC_TRACE_CHECK` names a file (the trace another
+/// process wrote under `BCC_TRACE`), parse and nesting-check it.
+#[test]
+fn validates_external_file() {
+    let Some(path) = std::env::var_os("BCC_TRACE_CHECK") else {
+        eprintln!("SKIP validates_external_file: BCC_TRACE_CHECK not set");
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.to_string_lossy()));
+    let events = validate(&text).expect("external trace is valid and nested");
+    assert!(
+        !events.is_empty(),
+        "external trace has no events — spans not wired?"
+    );
+    println!(
+        "validated {} events across {} threads from {}",
+        events.len(),
+        events
+            .iter()
+            .map(|e| e.tid)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        path.to_string_lossy()
+    );
+}

@@ -5,9 +5,15 @@
 //! JSONL, interrupted, and resumed bit-for-bit.
 //!
 //! ```text
-//! cargo run --release --example lab_sweep             # the full sweeps
-//! cargo run --release --example lab_sweep -- --smoke  # tiny CI grids
+//! cargo run --release --example lab_sweep              # the full sweeps
+//! cargo run --release --example lab_sweep -- --smoke   # tiny CI grids
+//! cargo run --release --example lab_sweep -- --report  # + per-sweep metrics tables
 //! ```
+//!
+//! Every sweep also writes its observability snapshot — deterministic
+//! work counters, span timing histograms — as `metrics.json` next to
+//! `records.jsonl`; `--report` additionally prints each sweep's table.
+//! Set `BCC_TRACE=<path>` to collect a Chrome-trace of the runs' spans.
 //!
 //! Three scenarios run back to back:
 //!
@@ -38,6 +44,7 @@ use bcc::lab::{run_sweep, Scenario, SweepResult, Workload};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = std::env::args().any(|a| a == "--report");
     let rank = if smoke {
         Scenario::builder("lab-rank-smoke")
             .workload(Workload::RankDistance { members: 2 })
@@ -111,11 +118,11 @@ fn main() {
             .build()
     };
 
-    run_one(&rank, true);
+    run_one(&rank, true, report);
     println!("\n{}\n", "=".repeat(72));
-    run_one(&wide, true);
+    run_one(&wide, true, report);
     println!("\n{}\n", "=".repeat(72));
-    run_one(&wide_sampled, false);
+    run_one(&wide_sampled, false, report);
 }
 
 /// Runs one scenario fresh, summarizes it, then proves the interruption
@@ -125,7 +132,7 @@ fn main() {
 /// the tolerance from routed sampled-wide grids, whose past-cliff points
 /// honestly report floors above it; those instead assert that every
 /// *exact-routed* point met and that the noise accounting is coherent.
-fn run_one(scenario: &Scenario, expect_all_met: bool) {
+fn run_one(scenario: &Scenario, expect_all_met: bool, report: bool) {
     let dir = scenario.default_dir();
     let points = scenario.grid().len();
     println!(
@@ -142,6 +149,14 @@ fn run_one(scenario: &Scenario, expect_all_met: bool) {
     let sweep = scenario.sweep();
     let elapsed = start.elapsed().as_secs_f64();
     summarize(&sweep, elapsed);
+    assert!(
+        dir.join("metrics.json").is_file(),
+        "every persisted sweep writes its metrics snapshot"
+    );
+    if report {
+        println!("\n-- metrics ({}) --", scenario.name());
+        println!("{}", sweep.metrics.render_text());
+    }
     if expect_all_met {
         assert!(
             sweep.all_met_tolerance(),
@@ -187,10 +202,22 @@ fn run_one(scenario: &Scenario, expect_all_met: bool) {
     let resumed = run_sweep(scenario, Some(&half_dir));
     let resumed_secs = start.elapsed().as_secs_f64();
     println!(
-        "resume: kept {} records, recomputed {} in {:.1} s",
-        resumed.resumed, resumed.computed, resumed_secs
+        "resume: kept {} records, healed {} torn line(s), recomputed {} in {:.1} s",
+        resumed.resumed, resumed.healed, resumed.computed, resumed_secs
     );
     assert_eq!(resumed.records.len(), sweep.records.len());
+    // The drill tore exactly one line; the store must report exactly one
+    // healed line — surfaced on the result and in the metrics snapshot.
+    assert_eq!(resumed.healed, 1, "one torn line, one heal");
+    assert_eq!(
+        resumed.metrics.work_counter("lab.store.healed_lines"),
+        1,
+        "the heal shows up in metrics.json"
+    );
+    assert_eq!(
+        resumed.metrics.work_counter("lab.store.resumed_records"),
+        resumed.resumed as u64
+    );
     let mut diverged = 0usize;
     for (a, b) in sweep.records.iter().zip(&resumed.records) {
         if a.estimate.to_bits() != b.estimate.to_bits()

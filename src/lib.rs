@@ -21,6 +21,9 @@
 //! * [`lab`] — scenario-sweep orchestration: declarative parameter grids,
 //!   adaptive-precision estimation, parallel scheduling and resumable
 //!   JSONL run records.
+//! * [`obs`] — observability: per-run registries of deterministic work
+//!   counters and wall-clock spans, Chrome-trace emission (`BCC_TRACE`),
+//!   and the `metrics.json` snapshots `lab` writes per sweep.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@ pub use bcc_core as core;
 pub use bcc_f2 as f2;
 pub use bcc_graphs as graphs;
 pub use bcc_lab as lab;
+pub use bcc_obs as obs;
 pub use bcc_planted as planted;
 pub use bcc_prg as prg;
 pub use bcc_stats as stats;
