@@ -5,6 +5,8 @@
 //! next to a "measured" column. All randomness is seeded with [`SEED`] so
 //! tables reproduce bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 /// The standard seed embedded in every experiment table.
 pub const SEED: u64 = 0x5EED_2019;
 

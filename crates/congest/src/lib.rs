@@ -25,7 +25,6 @@
 //! transcript types shared by both styles.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod model;
 pub mod network;

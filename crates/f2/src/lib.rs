@@ -40,7 +40,6 @@
 // only `unsafe` (stable `std::arch` AVX2 intrinsics behind a
 // feature-detection proof) under a scoped `allow`.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
 
 mod bitvec;
 mod consistent;

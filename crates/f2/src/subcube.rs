@@ -234,12 +234,12 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn full_cube_enumerates_everything() {
         let c = Subcube64::new(4);
-        let all: HashSet<u64> = c.iter().collect();
+        let all: BTreeSet<u64> = c.iter().collect();
         assert_eq!(all.len(), 16);
         assert!(all.contains(&0) && all.contains(&15));
     }
@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn contains_matches_enumeration() {
         let c = Subcube64::with_fixed(5, 0b10010, 0b10000);
-        let members: HashSet<u64> = c.iter().collect();
+        let members: BTreeSet<u64> = c.iter().collect();
         for x in 0..32u64 {
             assert_eq!(members.contains(&x), c.contains(x), "x={x:05b}");
         }
@@ -280,9 +280,9 @@ mod tests {
         let b = Subcube64::with_fixed(5, 0b00110, 0b00100);
         // a fixes x1=0; b fixes x1=0 too (bit 1 of value is 0) -> compatible.
         let i = a.intersect(&b).unwrap();
-        let ia: HashSet<u64> = a.iter().collect();
-        let ib: HashSet<u64> = b.iter().collect();
-        let ii: HashSet<u64> = i.iter().collect();
+        let ia: BTreeSet<u64> = a.iter().collect();
+        let ib: BTreeSet<u64> = b.iter().collect();
+        let ii: BTreeSet<u64> = i.iter().collect();
         assert_eq!(ii, ia.intersection(&ib).copied().collect());
     }
 
@@ -306,7 +306,7 @@ mod tests {
     fn sample_is_roughly_uniform() {
         let mut rng = StdRng::seed_from_u64(2);
         let c = Subcube64::new(3).fixed(0, true).unwrap(); // 4 members
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..4000 {
             *counts.entry(c.sample(&mut rng)).or_insert(0usize) += 1;
         }

@@ -77,7 +77,7 @@ proptest! {
     fn subcube_contains_iff_enumerated(mask in 0u64..64, value in 0u64..64, x in 0u64..64) {
         let value = value & mask;
         let cube = Subcube64::with_fixed(6, mask, value);
-        let enumerated: std::collections::HashSet<u64> = cube.iter().collect();
+        let enumerated: std::collections::BTreeSet<u64> = cube.iter().collect();
         prop_assert_eq!(enumerated.contains(&x), cube.contains(x));
         prop_assert_eq!(enumerated.len() as u64, cube.len());
     }
@@ -85,7 +85,7 @@ proptest! {
     #[test]
     fn subcube_fix_then_contains(bits in proptest::collection::vec((0u32..10, any::<bool>()), 0..6)) {
         let mut cube = Some(Subcube64::new(10));
-        let mut assignment: std::collections::HashMap<u32, bool> = Default::default();
+        let mut assignment: std::collections::BTreeMap<u32, bool> = Default::default();
         let mut consistent = true;
         for (i, b) in bits {
             if let Some(&prev) = assignment.get(&i) {

@@ -265,7 +265,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = UGraph::random(&mut rng, 18, 0.4);
         let all = maximal_cliques(&g, 1);
-        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        let set: std::collections::BTreeSet<_> = all.iter().cloned().collect();
         assert_eq!(set.len(), all.len(), "no duplicates");
         for c in &all {
             assert!(is_clique(&g, c));

@@ -18,7 +18,6 @@
 //! here), and degree statistics ([`degree`]) for the `k ≳ √n` regime.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod clique;
 pub mod degree;

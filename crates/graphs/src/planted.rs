@@ -161,7 +161,7 @@ mod tests {
         for s in &subs {
             assert!(s.windows(2).all(|w| w[0] < w[1]));
         }
-        let set: std::collections::HashSet<_> = subs.iter().cloned().collect();
+        let set: std::collections::BTreeSet<_> = subs.iter().cloned().collect();
         assert_eq!(set.len(), subs.len());
     }
 

@@ -15,6 +15,7 @@
 //! its noise floor is 0, so one batch always meets the tolerance, and its
 //! recorded budget is the walk's reachable-node bound.
 
+// bcc-lint: allow(no-wall-clock-in-work-paths, reason = "wall_ms is a reporting-only record field; estimates never depend on it")
 use std::time::Instant;
 
 use bcc_congest::wide::FnWideProtocol;
@@ -83,6 +84,7 @@ struct Outcome {
 
 /// Runs one grid point of `scenario` and stamps the record.
 pub fn run_point(scenario: &Scenario, point_id: usize, point: &ScenarioPoint) -> PointRecord {
+    // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "stamps wall_ms on the record; excluded from fingerprints and resume comparison")
     let start = Instant::now();
     let precision = scenario.precision();
     let outcome = match scenario.workload() {
@@ -347,6 +349,7 @@ fn prg_throughput(point: &ScenarioPoint, precision: &Precision) -> Outcome {
         let mut chunk_rates = vec![0.0f64; chunks];
         let mut total_secs = 0.0f64;
         for (chunk, rate) in chunk_rates.iter_mut().enumerate() {
+            // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "PrgThroughput measures elements/sec; timing is the workload's output, not hidden state")
             let start = Instant::now();
             for r in 0..per_chunk {
                 let s = &seeds[(chunk * per_chunk + r) % seeds.len()];

@@ -181,6 +181,7 @@ pub fn run_sweep(scenario: &Scenario, dir: Option<&Path>) -> SweepResult {
     // Persist any trace events this sweep contributed (no-op unless
     // tracing was enabled via `BCC_TRACE` or `bcc_obs::trace::install`).
     if let Some(Err(e)) = bcc_obs::trace::flush() {
+        // bcc-lint: allow(no-stray-printing, reason = "failure-path warning when the BCC_TRACE sink cannot be written; no data channel exists here")
         eprintln!("bcc-lab: could not flush trace: {e}");
     }
 

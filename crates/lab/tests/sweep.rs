@@ -9,6 +9,7 @@ use bcc_lab::{run_sweep, Scenario, Workload};
 /// A fresh directory under the system temp dir (no tempfile crate in the
 /// hermetic workspace); removed by the returned guard.
 fn scratch_dir(tag: &str) -> (PathBuf, DirGuard) {
+    // bcc-lint: allow(no-global-mutable-state, reason = "scratch-dir uniquifier for parallel test processes; never observed by estimates")
     static COUNTER: AtomicUsize = AtomicUsize::new(0);
     let dir = std::env::temp_dir().join(format!(
         "bcc-lab-test-{tag}-{}-{}",

@@ -1,0 +1,73 @@
+//! The `bcc-lint` binary: lint the workspace, print the report, exit
+//! nonzero on findings.
+//!
+//! ```text
+//! cargo run -p bcc-lint                         # text report, exit 1 on findings
+//! cargo run -p bcc-lint -- --json target/lint.json
+//! cargo run -p bcc-lint -- --list-rules
+//! cargo run -p bcc-lint -- /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bcc-lint: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in bcc_lint::RULES {
+                    println!("{:<28} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: bcc-lint [--json PATH] [--list-rules] [WORKSPACE_ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() && !arg.starts_with('-') => {
+                root = Some(PathBuf::from(arg));
+            }
+            _ => {
+                eprintln!("bcc-lint: unknown argument {arg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        bcc_lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("bcc-lint: no workspace root found (pass one explicitly)");
+        return ExitCode::from(2);
+    };
+
+    let report = bcc_lint::lint_workspace(&root);
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("bcc-lint: could not write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("json report written to {}", path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,146 @@
+//! Report rendering: an aligned text table and a flat-JSON document.
+//!
+//! The JSON dialect matches the lab's flat-JSON discipline (one level of
+//! objects, string/number/bool values), with one extension: the findings
+//! live in a top-level array of flat objects. Strings are escaped here
+//! (unlike the lab writer, which rejects non-manifest-safe characters)
+//! because rule messages quote arbitrary source text.
+
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, RULES};
+
+/// A completed lint run over one workspace tree.
+#[derive(Debug)]
+pub struct Report {
+    /// The workspace root the run scanned.
+    pub root: String,
+    /// How many `.rs` files were lexed and checked.
+    pub files_scanned: usize,
+    /// All findings, sorted by path, then line/column.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bcc-lint: {} file(s) scanned, {} finding(s)",
+            self.files_scanned,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.path, f.line, f.col, f.rule, f.message
+            );
+        }
+        if self.is_clean() {
+            let _ = writeln!(out, "workspace is clean under all {} rules", RULES.len());
+        }
+        out
+    }
+
+    /// Serializes the report as JSON (schema `bcc-lint/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"schema\":\"bcc-lint/v1\"");
+        let _ = write!(out, ",\"root\":{}", json_string(&self.root));
+        let _ = write!(out, ",\"files_scanned\":{}", self.files_scanned);
+        let _ = write!(out, ",\"findings_total\":{}", self.findings.len());
+        out.push_str(",\"rules\":[");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"summary\":{}}}",
+                json_string(r.name),
+                json_string(r.summary)
+            );
+        }
+        out.push_str("],\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+                json_string(f.rule),
+                json_string(&f.path),
+                f.line,
+                f.col,
+                json_string(&f.message)
+            );
+        }
+        out.push_str("]}");
+        out.push('\n');
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = Report {
+            root: "/tmp/ws".into(),
+            files_scanned: 3,
+            findings: vec![Finding {
+                rule: "no-stray-printing",
+                path: "crates/core/src/x.rs".into(),
+                line: 7,
+                col: 5,
+                message: "`println!` in library code".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema\":\"bcc-lint/v1\""));
+        assert!(json.contains("\"findings_total\":1"));
+        assert!(json.contains("\"line\":7"));
+        assert!(
+            json.contains("no-unordered-iteration"),
+            "rule table is embedded"
+        );
+        assert!(json.ends_with("]}\n"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The fixture corpus: every rule must both *fire* (exactly once, on the
+//! known-bad snippet) and *be silenceable* (the same snippet under a
+//! reasoned allow directive is clean). Together with the workspace
+//! self-clean test this is the linter's own differential suite: a rule
+//! that silently stops firing fails here, a rule that cannot be
+//! suppressed fails here, and a new violation in the tree fails there.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bcc_lint::{lint_source, Finding, RULES};
+
+/// `(rule, fixture-stem, synthetic workspace path the fixture is linted as)`.
+///
+/// The synthetic path drives crate/role classification, so each fixture
+/// lives exactly where the real hazard would: library source of a
+/// deterministic crate.
+const FIXTURES: &[(&str, &str)] = &[
+    ("no-unsafe-outside-kernel", "crates/graphs/src/scratch.rs"),
+    ("no-unordered-iteration", "crates/core/src/scratch.rs"),
+    ("no-wall-clock-in-work-paths", "crates/lab/src/scratch.rs"),
+    ("no-global-mutable-state", "crates/core/src/scratch.rs"),
+    ("no-stray-printing", "crates/prg/src/scratch.rs"),
+    ("rayon-order-audit", "crates/core/src/scratch.rs"),
+];
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lint_fixture(stem: &str, variant: &str, as_path: &str) -> Vec<Finding> {
+    lint_source(as_path, &fixture(&format!("{stem}_{variant}.rs")))
+}
+
+#[test]
+fn every_rule_fires_exactly_once_on_its_bad_fixture() {
+    for (rule, as_path) in FIXTURES {
+        let findings = lint_fixture(rule, "bad", as_path);
+        assert_eq!(
+            findings.len(),
+            1,
+            "{rule}: bad fixture must produce exactly one finding, got {findings:?}"
+        );
+        assert_eq!(findings[0].rule, *rule, "{rule}: wrong rule fired");
+    }
+}
+
+#[test]
+fn every_rule_is_silenced_by_a_reasoned_allow() {
+    for (rule, as_path) in FIXTURES {
+        let findings = lint_fixture(rule, "allowed", as_path);
+        assert!(
+            findings.is_empty(),
+            "{rule}: allowed fixture must be clean (the allow must both parse and attach), got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_corpus_covers_every_rule() {
+    for r in RULES {
+        assert!(
+            FIXTURES.iter().any(|(rule, _)| rule == &r.name),
+            "rule {} has no fixture pair",
+            r.name
+        );
+    }
+    assert_eq!(FIXTURES.len(), RULES.len());
+}
+
+#[test]
+fn bad_fixtures_fire_regardless_of_stated_rule_only_via_their_own_rule() {
+    // Anti-overlap: a bad fixture must not trip a *different* rule, or the
+    // "exactly once" contract above would be testing the wrong thing.
+    for (rule, as_path) in FIXTURES {
+        for f in lint_fixture(rule, "bad", as_path) {
+            assert_eq!(f.rule, *rule, "{rule}: cross-rule contamination: {f:?}");
+        }
+    }
+}

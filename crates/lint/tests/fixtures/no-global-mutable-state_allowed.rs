@@ -1,0 +1,4 @@
+//! Fixture: the same global, suppressed with a reasoned directive.
+
+// bcc-lint: allow(no-global-mutable-state, reason = "fixture: single-threaded init-only scratch counter")
+static mut TICKS: u64 = 0;

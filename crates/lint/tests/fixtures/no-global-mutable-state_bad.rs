@@ -1,0 +1,4 @@
+//! Fixture: a `static mut` global.
+//! Linted as `crates/core/src/scratch.rs`.
+
+static mut TICKS: u64 = 0;

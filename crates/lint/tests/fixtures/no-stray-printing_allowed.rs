@@ -1,0 +1,6 @@
+//! Fixture: the same print, suppressed with a reasoned directive.
+
+pub fn trace_point(depth: usize) {
+    // bcc-lint: allow(no-stray-printing, reason = "fixture: one-shot migration notice requested by the operator")
+    println!("depth = {depth}");
+}

@@ -1,0 +1,6 @@
+//! Fixture: a debug print left in library code.
+//! Linted as `crates/prg/src/scratch.rs`.
+
+pub fn trace_point(depth: usize) {
+    println!("depth = {depth}");
+}

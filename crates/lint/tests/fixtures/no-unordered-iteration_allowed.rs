@@ -1,0 +1,6 @@
+//! Fixture: the same import, suppressed with a reasoned directive.
+
+// bcc-lint: allow(no-unordered-iteration, reason = "fixture: entries are drained into a sorted vec before iteration")
+use std::collections::HashMap;
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Fixture: a `HashMap` import in a deterministic crate.
+//! Linted as `crates/core/src/scratch.rs`.
+
+use std::collections::HashMap;
+
+pub fn noop() {}

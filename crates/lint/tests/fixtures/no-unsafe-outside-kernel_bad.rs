@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block in a deterministic crate's library source.
+//! Linted as `crates/graphs/src/scratch.rs`.
+
+pub fn first_unchecked(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,6 @@
+//! Fixture: the same wall-clock read, suppressed with a reasoned directive.
+
+pub fn stamp_micros() -> u128 {
+    // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "fixture: reporting-only timestamp, never feeds an estimate")
+    std::time::Instant::now().elapsed().as_micros()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a wall-clock read inside estimation code.
+//! Linted as `crates/lab/src/scratch.rs`.
+
+pub fn stamp_micros() -> u128 {
+    std::time::Instant::now().elapsed().as_micros()
+}

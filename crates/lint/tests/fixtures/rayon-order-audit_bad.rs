@@ -1,0 +1,8 @@
+//! Fixture: an unordered parallel `for_each` in a deterministic crate.
+//! Linted as `crates/core/src/scratch.rs`.
+
+use rayon::prelude::*;
+
+pub fn clear(xs: &mut [u64]) {
+    xs.par_iter_mut().for_each(|x| *x = 0);
+}

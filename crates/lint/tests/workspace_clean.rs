@@ -1,0 +1,52 @@
+//! The workspace self-check: `cargo test -q` fails if any banned
+//! construct is (re)introduced anywhere in the tree.
+//!
+//! This is the `#[test]` half of the tentpole contract — the binary
+//! (`cargo run -p bcc-lint`) gives the same verdict interactively and in
+//! CI, but this test is what makes the invariants bite during ordinary
+//! development, with no extra command to remember.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = bcc_lint::lint_workspace(&root);
+    // Anti-vacuity: the walker must actually have swept the tree. The
+    // workspace has well over a hundred Rust files; a broken walk that
+    // found none would otherwise "pass".
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "determinism lint violations:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn walker_excludes_the_fixture_corpus() {
+    // The known-bad fixtures are the one place banned constructs are
+    // stored on purpose; if the walk ever picks them up, the self-clean
+    // test above would fail for the wrong reason. Pin the exclusion.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap();
+    let report = bcc_lint::lint_workspace(&root);
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.path.contains("tests/fixtures")),
+        "fixture files leaked into the workspace walk"
+    );
+}

@@ -43,7 +43,6 @@
 //! `records.jsonl`) or as a text table ([`Snapshot::render_text`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod trace;
 

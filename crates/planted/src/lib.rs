@@ -26,7 +26,6 @@
 //!   `k ≳ √n` (§1.2), completing the crossover picture.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod bounds;
 pub mod decision;

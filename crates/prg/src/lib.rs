@@ -23,7 +23,6 @@
 //!   `k×k` full-rank is solvable exactly in `k` rounds but not in `k/20`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod attack;
 pub mod derand;

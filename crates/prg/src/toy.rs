@@ -213,7 +213,7 @@ mod tests {
     fn supports_partition_the_cube_in_pairs() {
         // For any x, exactly one of (x,0),(x,1) is on the coset.
         let r = row_support(4, 0b1010);
-        let xs: std::collections::HashSet<u64> = r.points().iter().map(|&p| p & 0xF).collect();
+        let xs: std::collections::BTreeSet<u64> = r.points().iter().map(|&p| p & 0xF).collect();
         assert_eq!(xs.len(), 16);
     }
 

@@ -5,8 +5,7 @@
 //! whole inductive framework rests on — is implemented as
 //! [`Dist::chain_rule_bound`] and verified exhaustively in the tests.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -24,11 +23,14 @@ use rand::Rng;
 /// assert!((d.prob(&"b") - 0.75).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Dist<T: Eq + Hash> {
-    probs: HashMap<T, f64>,
+pub struct Dist<T: Ord> {
+    // BTreeMap, not HashMap: support iteration order is part of the
+    // crate's determinism contract (sampling consumes the RNG stream in
+    // value order, so equal seeds give equal draws on every host).
+    probs: BTreeMap<T, f64>,
 }
 
-impl<T: Eq + Hash + Clone> Dist<T> {
+impl<T: Ord + Clone> Dist<T> {
     /// Builds a distribution from non-negative weights, normalizing them.
     ///
     /// # Panics
@@ -36,7 +38,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
     /// Panics if any weight is negative or not finite, or if all weights are
     /// zero.
     pub fn from_weights<I: IntoIterator<Item = (T, f64)>>(weights: I) -> Self {
-        let mut probs: HashMap<T, f64> = HashMap::new();
+        let mut probs: BTreeMap<T, f64> = BTreeMap::new();
         let mut total = 0.0;
         for (value, w) in weights {
             assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
@@ -73,7 +75,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
         self.probs.len()
     }
 
-    /// Iterates over `(value, probability)` pairs in unspecified order.
+    /// Iterates over `(value, probability)` pairs in ascending value order.
     pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
         self.probs.iter().map(|(v, &p)| (v, p))
     }
@@ -99,7 +101,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
     /// Panics if `λ ∉ [0, 1]`.
     pub fn mix(&self, other: &Dist<T>, lambda: f64) -> Dist<T> {
         assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
-        let mut weights: HashMap<T, f64> = HashMap::new();
+        let mut weights: BTreeMap<T, f64> = BTreeMap::new();
         for (v, p) in &self.probs {
             *weights.entry(v.clone()).or_insert(0.0) += lambda * p;
         }
@@ -122,7 +124,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
         I: IntoIterator<Item = &'a Dist<T>>,
         T: 'a,
     {
-        let mut weights: HashMap<T, f64> = HashMap::new();
+        let mut weights: BTreeMap<T, f64> = BTreeMap::new();
         let mut count = 0usize;
         for d in dists {
             count += 1;
@@ -135,7 +137,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
     }
 
     /// The image distribution `f(D)` (paper notation, §2.1).
-    pub fn map<U: Eq + Hash + Clone, F: FnMut(&T) -> U>(&self, mut f: F) -> Dist<U> {
+    pub fn map<U: Ord + Clone, F: FnMut(&T) -> U>(&self, mut f: F) -> Dist<U> {
         Dist::from_weights(self.probs.iter().map(|(v, &p)| (f(v), p)))
     }
 
@@ -163,7 +165,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
     }
 }
 
-impl<T: Eq + Hash + Clone> Dist<(T, T)> {
+impl<T: Ord + Clone> Dist<(T, T)> {
     /// The marginal on the first component (`D|_X` in Lemma 1.9).
     pub fn marginal_first(&self) -> Dist<T> {
         Dist::from_weights(self.iter().map(|((a, _), p)| (a.clone(), p)))

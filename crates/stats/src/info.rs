@@ -6,8 +6,7 @@
 //! divergence to statistical distance, and Fact 2.3 relates binary entropy
 //! to bias.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use crate::dist::Dist;
 
@@ -58,7 +57,7 @@ pub fn fact_2_3_ratio(p: f64) -> Option<f64> {
 /// KL divergence `D(P‖Q) = Σ P(x) log₂ (P(x)/Q(x))` in bits.
 ///
 /// Returns `f64::INFINITY` if `P` puts mass where `Q` does not.
-pub fn kl_divergence<T: Eq + Hash + Clone>(p: &Dist<T>, q: &Dist<T>) -> f64 {
+pub fn kl_divergence<T: Ord + Clone>(p: &Dist<T>, q: &Dist<T>) -> f64 {
     let mut sum = 0.0;
     for (v, pp) in p.iter() {
         let qq = q.prob(v);
@@ -82,11 +81,11 @@ pub fn pinsker_bound(kl_bits: f64) -> f64 {
 /// A finite joint distribution over pairs, with entropy / information
 /// helpers used by the Lemma 4.4 reproduction.
 #[derive(Debug, Clone)]
-pub struct Joint<A: Eq + Hash + Clone, B: Eq + Hash + Clone> {
+pub struct Joint<A: Ord + Clone, B: Ord + Clone> {
     dist: Dist<(A, B)>,
 }
 
-impl<A: Eq + Hash + Clone, B: Eq + Hash + Clone> Joint<A, B> {
+impl<A: Ord + Clone, B: Ord + Clone> Joint<A, B> {
     /// Builds a joint distribution from weights on pairs.
     pub fn from_weights<I: IntoIterator<Item = ((A, B), f64)>>(weights: I) -> Self {
         Joint {
@@ -165,11 +164,11 @@ impl<A: Eq + Hash + Clone, B: Eq + Hash + Clone> Joint<A, B> {
 /// Builds the joint distribution of `(X, f(X))` for `X` drawn from `d`.
 pub fn pushforward_joint<T, U, F>(d: &Dist<T>, mut f: F) -> Joint<T, U>
 where
-    T: Eq + Hash + Clone,
-    U: Eq + Hash + Clone,
+    T: Ord + Clone,
+    U: Ord + Clone,
     F: FnMut(&T) -> U,
 {
-    let mut weights: HashMap<(T, U), f64> = HashMap::new();
+    let mut weights: BTreeMap<(T, U), f64> = BTreeMap::new();
     for (v, p) in d.iter() {
         *weights.entry((v.clone(), f(v))).or_insert(0.0) += p;
     }

@@ -18,7 +18,6 @@
 //!   for the Monte-Carlo side of the experiments.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod boolfn;
 pub mod chernoff;

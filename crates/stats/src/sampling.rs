@@ -4,8 +4,7 @@
 //! estimated by sampling. Every estimate carries a Hoeffding confidence
 //! radius so experiment tables can print `value ± ci`.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use crate::dist::Dist;
 
@@ -74,7 +73,7 @@ impl MeanEstimator {
 }
 
 /// Builds the empirical distribution of `samples`.
-pub fn empirical_dist<T: Eq + Hash + Clone>(samples: &[T]) -> Dist<T> {
+pub fn empirical_dist<T: Ord + Clone>(samples: &[T]) -> Dist<T> {
     assert!(!samples.is_empty(), "no samples");
     Dist::from_weights(samples.iter().map(|s| (s.clone(), 1.0)))
 }
@@ -85,13 +84,13 @@ pub fn empirical_dist<T: Eq + Hash + Clone>(samples: &[T]) -> Dist<T> {
 /// This estimator is *upward* biased by sampling noise (≈ `sqrt(K/N)` for
 /// support size `K`); use only when the support is small relative to the
 /// sample count, which all our transcript experiments respect.
-pub fn empirical_tv<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+pub fn empirical_tv<T: Ord + Clone>(a: &[T], b: &[T]) -> f64 {
     empirical_dist(a).tv_distance(&empirical_dist(b))
 }
 
 /// Counts occurrences of each value.
-pub fn histogram<T: Eq + Hash + Clone, I: IntoIterator<Item = T>>(samples: I) -> HashMap<T, usize> {
-    let mut h = HashMap::new();
+pub fn histogram<T: Ord + Clone, I: IntoIterator<Item = T>>(samples: I) -> BTreeMap<T, usize> {
+    let mut h = BTreeMap::new();
     for s in samples {
         *h.entry(s).or_insert(0) += 1;
     }

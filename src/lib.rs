@@ -39,6 +39,8 @@
 //! assert_eq!(run.outputs[0].len(), 64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use bcc_congest as congest;
 pub use bcc_core as core;
 pub use bcc_f2 as f2;
