@@ -54,7 +54,12 @@ impl DiGraph {
         for i in 0..n {
             adj.set(i, i, false);
         }
-        DiGraph { adj }
+        let g = DiGraph { adj };
+        if let Some(obs) = bcc_obs::current() {
+            let edges: usize = (0..n).map(|u| g.out_degree(u)).sum();
+            obs.add("graphs.edges_emitted", bcc_obs::Class::Work, edges as u64);
+        }
+        g
     }
 
     /// The number of vertices.
@@ -172,6 +177,13 @@ impl UGraph {
                     g.set_edge(u, v, true);
                 }
             }
+        }
+        if let Some(obs) = bcc_obs::current() {
+            obs.add(
+                "graphs.edges_emitted",
+                bcc_obs::Class::Work,
+                g.edge_count() as u64,
+            );
         }
         g
     }
@@ -328,6 +340,40 @@ mod tests {
         assert!(g.has_edge(2, 0));
         assert_eq!(g.degree(2), 2);
         assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn generators_count_emitted_edges_when_observed() {
+        let registry = bcc_obs::Registry::new();
+        let (di_edges, u_edges) = {
+            let _scope = registry.install();
+            let mut rng = StdRng::seed_from_u64(9);
+            let g = DiGraph::random(&mut rng, 24);
+            let u = UGraph::random(&mut rng, 24, 0.4);
+            (
+                (0..24).map(|v| g.out_degree(v)).sum::<usize>(),
+                u.edge_count(),
+            )
+        };
+        let counted = registry
+            .snapshot()
+            .work
+            .iter()
+            .find(|(name, _)| name == "graphs.edges_emitted")
+            .map(|(_, v)| *v);
+        assert_eq!(counted, Some((di_edges + u_edges) as u64));
+        // Unobserved generation counts nothing (and costs nothing).
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = DiGraph::random(&mut rng, 24);
+        assert_eq!(
+            registry
+                .snapshot()
+                .work
+                .iter()
+                .find(|(name, _)| name == "graphs.edges_emitted")
+                .map(|(_, v)| *v),
+            counted
+        );
     }
 
     #[test]

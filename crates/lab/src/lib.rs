@@ -52,5 +52,8 @@ pub use run::{run_point, PointRecord};
 pub use scenario::{
     ParamGrid, Precision, Scenario, ScenarioBuilder, ScenarioPoint, Workload, MAX_TRANSCRIPT_TURNS,
 };
-pub use store::RunStore;
-pub use sweep::{run_sweep, SweepResult};
+pub use store::{
+    decode_record, encode_record, encode_record_deterministic, read_run_dir, records_fingerprint,
+    RunStore,
+};
+pub use sweep::{run_sweep, run_sweep_subset, SweepResult};

@@ -158,6 +158,78 @@ pub fn encode_record(r: &PointRecord) -> String {
     ])
 }
 
+/// Serializes one record *without* its `wall_ms` field — the record's
+/// deterministic projection. Wall-clock per-point timing is the one
+/// field resume never reproduces, so anything that must compare runs
+/// bit-for-bit (the shard merge's fingerprint-equality proof, resume
+/// drills) compares these lines instead of raw log bytes.
+pub fn encode_record_deterministic(r: &PointRecord) -> String {
+    jsonl::write_object(&[
+        ("point_id", num(r.point_id)),
+        ("n", num(r.n)),
+        ("k", num(r.k)),
+        ("rounds", num(r.rounds)),
+        ("bandwidth", num(r.bandwidth)),
+        ("seed", num(r.seed)),
+        ("estimate", float(r.estimate)),
+        ("noise_floor", float_lenient(r.noise_floor)),
+        ("samples", num(r.samples)),
+        ("met_tolerance", Value::Bool(r.met_tolerance)),
+    ])
+}
+
+/// FNV-1a (64-bit) over the records' deterministic projections
+/// ([`encode_record_deterministic`], newline-terminated) in the order
+/// given. Two runs of the same grid — single-process or sharded, resumed
+/// or one-shot — must produce equal fingerprints over their records in
+/// canonical `point_id` order; that equality is the merge step's proof
+/// obligation.
+pub fn records_fingerprint<'a, I>(records: I) -> u64
+where
+    I: IntoIterator<Item = &'a PointRecord>,
+{
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for record in records {
+        for byte in encode_record_deterministic(record).bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Reads a run directory without opening it for append: the manifest
+/// fingerprint and every valid record by point id (torn or foreign
+/// lines are skipped, not healed — this is the merge step's read-only
+/// view of a completed shard). `None` if the directory has no manifest.
+///
+/// # Panics
+///
+/// Panics on IO errors other than the files not existing.
+pub fn read_run_dir(dir: &Path) -> Option<(String, BTreeMap<usize, PointRecord>)> {
+    let manifest_path = dir.join("manifest.json");
+    if !manifest_path.exists() {
+        return None;
+    }
+    let mut manifest = String::new();
+    File::open(&manifest_path)
+        .and_then(|mut f| f.read_to_string(&mut manifest))
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest_path.display()));
+    let log_path = dir.join("records.jsonl");
+    let records = if log_path.exists() {
+        let mut text = String::new();
+        File::open(&log_path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", log_path.display()));
+        parse_records(&text)
+    } else {
+        BTreeMap::new()
+    };
+    Some((manifest.trim().to_string(), records))
+}
+
 /// Parses one JSONL line back into a record; `None` for torn or foreign
 /// lines.
 pub fn decode_record(line: &str) -> Option<PointRecord> {
@@ -226,6 +298,30 @@ mod tests {
         r.noise_floor = f64::INFINITY;
         let decoded = decode_record(&encode_record(&r)).expect("decodes");
         assert!(decoded.noise_floor.is_infinite());
+    }
+
+    #[test]
+    fn deterministic_projection_drops_only_wall_ms() {
+        let mut a = record(4);
+        let mut b = record(4);
+        a.wall_ms = 1.0;
+        b.wall_ms = 9999.0;
+        assert_eq!(
+            encode_record_deterministic(&a),
+            encode_record_deterministic(&b)
+        );
+        assert!(!encode_record_deterministic(&a).contains("wall_ms"));
+        assert_eq!(records_fingerprint([&a]), records_fingerprint([&b]));
+        b.samples += 1;
+        assert_ne!(records_fingerprint([&a]), records_fingerprint([&b]));
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_stable() {
+        let (a, b) = (record(0), record(1));
+        assert_eq!(records_fingerprint([&a, &b]), records_fingerprint([&a, &b]));
+        assert_ne!(records_fingerprint([&a, &b]), records_fingerprint([&b, &a]));
+        assert_ne!(records_fingerprint([&a]), records_fingerprint([&a, &b]));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! path. This crate makes the invariants structural instead of
 //! statistical: a hand-rolled lexer ([`lexer`]) feeds a rule engine
 //! ([`rules`]) that walks every workspace `.rs` file and reports named
-//! findings ([`report`]).
+//! findings ([`report`]). A sibling pass ([`manifests`]) walks every
+//! `Cargo.toml` so the build configuration — shared lint levels,
+//! workspace-inherited dependencies — cannot drift either.
 //!
 //! The linter runs two ways:
 //!
@@ -32,12 +34,14 @@
 #![forbid(unsafe_code)]
 
 pub mod lexer;
+pub mod manifests;
 pub mod report;
 pub mod rules;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use manifests::{lint_manifest, workspace_dep_names, MANIFEST_RULES};
 pub use report::Report;
 pub use rules::{Finding, RULES};
 
@@ -57,7 +61,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     rules::check_file(&mut ctx)
 }
 
-/// Walks `root` and lints every workspace `.rs` file.
+/// Walks `root` and lints every workspace `.rs` file and `Cargo.toml`
+/// manifest (the latter against [`manifests::MANIFEST_RULES`], using the
+/// root manifest's `[workspace.dependencies]` as the inheritance source).
 ///
 /// # Panics
 ///
@@ -66,14 +72,22 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
 /// the same tree that gets built).
 pub fn lint_workspace(root: &Path) -> Report {
     let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files);
+    collect_lintable_files(root, root, &mut files);
     files.sort();
+    let workspace_deps = fs::read_to_string(root.join("Cargo.toml"))
+        .map(|src| workspace_dep_names(&src))
+        .unwrap_or_default();
     let mut findings = Vec::new();
     for rel in &files {
         let Ok(source) = fs::read_to_string(root.join(rel)) else {
             continue;
         };
-        findings.extend(lint_source(&rel_to_unix(rel), &source));
+        let rel = rel_to_unix(rel);
+        if rel.ends_with("Cargo.toml") {
+            findings.extend(lint_manifest(&rel, &source, &workspace_deps));
+        } else {
+            findings.extend(lint_source(&rel, &source));
+        }
     }
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
@@ -92,7 +106,7 @@ fn rel_to_unix(rel: &Path) -> String {
         .join("/")
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+fn collect_lintable_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
@@ -110,8 +124,8 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
             if rel_to_unix(rel) == FIXTURES_DIR {
                 continue;
             }
-            collect_rs_files(root, &path, out);
-        } else if name.ends_with(".rs") {
+            collect_lintable_files(root, &path, out);
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
             let rel = path.strip_prefix(root).unwrap_or(&path);
             out.push(rel.to_path_buf());
         }

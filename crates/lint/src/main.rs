@@ -25,7 +25,7 @@ fn main() -> ExitCode {
                 }
             },
             "--list-rules" => {
-                for r in bcc_lint::RULES {
+                for r in bcc_lint::RULES.iter().chain(bcc_lint::MANIFEST_RULES) {
                     println!("{:<28} {}", r.name, r.summary);
                 }
                 return ExitCode::SUCCESS;

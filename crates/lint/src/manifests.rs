@@ -1,0 +1,610 @@
+//! Manifest rules: the determinism contract as it appears in `Cargo.toml`.
+//!
+//! The source rules ([`crate::rules`]) keep nondeterminism out of `.rs`
+//! files; these keep the *build configuration* from drifting. Two hazards
+//! motivate them. First, a member crate that forgets `[lints] workspace =
+//! true` silently opts out of the shared compiler/clippy baseline — its
+//! warnings diverge from the rest of the tree and nothing fails. Second, a
+//! dependency pinned inline (`rand = "0.8"`) instead of inherited
+//! (`rand.workspace = true`) can resolve to a different version than the
+//! rest of the workspace, which in this hermetic tree means escaping the
+//! vendored `[patch.crates-io]` stand-ins entirely.
+//!
+//! The checker is a line-based TOML section scanner, not a TOML parser:
+//! manifests here are machine-regular (one key per line, one-line inline
+//! tables), and a scanner that refuses to guess keeps the rule behavior
+//! auditable. Suppression mirrors the source rules, with `#` comments:
+//!
+//! ```text
+//! # bcc-lint: allow(manifest-dependency-drift, reason = "why this pin is sound")
+//! ```
+//!
+//! placed on the line directly above the finding. Reason-less or unused
+//! directives are findings themselves, exactly as in [`crate::rules`].
+
+use std::collections::BTreeSet;
+
+use crate::rules::{Finding, RuleInfo, RULE_INVALID_ALLOW, RULE_UNUSED_ALLOW};
+
+/// All manifest rules, in report order (after the source rules).
+pub const MANIFEST_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "manifest-workspace-lints",
+        summary: "every package manifest must opt into the shared lint levels with `[lints] workspace = true`",
+    },
+    RuleInfo {
+        name: "manifest-dependency-drift",
+        summary: "dependencies must inherit from [workspace.dependencies] (`name.workspace = true`); inline versions and undeclared names drift from the workspace resolution",
+    },
+];
+
+/// Extracts the dependency names declared in the root manifest's
+/// `[workspace.dependencies]` table.
+pub fn workspace_dep_names(root_manifest: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut in_table = false;
+    for line in root_manifest.lines() {
+        let trimmed = line.trim();
+        if let Some(section) = parse_section_header(trimmed) {
+            in_table = section == "workspace.dependencies";
+            continue;
+        }
+        if !in_table || trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some((key, _)) = trimmed.split_once('=') {
+            let name = key.trim().trim_matches('"');
+            let name = name.split('.').next().unwrap_or(name);
+            if !name.is_empty() {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// A parsed `# bcc-lint: allow(...)` comment.
+struct Allow {
+    line: u32,
+    rule: String,
+    valid: bool,
+    used: bool,
+}
+
+/// Lints one in-memory manifest. `rel` is the workspace-relative path
+/// used in findings; `workspace_deps` is the name set from
+/// [`workspace_dep_names`] applied to the root manifest.
+pub fn lint_manifest(rel: &str, source: &str, workspace_deps: &BTreeSet<String>) -> Vec<Finding> {
+    let mut allows = collect_allows(source);
+    let mut raw = scan(rel, source, workspace_deps);
+    raw.sort_by_key(|f| (f.line, f.col));
+
+    let mut findings = Vec::new();
+    for f in raw {
+        let suppressed = allows
+            .iter_mut()
+            .find(|a| a.valid && a.line + 1 == f.line && a.rule == f.rule);
+        match suppressed {
+            Some(a) => a.used = true,
+            None => findings.push(f),
+        }
+    }
+    for a in &allows {
+        if !a.valid {
+            findings.push(Finding {
+                rule: RULE_INVALID_ALLOW,
+                path: rel.to_string(),
+                line: a.line,
+                col: 1,
+                message: "malformed, reason-less, or unknown-rule `bcc-lint: allow(...)` directive"
+                    .to_string(),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                rule: RULE_UNUSED_ALLOW,
+                path: rel.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!("allow({}) suppresses nothing on the next line", a.rule),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+fn collect_allows(source: &str) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix('#').map(str::trim_start) else {
+            continue;
+        };
+        let Some(body) = rest.strip_prefix("bcc-lint:").map(str::trim_start) else {
+            continue;
+        };
+        let line_no = (i + 1) as u32;
+        let parsed = body
+            .strip_prefix("allow(")
+            .and_then(|s| s.strip_suffix(')'))
+            .and_then(|inner| {
+                let (rule, tail) = inner.split_once(',')?;
+                let reason = tail.trim().strip_prefix("reason")?.trim_start();
+                let reason = reason.strip_prefix('=')?.trim();
+                let reason = reason.strip_prefix('"')?.strip_suffix('"')?;
+                (!reason.trim().is_empty()).then(|| rule.trim().to_string())
+            });
+        match parsed {
+            Some(rule) => {
+                let known = MANIFEST_RULES.iter().any(|r| r.name == rule);
+                allows.push(Allow {
+                    line: line_no,
+                    rule,
+                    valid: known,
+                    used: false,
+                });
+            }
+            None => allows.push(Allow {
+                line: line_no,
+                rule: String::new(),
+                valid: false,
+                used: false,
+            }),
+        }
+    }
+    allows
+}
+
+/// A dependency section currently being scanned (either the flat
+/// `[dependencies]` form or the expanded `[dependencies.name]` form).
+enum DepScope {
+    /// Inside `[dependencies]` / `[dev-dependencies]` / ... — each line is
+    /// one dependency.
+    Flat,
+    /// Inside `[dependencies.name]` — the body must contain
+    /// `workspace = true` and no `version`.
+    Expanded {
+        name: String,
+        header_line: u32,
+        header_col: u32,
+        saw_workspace: bool,
+        violation: Option<Finding>,
+    },
+    /// Any other section.
+    None,
+}
+
+fn scan(rel: &str, source: &str, workspace_deps: &BTreeSet<String>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut scope = DepScope::None;
+    let mut package_header: Option<(u32, u32)> = None;
+    let mut lints_header: Option<(u32, u32)> = None;
+    let mut lints_workspace_true = false;
+    let mut in_lints = false;
+
+    for (i, line) in source.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let trimmed = line.trim();
+        let col = (line.len() - line.trim_start().len() + 1) as u32;
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+
+        if let Some(section) = parse_section_header(trimmed) {
+            close_scope(&mut scope, workspace_deps, rel, &mut findings);
+            in_lints = false;
+            match section.as_str() {
+                "package" => package_header = Some((line_no, col)),
+                "lints" => {
+                    lints_header = Some((line_no, col));
+                    in_lints = true;
+                }
+                "dependencies" | "dev-dependencies" | "build-dependencies" => {
+                    scope = DepScope::Flat;
+                }
+                other => {
+                    let dep_kind = other
+                        .rsplit_once('.')
+                        .filter(|(head, _)| {
+                            matches!(
+                                *head,
+                                "dependencies" | "dev-dependencies" | "build-dependencies"
+                            )
+                        })
+                        .map(|(_, name)| name.trim_matches('"').to_string());
+                    scope = match dep_kind {
+                        Some(name) => DepScope::Expanded {
+                            name,
+                            header_line: line_no,
+                            header_col: col,
+                            saw_workspace: false,
+                            violation: None,
+                        },
+                        None => DepScope::None,
+                    };
+                }
+            }
+            continue;
+        }
+
+        if in_lints {
+            if let Some((key, value)) = split_key_value(trimmed) {
+                if key == "workspace" && value == "true" {
+                    lints_workspace_true = true;
+                }
+            }
+            continue;
+        }
+
+        match &mut scope {
+            DepScope::Flat => {
+                if let Some(f) = check_flat_dep(rel, line_no, col, trimmed, workspace_deps) {
+                    findings.push(f);
+                }
+            }
+            DepScope::Expanded {
+                name,
+                saw_workspace,
+                violation,
+                ..
+            } => {
+                if let Some((key, value)) = split_key_value(trimmed) {
+                    if key == "workspace" && value == "true" {
+                        *saw_workspace = true;
+                    } else if key == "version" && violation.is_none() {
+                        *violation = Some(Finding {
+                            rule: "manifest-dependency-drift",
+                            path: rel.to_string(),
+                            line: line_no,
+                            col,
+                            message: format!(
+                                "dependency `{name}` pins a version inline; inherit it with `workspace = true`"
+                            ),
+                        });
+                    }
+                }
+            }
+            DepScope::None => {}
+        }
+    }
+    close_scope(&mut scope, workspace_deps, rel, &mut findings);
+
+    // A manifest with no `[package]` section (pure workspace definition or
+    // fragment) has no lint table to inherit; everything else must opt in.
+    if let Some((pkg_line, pkg_col)) = package_header {
+        if !lints_workspace_true {
+            let (line, col, what) = match lints_header {
+                Some((l, c)) => (
+                    l,
+                    c,
+                    "a `[lints]` section that does not set `workspace = true`",
+                ),
+                None => (pkg_line, pkg_col, "no `[lints]` section"),
+            };
+            findings.push(Finding {
+                rule: "manifest-workspace-lints",
+                path: rel.to_string(),
+                line,
+                col,
+                message: format!(
+                    "manifest has {what}; the shared workspace lint levels do not apply to this crate"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Flushes the membership/inheritance verdict for an expanded
+/// `[dependencies.name]` section when it ends.
+fn close_scope(
+    scope: &mut DepScope,
+    workspace_deps: &BTreeSet<String>,
+    rel: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if let DepScope::Expanded {
+        name,
+        header_line,
+        header_col,
+        saw_workspace,
+        violation,
+    } = std::mem::replace(scope, DepScope::None)
+    {
+        if let Some(f) = violation {
+            findings.push(f);
+        } else if !saw_workspace {
+            findings.push(Finding {
+                rule: "manifest-dependency-drift",
+                path: rel.to_string(),
+                line: header_line,
+                col: header_col,
+                message: format!(
+                    "dependency `{name}` does not inherit from the workspace; add `workspace = true`"
+                ),
+            });
+        } else if !workspace_deps.contains(&name) && !name.is_empty() {
+            findings.push(Finding {
+                rule: "manifest-dependency-drift",
+                path: rel.to_string(),
+                line: header_line,
+                col: header_col,
+                message: format!("dependency `{name}` is not declared in [workspace.dependencies]"),
+            });
+        }
+    }
+}
+
+/// Checks one line of a flat dependency section. Emits at most one
+/// finding per line (the most specific applicable one).
+fn check_flat_dep(
+    rel: &str,
+    line_no: u32,
+    col: u32,
+    trimmed: &str,
+    workspace_deps: &BTreeSet<String>,
+) -> Option<Finding> {
+    let (key, value) = split_key_value(trimmed)?;
+    let mut key_parts = key.split('.');
+    let name = key_parts
+        .next()
+        .unwrap_or(&key)
+        .trim_matches('"')
+        .to_string();
+    let subkey = key_parts.next();
+
+    let drift = |message: String| {
+        Some(Finding {
+            rule: "manifest-dependency-drift",
+            path: rel.to_string(),
+            line: line_no,
+            col,
+            message,
+        })
+    };
+
+    match subkey {
+        // `name.workspace = true` — the canonical form.
+        Some("workspace") if value == "true" => {}
+        Some("workspace") => {
+            return drift(format!("dependency `{name}` sets `workspace = {value}`"));
+        }
+        Some(other) => {
+            return drift(format!(
+                "dependency `{name}` sets `{other}` directly instead of inheriting with `workspace = true`"
+            ));
+        }
+        None if value.starts_with('"') => {
+            return drift(format!(
+                "dependency `{name}` pins a version inline; use `{name}.workspace = true`"
+            ));
+        }
+        None if value.starts_with('{') => {
+            let body = value.trim_start_matches('{').trim_end_matches('}');
+            let keys: Vec<&str> = body
+                .split(',')
+                .filter_map(|kv| kv.split_once('=').map(|(k, _)| k.trim()))
+                .collect();
+            if keys.contains(&"version") || keys.contains(&"path") || keys.contains(&"git") {
+                return drift(format!(
+                    "dependency `{name}` declares its own source in an inline table; inherit it with `workspace = true`"
+                ));
+            }
+            if !keys.contains(&"workspace") {
+                return drift(format!(
+                    "dependency `{name}` does not inherit from the workspace; add `workspace = true` to its table"
+                ));
+            }
+        }
+        None => {
+            return drift(format!(
+                "dependency `{name}` has an unrecognized value `{value}`; use `{name}.workspace = true`"
+            ));
+        }
+    }
+
+    if workspace_deps.contains(&name) {
+        None
+    } else {
+        drift(format!(
+            "dependency `{name}` is not declared in [workspace.dependencies]"
+        ))
+    }
+}
+
+/// Parses a `[section.name]` header; returns the dotted name, or `None`
+/// if the line is not a header.
+fn parse_section_header(trimmed: &str) -> Option<String> {
+    let inner = trimmed.strip_prefix('[')?;
+    let inner = inner.strip_prefix('[').unwrap_or(inner); // tolerate [[array]]
+    let end = inner.find(']')?;
+    Some(inner[..end].trim().to_string())
+}
+
+/// Splits `key = value`, trimming both and stripping a trailing comment
+/// from simple (unquoted-brace) values.
+fn split_key_value(trimmed: &str) -> Option<(String, String)> {
+    let (key, value) = trimmed.split_once('=')?;
+    let value = value.trim();
+    // Strip trailing comments only when they cannot be inside a string:
+    // good enough for the machine-regular manifests this tree contains.
+    let value = match value.find(" #") {
+        Some(pos) if !value.starts_with('"') => value[..pos].trim(),
+        _ => value,
+    };
+    Some((key.trim().to_string(), value.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deps(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    const CLEAN: &str = "\
+[package]
+name = \"bcc-x\"
+version.workspace = true
+
+[lints]
+workspace = true
+
+[dependencies]
+rand.workspace = true
+bcc-core = { workspace = true, features = [\"extra\"] }
+
+[dev-dependencies]
+proptest.workspace = true
+";
+
+    #[test]
+    fn clean_manifest_has_no_findings() {
+        let ws = deps(&["rand", "bcc-core", "proptest"]);
+        assert_eq!(lint_manifest("crates/x/Cargo.toml", CLEAN, &ws), vec![]);
+    }
+
+    #[test]
+    fn workspace_dep_names_reads_the_root_table() {
+        let root = "\
+[workspace]
+members = [\"crates/x\"]
+
+[workspace.dependencies]
+rand = \"0.8.5\"
+bcc-core = { path = \"crates/core\" }
+rayon.version = \"1.10\"
+
+[patch.crates-io]
+ignored = { path = \"vendor/ignored\" }
+";
+        assert_eq!(
+            workspace_dep_names(root),
+            deps(&["rand", "bcc-core", "rayon"])
+        );
+    }
+
+    #[test]
+    fn missing_lints_section_fires_on_the_package_header() {
+        let src = "[package]\nname = \"x\"\n\n[dependencies]\nrand.workspace = true\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", src, &deps(&["rand"]));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "manifest-workspace-lints");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn lints_section_without_workspace_true_fires_on_the_section() {
+        let src = "[package]\nname = \"x\"\n\n[lints]\nrust = \"warn\"\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", src, &deps(&[]));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "manifest-workspace-lints");
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn workspace_definition_without_package_needs_no_lints() {
+        let src = "[workspace]\nmembers = [\"crates/x\"]\n";
+        assert_eq!(lint_manifest("Cargo.toml", src, &deps(&[])), vec![]);
+    }
+
+    #[test]
+    fn inline_version_is_drift() {
+        let src =
+            "[package]\nname = \"x\"\n[lints]\nworkspace = true\n[dependencies]\nrand = \"0.8\"\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", src, &deps(&["rand"]));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "manifest-dependency-drift");
+        assert_eq!(findings[0].line, 6);
+        assert!(findings[0].message.contains("pins a version inline"));
+    }
+
+    #[test]
+    fn inline_table_with_path_is_drift_even_with_workspace() {
+        let src = "[package]\nname = \"x\"\n[lints]\nworkspace = true\n[dependencies]\nbcc-core = { path = \"../core\" }\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", src, &deps(&["bcc-core"]));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("declares its own source"));
+    }
+
+    #[test]
+    fn undeclared_dependency_is_drift() {
+        let src = "[package]\nname = \"x\"\n[lints]\nworkspace = true\n[dependencies]\nserde.workspace = true\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", src, &deps(&["rand"]));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("not declared in [workspace.dependencies]"));
+    }
+
+    #[test]
+    fn expanded_dependency_section_is_checked() {
+        let src = "\
+[package]
+name = \"x\"
+[lints]
+workspace = true
+[dependencies.rand]
+version = \"0.8\"
+";
+        let findings = lint_manifest("crates/x/Cargo.toml", src, &deps(&["rand"]));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "manifest-dependency-drift");
+        assert_eq!(findings[0].line, 6, "anchored on the version line");
+
+        let ok = "\
+[package]
+name = \"x\"
+[lints]
+workspace = true
+[dependencies.rand]
+workspace = true
+";
+        assert_eq!(
+            lint_manifest("crates/x/Cargo.toml", ok, &deps(&["rand"])),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn allow_on_the_previous_line_suppresses_and_is_consumed() {
+        let src = "\
+[package]
+name = \"x\"
+[lints]
+workspace = true
+[dependencies]
+# bcc-lint: allow(manifest-dependency-drift, reason = \"pinned for a reproduction of the 0.8 sampler\")
+rand = \"0.8\"
+";
+        assert_eq!(
+            lint_manifest("crates/x/Cargo.toml", src, &deps(&["rand"])),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn unused_and_reasonless_allows_are_findings() {
+        let src = "\
+# bcc-lint: allow(manifest-dependency-drift, reason = \"nothing below\")
+[package]
+name = \"x\"
+# bcc-lint: allow(manifest-workspace-lints)
+[lints]
+workspace = true
+";
+        let findings = lint_manifest("crates/x/Cargo.toml", src, &deps(&[]));
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].rule, RULE_UNUSED_ALLOW);
+        assert_eq!(findings[1].rule, RULE_INVALID_ALLOW);
+    }
+
+    #[test]
+    fn allow_naming_a_source_rule_is_invalid_here() {
+        let src = "# bcc-lint: allow(no-stray-printing, reason = \"wrong domain\")\n[workspace]\n";
+        let findings = lint_manifest("Cargo.toml", src, &deps(&[]));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RULE_INVALID_ALLOW);
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 
+use crate::manifests::MANIFEST_RULES;
 use crate::rules::{Finding, RULES};
 
 /// A completed lint run over one workspace tree.
@@ -44,7 +45,11 @@ impl Report {
             );
         }
         if self.is_clean() {
-            let _ = writeln!(out, "workspace is clean under all {} rules", RULES.len());
+            let _ = writeln!(
+                out,
+                "workspace is clean under all {} rules",
+                RULES.len() + MANIFEST_RULES.len()
+            );
         }
         out
     }
@@ -57,7 +62,7 @@ impl Report {
         let _ = write!(out, ",\"files_scanned\":{}", self.files_scanned);
         let _ = write!(out, ",\"findings_total\":{}", self.findings.len());
         out.push_str(",\"rules\":[");
-        for (i, r) in RULES.iter().enumerate() {
+        for (i, r) in RULES.iter().chain(MANIFEST_RULES).enumerate() {
             if i > 0 {
                 out.push(',');
             }

@@ -44,7 +44,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod merge;
 pub mod trace;
+
+pub use merge::merge_snapshots;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -471,7 +474,7 @@ pub fn span(name: &'static str) -> Span {
 // ---------------------------------------------------------------------------
 
 /// Summary of one duration histogram (all values in µs).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistSummary {
     /// Number of observations.
     pub count: u64,
@@ -485,7 +488,7 @@ pub struct HistSummary {
 }
 
 /// A point-in-time materialization of a [`Registry`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
     /// Deterministic work counters (sorted by name), including the
     /// process-global deltas (`global.*`, `kernel.words.*`).

@@ -1,0 +1,528 @@
+//! Merging per-shard metrics snapshots back into one report.
+//!
+//! A sharded sweep writes one `metrics.json` per shard directory; the
+//! coordinator's merge step folds them into a single [`Snapshot`] with
+//! the same schema. The fold is sound because every work metric is a
+//! commutative integer sum by construction (the property the
+//! thread/kernel invariance tests already rely on): summing per-shard
+//! work counters yields exactly the counters a single-process sweep of
+//! the same grid records, so the merged observability report is as
+//! placement-independent as the records themselves. Wall-class values
+//! merge by the same rules but stay scheduling-dependent, as always.
+//!
+//! [`Snapshot::from_json`] parses the crate's own `bcc-metrics/v1`
+//! output (hand-rolled, like the writer). It accepts keys in any order
+//! and ignores unknown top-level keys, so the format can grow without
+//! breaking shard merges mid-migration.
+
+use std::collections::BTreeMap;
+
+use crate::{Class, HistSummary, Snapshot};
+
+impl Snapshot {
+    /// Parses a `bcc-metrics/v1` document produced by
+    /// [`Snapshot::to_json`]. `None` on malformed input or a foreign
+    /// schema tag.
+    pub fn from_json(text: &str) -> Option<Snapshot> {
+        let mut cur = Cursor::new(text);
+        let mut schema_ok = false;
+        let mut snapshot = Snapshot {
+            work: Vec::new(),
+            wall: Vec::new(),
+            series: Vec::new(),
+            spans: Vec::new(),
+            notes: Vec::new(),
+        };
+        cur.expect(b'{')?;
+        if cur.peek() == Some(b'}') {
+            return None; // an empty object carries no schema tag
+        }
+        loop {
+            let key = cur.string()?;
+            cur.expect(b':')?;
+            match key.as_str() {
+                "schema" => {
+                    schema_ok = cur.string()? == "bcc-metrics/v1";
+                }
+                "work" => snapshot.work = cur.counter_map()?,
+                "wall" => snapshot.wall = cur.counter_map()?,
+                "series" => snapshot.series = cur.series_map()?,
+                "spans" => snapshot.spans = cur.span_map()?,
+                "notes" => snapshot.notes = cur.note_map()?,
+                _ => cur.skip_value()?,
+            }
+            match cur.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        if !schema_ok {
+            return None;
+        }
+        Some(snapshot)
+    }
+}
+
+/// Folds snapshots into one: counters and series sum name-wise (work
+/// and wall alike), histograms merge their counts/totals/buckets and
+/// take the max of maxes, and notes keep the common value — or, when
+/// shards disagree, the distinct values sorted and `|`-joined, so a
+/// mixed-kernel merge is visible instead of silently picking a winner.
+/// The fold is commutative and associative, so shard order cannot
+/// change a byte of the merged report.
+pub fn merge_snapshots(parts: &[Snapshot]) -> Snapshot {
+    let mut work: BTreeMap<String, u64> = BTreeMap::new();
+    let mut wall: BTreeMap<String, u64> = BTreeMap::new();
+    let mut series: BTreeMap<String, (Class, Vec<u64>)> = BTreeMap::new();
+    let mut spans: BTreeMap<String, HistSummary> = BTreeMap::new();
+    let mut notes: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for part in parts {
+        for (name, value) in &part.work {
+            *work.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &part.wall {
+            *wall.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, class, values) in &part.series {
+            let slot = series
+                .entry(name.clone())
+                .or_insert_with(|| (*class, Vec::new()));
+            debug_assert_eq!(slot.0, *class, "series class mismatch for {name}");
+            if slot.1.len() < values.len() {
+                slot.1.resize(values.len(), 0);
+            }
+            for (acc, v) in slot.1.iter_mut().zip(values) {
+                *acc += v;
+            }
+        }
+        for (name, h) in &part.spans {
+            let slot = spans.entry(name.clone()).or_insert_with(|| HistSummary {
+                count: 0,
+                total: 0,
+                max: 0,
+                buckets: Vec::new(),
+            });
+            slot.count += h.count;
+            slot.total = slot.total.saturating_add(h.total);
+            slot.max = slot.max.max(h.max);
+            let mut buckets: BTreeMap<u32, u64> = slot.buckets.iter().copied().collect();
+            for &(b, c) in &h.buckets {
+                *buckets.entry(b).or_insert(0) += c;
+            }
+            slot.buckets = buckets.into_iter().collect();
+        }
+        for (name, value) in &part.notes {
+            let seen = notes.entry(name.clone()).or_default();
+            if !seen.contains(value) {
+                seen.push(value.clone());
+            }
+        }
+    }
+    Snapshot {
+        work: work.into_iter().collect(),
+        wall: wall.into_iter().collect(),
+        series: series
+            .into_iter()
+            .map(|(name, (class, values))| (name, class, values))
+            .collect(),
+        spans: spans.into_iter().collect(),
+        notes: notes
+            .into_iter()
+            .map(|(name, mut values)| {
+                values.sort();
+                (name, values.join("|"))
+            })
+            .collect(),
+    }
+}
+
+/// A byte cursor over the JSON text. Whitespace-tolerant even though
+/// the writer emits none, so hand-prettified files still parse.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Option<()> {
+        (self.next()? == want).then_some(())
+    }
+
+    /// Parses a `"..."` string literal, handling the writer's escapes.
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match *self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match *self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+                }
+            }
+        }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// `{"name":N,...}` → sorted `(name, value)` pairs.
+    fn counter_map(&mut self) -> Option<Vec<(String, u64)>> {
+        let mut out = Vec::new();
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            let name = self.string()?;
+            self.expect(b':')?;
+            out.push((name, self.u64()?));
+            match self.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// `{"name":{"class":"work","values":[..]},...}`.
+    fn series_map(&mut self) -> Option<Vec<(String, Class, Vec<u64>)>> {
+        let mut out = Vec::new();
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            let name = self.string()?;
+            self.expect(b':')?;
+            self.expect(b'{')?;
+            let key = self.string()?;
+            (key == "class").then_some(())?;
+            self.expect(b':')?;
+            let class = match self.string()?.as_str() {
+                "work" => Class::Work,
+                "wall" => Class::Wall,
+                _ => return None,
+            };
+            self.expect(b',')?;
+            let key = self.string()?;
+            (key == "values").then_some(())?;
+            self.expect(b':')?;
+            let values = self.u64_array()?;
+            self.expect(b'}')?;
+            out.push((name, class, values));
+            match self.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// `{"name":{"count":N,"total_us":N,"max_us":N,"buckets":[[b,c],..]},...}`.
+    fn span_map(&mut self) -> Option<Vec<(String, HistSummary)>> {
+        let mut out = Vec::new();
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            let name = self.string()?;
+            self.expect(b':')?;
+            self.expect(b'{')?;
+            let mut h = HistSummary {
+                count: 0,
+                total: 0,
+                max: 0,
+                buckets: Vec::new(),
+            };
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                match key.as_str() {
+                    "count" => h.count = self.u64()?,
+                    "total_us" => h.total = self.u64()?,
+                    "max_us" => h.max = self.u64()?,
+                    "buckets" => {
+                        self.expect(b'[')?;
+                        if self.peek() == Some(b']') {
+                            self.pos += 1;
+                        } else {
+                            loop {
+                                self.expect(b'[')?;
+                                let b = self.u64()? as u32;
+                                self.expect(b',')?;
+                                let c = self.u64()?;
+                                self.expect(b']')?;
+                                h.buckets.push((b, c));
+                                match self.next()? {
+                                    b',' => continue,
+                                    b']' => break,
+                                    _ => return None,
+                                }
+                            }
+                        }
+                    }
+                    _ => return None,
+                }
+                match self.next()? {
+                    b',' => continue,
+                    b'}' => break,
+                    _ => return None,
+                }
+            }
+            out.push((name, h));
+            match self.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// `{"name":"value",...}`.
+    fn note_map(&mut self) -> Option<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            let name = self.string()?;
+            self.expect(b':')?;
+            out.push((name, self.string()?));
+            match self.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    fn u64_array(&mut self) -> Option<Vec<u64>> {
+        let mut out = Vec::new();
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            out.push(self.u64()?);
+            match self.next()? {
+                b',' => continue,
+                b']' => break,
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Skips one value of any shape (future top-level keys).
+    fn skip_value(&mut self) -> Option<()> {
+        match self.peek()? {
+            b'"' => {
+                self.string()?;
+            }
+            b'{' | b'[' => {
+                let mut depth = 0usize;
+                loop {
+                    match self.next()? {
+                        b'{' | b'[' => depth += 1,
+                        b'}' | b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        b'"' => {
+                            self.pos -= 1;
+                            self.string()?;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {
+                self.u64()?;
+            }
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.add("lab.points_computed", Class::Work, 7);
+        r.add("walk.chunks", Class::Wall, 3);
+        r.add_at("walk.nodes_by_depth", Class::Work, 2, 4);
+        r.record("lab.point", Class::Wall, 900);
+        r.record("lab.point", Class::Wall, 0);
+        r.note("kernel.dispatch", "scalar");
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let s = sample();
+        let parsed = Snapshot::from_json(&s.to_json()).expect("own output parses");
+        assert_eq!(parsed, s);
+        // And the re-rendered JSON is byte-identical.
+        assert_eq!(parsed.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn foreign_or_malformed_documents_are_refused() {
+        assert!(Snapshot::from_json("{}").is_none());
+        assert!(Snapshot::from_json("{\"schema\":\"other/v1\",\"work\":{}}").is_none());
+        assert!(Snapshot::from_json("not json").is_none());
+        let json = sample().to_json();
+        assert!(Snapshot::from_json(&json[..json.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn unknown_top_level_keys_are_skipped() {
+        // One snapshot only: the global.* deltas move when other tests
+        // in this binary count concurrently, so two sample() calls are
+        // not comparable.
+        let s = sample();
+        let json = s.to_json();
+        let extended = format!(
+            "{},\"future\":{{\"nested\":[1,2,{{\"x\":\"y\"}}]}}}}",
+            &json[..json.len() - 1]
+        );
+        let parsed = Snapshot::from_json(&extended).expect("extended document parses");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_series() {
+        let a = Registry::new();
+        a.add("x", Class::Work, 3);
+        a.add_at("s", Class::Work, 0, 1);
+        let b = Registry::new();
+        b.add("x", Class::Work, 4);
+        b.add("y", Class::Work, 1);
+        b.add_at("s", Class::Work, 2, 5);
+        let merged = merge_snapshots(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.work_counter("x"), 7);
+        assert_eq!(merged.work_counter("y"), 1);
+        assert_eq!(merged.series_values("s"), &[1, 0, 5]);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = sample();
+        let mut b = sample();
+        b.notes = vec![("kernel.dispatch".into(), "avx2".into())];
+        let ab = merge_snapshots(&[a.clone(), b.clone()]);
+        let ba = merge_snapshots(&[b, a]);
+        assert_eq!(ab, ba);
+        // Disagreeing notes surface both values, sorted.
+        assert_eq!(
+            ab.notes,
+            vec![("kernel.dispatch".into(), "avx2|scalar".into())]
+        );
+    }
+
+    #[test]
+    fn merge_combines_histograms() {
+        let a = Registry::new();
+        a.record("lab.point", Class::Wall, 900);
+        let b = Registry::new();
+        b.record("lab.point", Class::Wall, 0);
+        b.record("lab.point", Class::Wall, 1000);
+        let merged = merge_snapshots(&[a.snapshot(), b.snapshot()]);
+        let (_, h) = &merged.spans[0];
+        assert_eq!((h.count, h.total, h.max), (3, 1900, 1000));
+        assert_eq!(h.buckets, vec![(0, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn merged_snapshot_round_trips_through_json() {
+        let s = sample();
+        let merged = merge_snapshots(&[s.clone(), s]);
+        let parsed = Snapshot::from_json(&merged.to_json()).expect("parses");
+        assert_eq!(parsed, merged);
+    }
+}

@@ -174,6 +174,9 @@ impl MatrixPrg {
             .map(|x| x.concat(&matrix.left_mul_vec(x)))
             .collect();
 
+        if let Some(obs) = bcc_obs::current() {
+            obs.add("prg.blocks_drawn", bcc_obs::Class::Work, self.n as u64);
+        }
         PrgRun {
             matrix,
             seeds,
@@ -216,6 +219,9 @@ pub fn row_support(k: u32, m: u32, matrix: &BitMatrix) -> RowSupport {
             x | (ext.to_u64() << k)
         })
         .collect();
+    if let Some(obs) = bcc_obs::current() {
+        obs.add("prg.support_points", bcc_obs::Class::Work, 1u64 << k);
+    }
     RowSupport::explicit(m, points)
 }
 

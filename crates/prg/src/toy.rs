@@ -77,6 +77,9 @@ impl ToyPrg {
                 x.concat(&BitVec::from_bools(&[extra]))
             })
             .collect();
+        if let Some(obs) = bcc_obs::current() {
+            obs.add("prg.blocks_drawn", bcc_obs::Class::Work, self.n as u64);
+        }
         ToyRun { secret, outputs }
     }
 }
@@ -90,6 +93,9 @@ impl ToyPrg {
 pub fn row_support(k: u32, b: u64) -> RowSupport {
     assert!(k <= 24, "support too large to enumerate");
     let points = (0..(1u64 << k)).map(|x| x | (parity(x & b) << k)).collect();
+    if let Some(obs) = bcc_obs::current() {
+        obs.add("prg.support_points", bcc_obs::Class::Work, 1u64 << k);
+    }
     RowSupport::explicit(k + 1, points)
 }
 
@@ -347,5 +353,26 @@ mod tests {
         let avg = total / trials as f64;
         let bound = 2.0 * (j * n as u32) as f64 / 2f64.powf(k as f64 / 9.0);
         assert!(avg <= bound, "avg distance {avg} above {bound}");
+    }
+
+    #[test]
+    fn generators_count_blocks_and_support_points_when_observed() {
+        let registry = bcc_obs::Registry::new();
+        {
+            let _scope = registry.install();
+            let mut rng = StdRng::seed_from_u64(11);
+            let _ = ToyPrg::new(5, 4).run(&mut rng); // 5 blocks
+            let _ = row_support(6, 0b10_1010); // 2^6 support points
+        }
+        let snapshot = registry.snapshot();
+        let counter = |name: &str| {
+            snapshot
+                .work
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("prg.blocks_drawn"), Some(5));
+        assert_eq!(counter("prg.support_points"), Some(64));
     }
 }

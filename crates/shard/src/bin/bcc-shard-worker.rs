@@ -1,0 +1,43 @@
+//! The standalone worker process for sharded sweeps.
+//!
+//! ```text
+//! bcc-shard-worker <coordinator-addr>
+//! ```
+//!
+//! Connects to the coordinator at `<coordinator-addr>` (`host:port`),
+//! receives the full scenario over the wire, and serves leases until
+//! told to shut down. Everything interesting lives in
+//! [`bcc_shard::run_worker`]; this binary only adds argument plumbing
+//! and the fault-injection hook used by kill drills:
+//!
+//! * `BCC_SHARD_FAULT=abort-after=<points>` — complete `<points>` grid
+//!   points of the first lease, tear the shard log mid-line, and abort.
+
+use std::process::ExitCode;
+
+use bcc_shard::{run_worker, FaultPlan, WorkerConfig};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(addr), None) = (args.next(), args.next()) else {
+        eprintln!("usage: bcc-shard-worker <coordinator-addr>");
+        return ExitCode::from(2);
+    };
+    let fault = match std::env::var("BCC_SHARD_FAULT") {
+        Ok(value) => match FaultPlan::from_env_str(&value) {
+            Some(plan) => Some(plan),
+            None => {
+                eprintln!("bcc-shard-worker: unintelligible BCC_SHARD_FAULT: {value:?}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => None,
+    };
+    match run_worker(&addr, WorkerConfig { fault }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bcc-shard-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The coordinator: a lease table behind a hand-rolled TCP line server.
+//!
+//! Shards are *leases*, not assignments. A worker holds a shard only as
+//! long as its heartbeats keep arriving; a lease whose deadline lapses —
+//! or whose connection drops — goes back to the pending pool and is
+//! re-issued to whichever worker asks next. That is the entire work-
+//! stealing story: no shared filesystem locks, no worker identity, no
+//! retry bookkeeping. It is safe *because* the execution layer is
+//! deterministic — if a "dead" worker turns out to be alive and both it
+//! and the thief finish the same shard, the coordinator asserts their
+//! record fingerprints are identical and keeps one copy; duplicated work
+//! costs time, never correctness.
+//!
+//! Timing appears in this crate exactly here: lease deadlines and stall
+//! detection are honest wall-clock decisions about *process liveness*,
+//! which is why each `Instant` site below carries a reasoned bcc-lint
+//! allow. Nothing timed ever reaches a record: what workers compute is
+//! pinned by the scenario's coordinate-derived streams, and the merge
+//! step re-proves it bitwise.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+// bcc-lint: allow(no-wall-clock-in-work-paths, reason = "lease deadlines and stall detection are liveness decisions about worker processes; no Instant reaches a record or a work counter")
+use std::time::Instant;
+
+use bcc_lab::{PointRecord, Scenario};
+
+use crate::merge::{merge_shards, MergeOutput};
+use crate::plan::ShardPlan;
+use crate::protocol::{encode_spec, FromWorker, ToWorker};
+
+/// Coordinator knobs. The defaults suit same-host workers on a test
+/// grid; real sweeps mostly tune `shards` (a few per worker, so a slow
+/// worker sheds load) and `lease_timeout_ms` (longer than the slowest
+/// shard's heartbeat gap, i.e. comfortably above `heartbeat_ms`).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// How many shards to cut the grid into (clamped to the grid size).
+    pub shards: usize,
+    /// Heartbeat cadence instructed to workers, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Lease lifetime without a heartbeat before the shard is stolen.
+    pub lease_timeout_ms: u64,
+    /// Back-off suggested to workers when every shard is leased out.
+    pub wait_ms: u64,
+    /// How long `run` tolerates having no workers *and* no progress
+    /// before panicking instead of waiting forever.
+    pub stall_timeout_ms: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 4,
+            heartbeat_ms: 250,
+            lease_timeout_ms: 2_000,
+            wait_ms: 100,
+            stall_timeout_ms: 60_000,
+        }
+    }
+}
+
+/// What a completed sharded sweep hands back.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Every grid point's record, in canonical `point_id` order —
+    /// bitwise what a single-process sweep produces (modulo `wall_ms`).
+    pub records: Vec<PointRecord>,
+    /// [`bcc_lab::records_fingerprint`] over `records`: the value the
+    /// merge proved equal to each shard's on-disk content, and the value
+    /// to compare against a single-process run.
+    pub fingerprint: u64,
+    /// Leases handed out, re-issues included.
+    pub leases_issued: usize,
+    /// Leases reclaimed from silent or disconnected workers.
+    pub lease_steals: usize,
+    /// Distinct worker connections that completed the handshake.
+    pub workers_served: usize,
+    /// Torn or stale log lines shard stores healed, summed over shards.
+    pub healed_lines: u64,
+    /// Records shard runs resumed from disk instead of recomputing.
+    pub resumed_records: u64,
+    /// The merged observability snapshot (also written as the canonical
+    /// store's `metrics.json`): shard snapshots summed commutatively,
+    /// plus the coordinator's own `shard.*` wall counters.
+    pub metrics: bcc_obs::Snapshot,
+}
+
+enum ShardState {
+    Pending,
+    Leased {
+        conn: u64,
+        // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "a lease deadline is a liveness bound on a worker process, not a measurement; it never reaches a record")
+        deadline: Instant,
+    },
+    Done {
+        fingerprint: u64,
+    },
+}
+
+struct Table {
+    shards: Vec<ShardState>,
+    leases_issued: usize,
+    lease_steals: usize,
+    workers_served: usize,
+    active_conns: usize,
+    next_conn: u64,
+    // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "stall detection timestamp; liveness only, never recorded")
+    last_progress: Instant,
+}
+
+struct Shared {
+    scenario: Scenario,
+    base: PathBuf,
+    plan: ShardPlan,
+    config: ShardConfig,
+    table: Mutex<Table>,
+    progress: Condvar,
+}
+
+impl Shared {
+    fn all_done(table: &Table) -> bool {
+        table
+            .shards
+            .iter()
+            .all(|s| matches!(s, ShardState::Done { .. }))
+    }
+
+    /// Returns every lapsed lease to the pending pool. Called under the
+    /// table lock whenever a lease decision is made, so a dead worker's
+    /// shards free up the moment anyone asks for work.
+    fn reclaim_expired(&self, table: &mut Table) {
+        // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "lease expiry check; wall clock decides which worker process is presumed dead, never what any record contains")
+        let now = Instant::now();
+        for state in &mut table.shards {
+            if let ShardState::Leased { deadline, .. } = state {
+                if *deadline < now {
+                    *state = ShardState::Pending;
+                    table.lease_steals += 1;
+                    table.last_progress = now;
+                }
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running coordinator. [`ShardServer::bind`] first, so
+/// the address exists before any worker is spawned; then
+/// [`ShardServer::run`] to serve leases until the grid is done and
+/// merged.
+pub struct ShardServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl ShardServer {
+    /// Binds a coordinator for `scenario` on an ephemeral localhost
+    /// port. Shard stores and the merged canonical store live under
+    /// `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener cannot bind or `base` cannot be created.
+    pub fn bind(scenario: &Scenario, base: &Path, config: ShardConfig) -> ShardServer {
+        std::fs::create_dir_all(base)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", base.display()));
+        let plan = ShardPlan::cut(scenario.grid().len(), config.shards);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("cannot bind coordinator socket");
+        ShardServer {
+            listener,
+            shared: Arc::new(Shared {
+                scenario: scenario.clone(),
+                base: base.to_path_buf(),
+                plan,
+                config,
+                table: Mutex::new(Table {
+                    shards: Vec::new(),
+                    leases_issued: 0,
+                    lease_steals: 0,
+                    workers_served: 0,
+                    active_conns: 0,
+                    next_conn: 0,
+                    // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "stall-detection epoch; liveness only")
+                    last_progress: Instant::now(),
+                }),
+                progress: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The `host:port` workers should connect to.
+    pub fn addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .expect("coordinator socket has no address")
+            .to_string()
+    }
+
+    /// The shard plan this coordinator serves.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.shared.plan
+    }
+
+    /// Serves leases until every shard completes, then merges and
+    /// returns. Workers may connect, die and reconnect in any order;
+    /// abandoned shards are stolen and re-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two completions of one shard disagree (a determinism
+    /// violation), if the merge finds a shard store inconsistent with
+    /// what its worker reported, or if all workers are gone and nothing
+    /// progresses for [`ShardConfig::stall_timeout_ms`].
+    pub fn run(self) -> ShardOutcome {
+        let ShardServer { listener, shared } = self;
+        {
+            let mut table = shared.table.lock().expect("shard table poisoned");
+            table.shards = (0..shared.plan.len())
+                .map(|_| ShardState::Pending)
+                .collect();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = spawn_acceptor(listener, Arc::clone(&shared), Arc::clone(&stop));
+
+        // Wait for the grid: progress is signalled by handlers; the
+        // timeout only exists to run the stall check.
+        let stall = Duration::from_millis(shared.config.stall_timeout_ms);
+        let mut table = shared.table.lock().expect("shard table poisoned");
+        while !Shared::all_done(&table) {
+            let stalled = table.active_conns == 0 && table.last_progress.elapsed() > stall;
+            assert!(
+                !stalled,
+                "sharded sweep stalled: no workers connected and no lease progress for {}ms \
+                 ({} of {} shards done)",
+                shared.config.stall_timeout_ms,
+                table
+                    .shards
+                    .iter()
+                    .filter(|s| matches!(s, ShardState::Done { .. }))
+                    .count(),
+                shared.plan.len(),
+            );
+            table = shared
+                .progress
+                .wait_timeout(table, Duration::from_millis(100))
+                .expect("shard table poisoned")
+                .0;
+        }
+        let reported: Vec<u64> = table
+            .shards
+            .iter()
+            .map(|s| match s {
+                ShardState::Done { fingerprint } => *fingerprint,
+                _ => unreachable!("all_done checked"),
+            })
+            .collect();
+        let leases_issued = table.leases_issued;
+        let lease_steals = table.lease_steals;
+        let workers_served = table.workers_served;
+        drop(table);
+
+        // Let lingering handlers drain (their next request gets
+        // `shutdown`; vanished workers hit the read timeout).
+        stop.store(true, Ordering::Relaxed);
+        let _ = acceptor.join();
+
+        let MergeOutput {
+            records,
+            fingerprint,
+            mut metrics,
+        } = merge_shards(&shared.scenario, &shared.base, &shared.plan, &reported);
+        inject_wall_counters(
+            &mut metrics,
+            &[
+                ("shard.lease_steals", lease_steals as u64),
+                ("shard.leases_issued", leases_issued as u64),
+                ("shard.workers_served", workers_served as u64),
+            ],
+        );
+        let metrics_path = shared.base.join("metrics.json");
+        std::fs::write(&metrics_path, metrics.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", metrics_path.display()));
+        let lookup = |name: &str| {
+            metrics
+                .work
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        ShardOutcome {
+            healed_lines: lookup("lab.store.healed_lines"),
+            resumed_records: lookup("lab.store.resumed_records"),
+            records,
+            fingerprint,
+            leases_issued,
+            lease_steals,
+            workers_served,
+            metrics,
+        }
+    }
+}
+
+/// Adds the coordinator's scheduling counters to the merged snapshot's
+/// wall section (sorted by name, like every snapshot section).
+fn inject_wall_counters(metrics: &mut bcc_obs::Snapshot, counters: &[(&str, u64)]) {
+    let mut wall: std::collections::BTreeMap<String, u64> = metrics.wall.iter().cloned().collect();
+    for &(name, value) in counters {
+        *wall.entry(name.to_string()).or_insert(0) += value;
+    }
+    metrics.wall = wall.into_iter().collect();
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("cannot set coordinator socket nonblocking");
+        let mut handlers = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&shared);
+                    handlers.push(std::thread::spawn(move || handle_worker(stream, &shared)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("coordinator accept failed: {e}"),
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    })
+}
+
+/// One connected worker, handshake to disconnect. Any exit path —
+/// clean shutdown, EOF from a dead process, read timeout, protocol
+/// garbage — funnels through the same lease-release at the bottom.
+fn handle_worker(stream: TcpStream, shared: &Shared) {
+    let conn = {
+        let mut table = shared.table.lock().expect("shard table poisoned");
+        table.active_conns += 1;
+        table.next_conn += 1;
+        table.next_conn
+    };
+    serve_worker(stream, shared, conn);
+    let mut guard = shared.table.lock().expect("shard table poisoned");
+    let table = &mut *guard;
+    for state in &mut table.shards {
+        if matches!(state, ShardState::Leased { conn: c, .. } if *c == conn) {
+            *state = ShardState::Pending;
+            table.lease_steals += 1;
+            // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "stall-detection timestamp on lease reclaim; liveness only")
+            table.last_progress = Instant::now();
+        }
+    }
+    table.active_conns -= 1;
+    drop(guard);
+    shared.progress.notify_all();
+}
+
+fn serve_worker(stream: TcpStream, shared: &Shared, conn: u64) {
+    // A worker that stops talking entirely (without its socket closing)
+    // must not pin this handler forever; by then its leases have long
+    // been reclaimable.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.lease_timeout_ms.saturating_mul(2).max(100),
+    )));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let spec = encode_spec(&shared.scenario, shared.config.heartbeat_ms, &shared.base);
+    if writeln!(writer, "{spec}").is_err() {
+        return;
+    }
+    let mut line = String::new();
+    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    match FromWorker::parse(&line) {
+        Some(FromWorker::Hello { fingerprint }) if fingerprint == shared.scenario.fingerprint() => {
+        }
+        // A worker that rebuilt a *different* scenario from our own spec
+        // line must never execute: drop it before any lease.
+        _ => return,
+    }
+    {
+        let mut table = shared.table.lock().expect("shard table poisoned");
+        table.workers_served += 1;
+    }
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return; // EOF, timeout or error: release leases below
+        }
+        match FromWorker::parse(&line) {
+            Some(FromWorker::Request) => {
+                let reply = next_lease(shared, conn);
+                let done = reply == ToWorker::Shutdown;
+                if writeln!(writer, "{}", reply.encode()).is_err() {
+                    return;
+                }
+                if done {
+                    return;
+                }
+            }
+            Some(FromWorker::Heartbeat) => {
+                let mut table = shared.table.lock().expect("shard table poisoned");
+                // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "heartbeat arrival extends the sender's lease deadlines; pure liveness bookkeeping")
+                let now = Instant::now();
+                let deadline = now + Duration::from_millis(shared.config.lease_timeout_ms);
+                for state in &mut table.shards {
+                    if let ShardState::Leased {
+                        conn: c,
+                        deadline: d,
+                    } = state
+                    {
+                        if *c == conn {
+                            *d = deadline;
+                        }
+                    }
+                }
+            }
+            Some(FromWorker::Complete { id, fingerprint }) => {
+                complete_shard(shared, id, fingerprint);
+            }
+            _ => return, // protocol garbage: drop the connection
+        }
+    }
+}
+
+fn next_lease(shared: &Shared, conn: u64) -> ToWorker {
+    let mut table = shared.table.lock().expect("shard table poisoned");
+    shared.reclaim_expired(&mut table);
+    for (id, state) in table.shards.iter_mut().enumerate() {
+        if matches!(state, ShardState::Pending) {
+            // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "new lease deadline; decides worker liveness, never results")
+            let deadline = Instant::now() + Duration::from_millis(shared.config.lease_timeout_ms);
+            *state = ShardState::Leased { conn, deadline };
+            table.leases_issued += 1;
+            // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "stall-detection timestamp on lease issue; liveness only")
+            table.last_progress = Instant::now();
+            let (start, end) = shared.plan.range(id);
+            return ToWorker::Lease { id, start, end };
+        }
+    }
+    if Shared::all_done(&table) {
+        ToWorker::Shutdown
+    } else {
+        ToWorker::Wait {
+            ms: shared.config.wait_ms,
+        }
+    }
+}
+
+fn complete_shard(shared: &Shared, id: usize, fingerprint: u64) {
+    let mut table = shared.table.lock().expect("shard table poisoned");
+    let Some(state) = table.shards.get_mut(id) else {
+        return; // out-of-range id from a confused worker: ignore
+    };
+    match state {
+        // Leased (by anyone — the lease may have bounced), or Pending
+        // (stolen, but the presumed-dead worker finished after all):
+        // either way the shard is now done.
+        ShardState::Leased { .. } | ShardState::Pending => {
+            *state = ShardState::Done { fingerprint };
+        }
+        // Two workers finished the same shard. Determinism makes the
+        // duplicate harmless — and checkable: disagreement here means
+        // the execution layer broke its bitwise contract, which must
+        // never be papered over.
+        ShardState::Done { fingerprint: prev } => {
+            assert!(
+                *prev == fingerprint,
+                "shard {id} completed twice with different record fingerprints \
+                 ({prev:#018x} vs {fingerprint:#018x}): determinism violation"
+            );
+        }
+    }
+    // bcc-lint: allow(no-wall-clock-in-work-paths, reason = "stall-detection timestamp on completion; liveness only")
+    table.last_progress = Instant::now();
+    drop(table);
+    shared.progress.notify_all();
+}

@@ -1,0 +1,51 @@
+//! `bcc-shard` — sharded sweep execution: one coordinator, N worker
+//! processes, one bitwise-deterministic merge.
+//!
+//! `bcc-lab` already makes a sweep independent of thread count and of
+//! interruption history: every grid point derives its randomness purely
+//! from its own coordinates, so *where* and *when* a point runs cannot
+//! change a bit of its record. This crate extends that invariant across
+//! the last scheduling axis — **process placement**:
+//!
+//! 1. **Plan**: [`ShardPlan`] cuts the scenario's grid into contiguous,
+//!    balanced point-id ranges (shards).
+//! 2. **Lease**: [`ShardServer`] hands shards to workers over a
+//!    line-oriented TCP protocol ([`protocol`]) as revocable *leases*.
+//!    Workers heartbeat; a silent or disconnected worker's leases expire
+//!    and are re-issued to whoever asks next — work stealing without any
+//!    shared filesystem coordination.
+//! 3. **Execute**: each worker ([`run_worker`], or the `bcc-shard-worker`
+//!    binary) runs [`bcc_lab::run_sweep_subset`] over its leased range
+//!    into its own run directory `shard-<id>/` under the coordinator's
+//!    base directory — an ordinary `bcc-lab` store, with the same
+//!    manifest fingerprint check, torn-line healing and bit-for-bit
+//!    resume. A worker that dies mid-shard leaves a store the next
+//!    leaseholder heals and finishes.
+//! 4. **Merge**: the coordinator verifies every shard store (same
+//!    scenario fingerprint, exact range coverage, worker-reported record
+//!    fingerprint matching what is on disk), concatenates the records in
+//!    canonical point order into the base directory — which becomes a
+//!    valid single-process run directory — and sums the shards'
+//!    `metrics.json` snapshots commutatively
+//!    ([`bcc_obs::merge_snapshots`]).
+//!
+//! The proof obligation, enforced by this crate's tests and the
+//! `shard_sweep` example: the merged records are **bit-for-bit identical**
+//! to a single-process sweep of the same scenario
+//! ([`bcc_lab::records_fingerprint`] equality over the deterministic
+//! record projection — `wall_ms`, the one honest wall-clock field, is
+//! the only bit that may differ), no matter how many workers ran, how
+//! the leases bounced, or how many workers were killed on the way.
+
+#![forbid(unsafe_code)]
+
+pub mod coordinator;
+pub mod merge;
+pub mod plan;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{ShardConfig, ShardOutcome, ShardServer};
+pub use merge::merge_shards;
+pub use plan::ShardPlan;
+pub use worker::{run_worker, FaultPlan, WorkerConfig};

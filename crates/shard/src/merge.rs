@@ -1,0 +1,134 @@
+//! The merge step: verify every shard store, concatenate canonically,
+//! prove it bitwise.
+//!
+//! Merging is pure bookkeeping — the records were already computed
+//! deterministically — so this module's job is *verification*: every
+//! shard directory must carry the scenario's own manifest fingerprint,
+//! cover exactly its planned point range, and hash to exactly the record
+//! fingerprint its worker reported over the wire. Only then are the
+//! records concatenated (shards are contiguous ranges in shard order, so
+//! concatenation *is* canonical `point_id` order) and the per-shard
+//! `metrics.json` snapshots summed commutatively. The output directory
+//! is a valid single-process run directory: re-running the scenario over
+//! it resumes every point and recomputes nothing.
+
+use std::path::Path;
+
+use bcc_lab::{encode_record, records_fingerprint, PointRecord, Scenario};
+use bcc_obs::merge::merge_snapshots;
+use bcc_obs::Snapshot;
+
+use crate::plan::ShardPlan;
+
+/// A verified merge: the canonical records, their fingerprint, and the
+/// summed metrics.
+#[derive(Debug, Clone)]
+pub struct MergeOutput {
+    /// Every grid point's record in canonical `point_id` order.
+    pub records: Vec<PointRecord>,
+    /// [`records_fingerprint`] over `records`.
+    pub fingerprint: u64,
+    /// The shard snapshots merged ([`merge_snapshots`]); work counters
+    /// sum to exactly a single-process sweep's (each point's work is
+    /// counted once, by whichever shard computed it).
+    pub metrics: Snapshot,
+}
+
+/// Verifies the shard stores under `base` against `plan` and the
+/// worker-`reported` fingerprints (one per shard, in shard order), then
+/// writes the canonical `manifest.json` + `records.jsonl` into `base`
+/// and returns the merged view.
+///
+/// # Panics
+///
+/// Panics if a shard store is missing, carries a different scenario's
+/// manifest, does not cover exactly its planned range, or disagrees with
+/// its worker-reported fingerprint — every one of these means the
+/// sharded run must not be trusted, and a loud refusal beats a silently
+/// wrong concatenation.
+pub fn merge_shards(
+    scenario: &Scenario,
+    base: &Path,
+    plan: &ShardPlan,
+    reported: &[u64],
+) -> MergeOutput {
+    assert_eq!(
+        reported.len(),
+        plan.len(),
+        "need exactly one reported fingerprint per shard"
+    );
+    let expected_manifest = scenario.fingerprint();
+    let mut records: Vec<PointRecord> = Vec::with_capacity(plan.grid_len());
+    let mut snapshots: Vec<Snapshot> = Vec::with_capacity(plan.len());
+    for (id, &(start, end)) in plan.ranges().iter().enumerate() {
+        let dir = ShardPlan::dir(base, id);
+        let (manifest, shard_records) = bcc_lab::read_run_dir(&dir)
+            .unwrap_or_else(|| panic!("shard {id} store {} is missing", dir.display()));
+        assert!(
+            manifest == expected_manifest,
+            "shard {id} store {} belongs to a different scenario:\n  recorded: {manifest}\n  requested: {expected_manifest}",
+            dir.display(),
+        );
+        assert!(
+            shard_records.len() == end - start
+                && shard_records.keys().all(|&p| (start..end).contains(&p)),
+            "shard {id} store {} does not cover exactly points {start}..{end}: \
+             {} valid records, ids {:?}",
+            dir.display(),
+            shard_records.len(),
+            shard_records.keys().take(8).collect::<Vec<_>>(),
+        );
+        let disk_fingerprint = records_fingerprint(shard_records.values());
+        assert!(
+            disk_fingerprint == reported[id],
+            "shard {id} store {} hashes to {disk_fingerprint:#018x} but its worker reported \
+             {:#018x}: the store changed after completion",
+            dir.display(),
+            reported[id],
+        );
+        let metrics_path = dir.join("metrics.json");
+        let text = std::fs::read_to_string(&metrics_path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", metrics_path.display()));
+        let snapshot = Snapshot::from_json(&text).unwrap_or_else(|| {
+            panic!(
+                "{} is not a bcc-metrics/v1 document",
+                metrics_path.display()
+            )
+        });
+        snapshots.push(snapshot);
+        records.extend(shard_records.into_values());
+    }
+    debug_assert!(
+        records.iter().enumerate().all(|(i, r)| r.point_id == i),
+        "contiguous shards in order must concatenate to 0..grid_len"
+    );
+    let fingerprint = records_fingerprint(&records);
+    let metrics = merge_snapshots(&snapshots);
+    write_canonical_store(base, &expected_manifest, &records);
+    MergeOutput {
+        records,
+        fingerprint,
+        metrics,
+    }
+}
+
+/// Writes `base/manifest.json` and `base/records.jsonl` in the exact
+/// format [`bcc_lab::RunStore`] uses, making `base` an ordinary run
+/// directory. The record log is written to a sibling and renamed so an
+/// interrupted merge can never leave a half-written canonical log.
+fn write_canonical_store(base: &Path, manifest: &str, records: &[PointRecord]) {
+    let manifest_path = base.join("manifest.json");
+    std::fs::write(&manifest_path, format!("{manifest}\n"))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", manifest_path.display()));
+    let mut log = String::new();
+    for record in records {
+        log.push_str(&encode_record(record));
+        log.push('\n');
+    }
+    let tmp_path = base.join("records.jsonl.tmp");
+    let log_path = base.join("records.jsonl");
+    std::fs::write(&tmp_path, log)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", tmp_path.display()));
+    std::fs::rename(&tmp_path, &log_path)
+        .unwrap_or_else(|e| panic!("cannot finalize {}: {e}", log_path.display()));
+}

@@ -1,0 +1,120 @@
+//! Cutting a grid into shards: contiguous, balanced point-id ranges.
+//!
+//! Shards are *contiguous* ranges of the canonical point-id order so a
+//! shard store is a prefix-free slice of the single-process log: the
+//! merge step can concatenate shard records in shard order and land in
+//! exactly the canonical order, and range-coverage checks are interval
+//! arithmetic instead of set reconciliation.
+
+use std::path::{Path, PathBuf};
+
+/// A partition of `0..grid_len` into contiguous shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    grid_len: usize,
+    /// Half-open `[start, end)` ranges, in order, covering `0..grid_len`.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Cuts `0..grid_len` into `shards` contiguous ranges whose sizes
+    /// differ by at most one (the first `grid_len % shards` ranges take
+    /// the extra point). Shards beyond the point count are dropped, so
+    /// every planned shard is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_len` or `shards` is zero.
+    pub fn cut(grid_len: usize, shards: usize) -> ShardPlan {
+        assert!(grid_len > 0, "cannot shard an empty grid");
+        assert!(shards > 0, "need at least one shard");
+        let shards = shards.min(grid_len);
+        let base = grid_len / shards;
+        let extra = grid_len % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for i in 0..shards {
+            let len = base + usize::from(i < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        debug_assert_eq!(start, grid_len);
+        ShardPlan { grid_len, ranges }
+    }
+
+    /// The grid length this plan partitions.
+    pub fn grid_len(&self) -> usize {
+        self.grid_len
+    }
+
+    /// The number of shards.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the plan has no shards (never true for a cut plan).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Shard `id`'s half-open point-id range.
+    pub fn range(&self, id: usize) -> (usize, usize) {
+        self.ranges[id]
+    }
+
+    /// The ranges in shard order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Shard `id`'s run directory under the coordinator's base directory.
+    pub fn dir(base: &Path, id: usize) -> PathBuf {
+        base.join(format!("shard-{id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_covers_exactly_and_balances() {
+        for grid_len in 1..40 {
+            for shards in 1..10 {
+                let plan = ShardPlan::cut(grid_len, shards);
+                assert_eq!(plan.len(), shards.min(grid_len));
+                let mut expect = 0;
+                let (mut min_len, mut max_len) = (usize::MAX, 0);
+                for &(start, end) in plan.ranges() {
+                    assert_eq!(start, expect, "gap or overlap at shard start");
+                    assert!(end > start, "empty shard");
+                    min_len = min_len.min(end - start);
+                    max_len = max_len.max(end - start);
+                    expect = end;
+                }
+                assert_eq!(expect, grid_len, "plan does not cover the grid");
+                assert!(max_len - min_len <= 1, "unbalanced: {plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_shards_come_first() {
+        let plan = ShardPlan::cut(10, 4);
+        assert_eq!(plan.ranges(), &[(0, 3), (3, 6), (6, 8), (8, 10)]);
+        assert_eq!(plan.range(2), (6, 8));
+        assert_eq!(plan.grid_len(), 10);
+    }
+
+    #[test]
+    fn shard_dirs_are_stable_names() {
+        let base = Path::new("target/lab/run");
+        assert_eq!(ShardPlan::dir(base, 3), Path::new("target/lab/run/shard-3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grids_rejected() {
+        let _ = ShardPlan::cut(0, 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! The coordinator/worker wire protocol: UTF-8 lines over TCP.
+//!
+//! The protocol is deliberately small and hand-rolled — one line per
+//! message, space-separated tokens, numbers in decimal — so there is no
+//! serialization dependency and every byte on the wire is inspectable
+//! with `nc`. The conversation:
+//!
+//! ```text
+//! C -> W   spec v=1 name=… workload=… … hb_ms=… dir=…   (on connect)
+//! W -> C   hello <scenario-fingerprint>                  (spec echo proof)
+//! W -> C   request                                       (repeatedly)
+//! C -> W   lease <shard> <start> <end>  |  wait <ms>  |  shutdown
+//! W -> C   heartbeat                                     (side thread; no reply)
+//! W -> C   complete <shard> <records-fingerprint>        (no reply)
+//! ```
+//!
+//! The spec line carries the *entire* scenario — axes, workload,
+//! precision with the tolerance as `f64::to_bits` so not even the last
+//! ulp can drift in transit — and the worker rebuilds it through
+//! [`bcc_lab::Scenario::builder`], re-running every validation check.
+//! The `hello` reply echoes the rebuilt scenario's fingerprint, so a
+//! codec bug (or a version-skewed worker) is caught at handshake time,
+//! before any lease is issued. Scenario names and fingerprints are
+//! space-free by construction ([`bcc_lab::Scenario`] restricts names to
+//! `[A-Za-z0-9._-]`; fingerprints are compact one-line JSON), so both
+//! ride as single tokens; the run directory may contain anything, so it
+//! is the final field and consumes the rest of its line.
+
+use std::path::{Path, PathBuf};
+
+use bcc_lab::{Scenario, Workload};
+
+/// Protocol version stamped into every spec line. A worker refuses a
+/// version it does not speak instead of guessing.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Coordinator-to-worker replies to `request`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToWorker {
+    /// Run shard `id`, grid points `start..end`.
+    Lease {
+        /// Shard id (names the `shard-<id>/` store).
+        id: usize,
+        /// First grid point id of the shard.
+        start: usize,
+        /// One past the last grid point id.
+        end: usize,
+    },
+    /// Nothing leasable right now (everything is leased out); ask again
+    /// in `ms` milliseconds.
+    Wait {
+        /// Suggested back-off before the next `request`.
+        ms: u64,
+    },
+    /// Every shard is done; disconnect.
+    Shutdown,
+}
+
+/// Worker-to-coordinator messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromWorker {
+    /// Handshake: the fingerprint of the scenario the worker rebuilt
+    /// from the spec line. Must equal the coordinator's own.
+    Hello {
+        /// The rebuilt scenario's [`Scenario::fingerprint`].
+        fingerprint: String,
+    },
+    /// Ask for a lease.
+    Request,
+    /// Keep-alive: refresh every lease this connection holds.
+    Heartbeat,
+    /// Shard `id` finished; `fingerprint` is
+    /// [`bcc_lab::records_fingerprint`] over its records in point order.
+    Complete {
+        /// The finished shard.
+        id: usize,
+        /// The worker-side record fingerprint, re-checked at merge.
+        fingerprint: u64,
+    },
+}
+
+impl ToWorker {
+    /// Renders the message as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            ToWorker::Lease { id, start, end } => format!("lease {id} {start} {end}"),
+            ToWorker::Wait { ms } => format!("wait {ms}"),
+            ToWorker::Shutdown => "shutdown".to_string(),
+        }
+    }
+
+    /// Parses one protocol line; `None` if malformed.
+    pub fn parse(line: &str) -> Option<ToWorker> {
+        let mut it = line.trim_end().split(' ');
+        let msg = match it.next()? {
+            "lease" => ToWorker::Lease {
+                id: it.next()?.parse().ok()?,
+                start: it.next()?.parse().ok()?,
+                end: it.next()?.parse().ok()?,
+            },
+            "wait" => ToWorker::Wait {
+                ms: it.next()?.parse().ok()?,
+            },
+            "shutdown" => ToWorker::Shutdown,
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None; // trailing tokens: not ours
+        }
+        Some(msg)
+    }
+}
+
+impl FromWorker {
+    /// Renders the message as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            FromWorker::Hello { fingerprint } => format!("hello {fingerprint}"),
+            FromWorker::Request => "request".to_string(),
+            FromWorker::Heartbeat => "heartbeat".to_string(),
+            FromWorker::Complete { id, fingerprint } => format!("complete {id} {fingerprint}"),
+        }
+    }
+
+    /// Parses one protocol line; `None` if malformed.
+    pub fn parse(line: &str) -> Option<FromWorker> {
+        let line = line.trim_end();
+        if let Some(fingerprint) = line.strip_prefix("hello ") {
+            if fingerprint.is_empty() || fingerprint.contains(' ') {
+                return None;
+            }
+            return Some(FromWorker::Hello {
+                fingerprint: fingerprint.to_string(),
+            });
+        }
+        let mut it = line.split(' ');
+        let msg = match it.next()? {
+            "request" => FromWorker::Request,
+            "heartbeat" => FromWorker::Heartbeat,
+            "complete" => FromWorker::Complete {
+                id: it.next()?.parse().ok()?,
+                fingerprint: it.next()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// Renders the spec line the coordinator sends on connect (no trailing
+/// newline): the whole scenario plus the heartbeat cadence and the base
+/// run directory.
+pub fn encode_spec(scenario: &Scenario, heartbeat_ms: u64, base_dir: &Path) -> String {
+    let join = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let grid = scenario.grid();
+    let (tag, members) = match scenario.workload() {
+        Workload::RankDistance { members } => ("rank_distance", members),
+        Workload::FindClique => ("find_clique", 0),
+        Workload::PrgThroughput => ("prg_throughput", 0),
+        Workload::WideMessages { members } => ("wide_messages", members),
+        Workload::WideMessagesSampled { members } => ("wide_messages_sampled", members),
+    };
+    let precision = scenario.precision();
+    format!(
+        "spec v={PROTOCOL_VERSION} name={} workload={tag} members={members} \
+         tol_bits={} initial={} max={} n={} k={} rounds={} bandwidth={} seeds={} \
+         hb_ms={heartbeat_ms} dir={}",
+        scenario.name(),
+        precision.tolerance.to_bits(),
+        precision.initial_samples,
+        precision.max_samples,
+        join(&grid.n.iter().map(|&x| x as u64).collect::<Vec<_>>()),
+        join(&grid.k.iter().map(|&x| u64::from(x)).collect::<Vec<_>>()),
+        join(
+            &grid
+                .rounds
+                .iter()
+                .map(|&x| u64::from(x))
+                .collect::<Vec<_>>()
+        ),
+        join(
+            &grid
+                .bandwidth
+                .iter()
+                .map(|&x| u64::from(x))
+                .collect::<Vec<_>>()
+        ),
+        join(&grid.seeds),
+        base_dir.display(),
+    )
+}
+
+/// Parses a spec line back into the scenario (rebuilt through the
+/// validating builder), the heartbeat cadence and the base directory.
+/// `None` for a malformed line or an unknown protocol version.
+///
+/// # Panics
+///
+/// Panics if the line is well-formed but describes a scenario the
+/// builder rejects — impossible for a spec encoded from a built
+/// [`Scenario`], so a panic here means the wire was corrupted in a way
+/// that still parses, and refusing loudly beats running the wrong sweep.
+pub fn decode_spec(line: &str) -> Option<(Scenario, u64, PathBuf)> {
+    let rest = line.trim_end().strip_prefix("spec ")?;
+    // `dir=` is the final field and may contain spaces: split it off
+    // before tokenizing the fixed-shape head.
+    let (head, dir) = rest.split_once(" dir=")?;
+    if dir.is_empty() {
+        return None;
+    }
+    let mut version = None;
+    let mut name = None;
+    let mut workload_tag = None;
+    let mut members = None;
+    let mut tol_bits = None;
+    let mut initial = None;
+    let mut max = None;
+    let mut axis_n = None;
+    let mut axis_k = None;
+    let mut axis_rounds = None;
+    let mut axis_bandwidth = None;
+    let mut axis_seeds = None;
+    let mut hb_ms = None;
+    for token in head.split(' ') {
+        let (key, value) = token.split_once('=')?;
+        match key {
+            "v" => version = Some(value.parse::<u32>().ok()?),
+            "name" => name = Some(value.to_string()),
+            "workload" => workload_tag = Some(value.to_string()),
+            "members" => members = Some(value.parse::<usize>().ok()?),
+            "tol_bits" => tol_bits = Some(value.parse::<u64>().ok()?),
+            "initial" => initial = Some(value.parse::<usize>().ok()?),
+            "max" => max = Some(value.parse::<usize>().ok()?),
+            "n" => axis_n = Some(parse_axis::<usize>(value)?),
+            "k" => axis_k = Some(parse_axis::<u32>(value)?),
+            "rounds" => axis_rounds = Some(parse_axis::<u32>(value)?),
+            "bandwidth" => axis_bandwidth = Some(parse_axis::<u32>(value)?),
+            "seeds" => axis_seeds = Some(parse_axis::<u64>(value)?),
+            "hb_ms" => hb_ms = Some(value.parse::<u64>().ok()?),
+            _ => return None, // unknown field: refuse, don't guess
+        }
+    }
+    if version? != PROTOCOL_VERSION {
+        return None;
+    }
+    let members = members?;
+    let workload = match workload_tag?.as_str() {
+        "rank_distance" => Workload::RankDistance { members },
+        "find_clique" => Workload::FindClique,
+        "prg_throughput" => Workload::PrgThroughput,
+        "wide_messages" => Workload::WideMessages { members },
+        "wide_messages_sampled" => Workload::WideMessagesSampled { members },
+        _ => return None,
+    };
+    let scenario = Scenario::builder(name?)
+        .workload(workload)
+        .n(&axis_n?)
+        .k(&axis_k?)
+        .rounds(&axis_rounds?)
+        .bandwidth(&axis_bandwidth?)
+        .seeds(&axis_seeds?)
+        .tolerance(f64::from_bits(tol_bits?))
+        .initial_samples(initial?)
+        .max_samples(max?)
+        .build();
+    Some((scenario, hb_ms?, PathBuf::from(dir)))
+}
+
+fn parse_axis<T: std::str::FromStr>(value: &str) -> Option<Vec<T>> {
+    value.split(',').map(|cell| cell.parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::builder("proto-rt")
+            .workload(Workload::RankDistance { members: 2 })
+            .n(&[64, 128])
+            .k(&[4])
+            .rounds(&[6, 8])
+            .seeds(&[1, 2, 3])
+            .tolerance(0.1) // not exactly representable: bitwise test
+            .initial_samples(256)
+            .max_samples(1 << 12)
+            .build()
+    }
+
+    #[test]
+    fn spec_round_trips_the_whole_scenario_bitwise() {
+        let s = scenario();
+        let line = encode_spec(&s, 250, Path::new("target/lab/proto-rt"));
+        let (back, hb_ms, dir) = decode_spec(&line).expect("own encoding decodes");
+        assert_eq!(back, s);
+        assert_eq!(back.fingerprint(), s.fingerprint());
+        assert_eq!(
+            back.precision().tolerance.to_bits(),
+            s.precision().tolerance.to_bits(),
+            "tolerance must survive the wire to the last ulp"
+        );
+        assert_eq!(hb_ms, 250);
+        assert_eq!(dir, Path::new("target/lab/proto-rt"));
+    }
+
+    #[test]
+    fn spec_round_trips_every_workload_tag() {
+        for workload in [
+            Workload::FindClique,
+            Workload::PrgThroughput,
+            Workload::WideMessages { members: 3 },
+            Workload::WideMessagesSampled { members: 3 },
+        ] {
+            let (n, k): (&[usize], &[u32]) = match workload {
+                Workload::FindClique => (&[32], &[6]),
+                Workload::PrgThroughput => (&[512], &[64]),
+                _ => (&[64], &[4]),
+            };
+            let s = Scenario::builder("proto-w")
+                .workload(workload)
+                .n(n)
+                .k(k)
+                .rounds(&[4])
+                .bandwidth(&[2])
+                .build();
+            let line = encode_spec(&s, 100, Path::new("d"));
+            let (back, _, _) = decode_spec(&line).expect("decodes");
+            assert_eq!(back, s, "workload {:?}", s.workload().tag());
+        }
+    }
+
+    #[test]
+    fn spec_dirs_with_spaces_survive() {
+        let s = scenario();
+        let line = encode_spec(&s, 100, Path::new("/tmp/run dir/with spaces"));
+        let (_, _, dir) = decode_spec(&line).expect("decodes");
+        assert_eq!(dir, Path::new("/tmp/run dir/with spaces"));
+    }
+
+    #[test]
+    fn malformed_and_foreign_specs_are_refused() {
+        let s = scenario();
+        let good = encode_spec(&s, 100, Path::new("d"));
+        assert!(decode_spec(&good).is_some());
+        assert!(decode_spec("spec v=999 dir=d").is_none(), "future version");
+        assert!(decode_spec(&good.replace("v=1", "v=2")).is_none());
+        assert!(decode_spec(&good.replace("workload=", "wl=")).is_none());
+        assert!(decode_spec("request").is_none());
+        assert!(decode_spec("").is_none());
+        let no_dir = good.split(" dir=").next().unwrap();
+        assert!(decode_spec(no_dir).is_none(), "missing dir");
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        let msgs = [
+            ToWorker::Lease {
+                id: 3,
+                start: 12,
+                end: 17,
+            },
+            ToWorker::Wait { ms: 250 },
+            ToWorker::Shutdown,
+        ];
+        for m in msgs {
+            assert_eq!(ToWorker::parse(&m.encode()), Some(m));
+        }
+        let msgs = [
+            FromWorker::Hello {
+                fingerprint: "{\"format\":1}".into(),
+            },
+            FromWorker::Request,
+            FromWorker::Heartbeat,
+            FromWorker::Complete {
+                id: 2,
+                fingerprint: u64::MAX,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(FromWorker::parse(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn malformed_control_messages_are_refused() {
+        assert!(ToWorker::parse("lease 1").is_none());
+        assert!(ToWorker::parse("lease 1 2 3 4").is_none());
+        assert!(ToWorker::parse("grant 1 2 3").is_none());
+        assert!(ToWorker::parse("").is_none());
+        assert!(FromWorker::parse("complete 1").is_none());
+        assert!(FromWorker::parse("complete 1 2 3").is_none());
+        assert!(FromWorker::parse("hello ").is_none());
+        assert!(FromWorker::parse("hello a b").is_none());
+        assert!(FromWorker::parse("shutdown").is_none(), "wrong direction");
+    }
+}

@@ -1,0 +1,234 @@
+//! The worker loop: lease, sweep, report, repeat.
+//!
+//! A worker is a thin shell around [`bcc_lab::run_sweep_subset`]: it
+//! rebuilds the scenario from the coordinator's spec line (re-running
+//! every builder validation), proves the rebuild with a fingerprint
+//! handshake, then requests leases until told to shut down. Each leased
+//! shard runs into its own `shard-<id>/` run directory — an ordinary
+//! `bcc-lab` store, so a shard abandoned half-done by a previous
+//! (killed) leaseholder is healed and resumed by the standard store
+//! machinery, not by anything shard-specific.
+//!
+//! A side thread heartbeats on the same socket so leases stay fresh
+//! while the main thread is deep inside a sweep. Both threads serialize
+//! their writes through one mutex: protocol lines must hit the wire
+//! whole, and two threads writing one socket unsynchronized could
+//! interleave mid-line.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bcc_lab::{records_fingerprint, run_sweep_subset};
+
+use crate::plan::ShardPlan;
+use crate::protocol::{decode_spec, FromWorker, ToWorker};
+
+/// A deliberately injected failure, for kill drills: the fault machinery
+/// lives in the worker so drills exercise the *real* code path (a lease
+/// held, records flushed, a torn final line, a dead process) instead of
+/// a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// On the first lease: complete `points` of the shard's grid points
+    /// normally (flushing their records), append a torn half-line to the
+    /// shard log — the exact on-disk signature of a process killed
+    /// mid-write — and abort without reporting completion.
+    AbortMidShard {
+        /// How many of the leased points to finish before dying.
+        points: usize,
+    },
+}
+
+impl FaultPlan {
+    /// Parses the `BCC_SHARD_FAULT` environment convention used by the
+    /// `bcc-shard-worker` binary: `abort-after=<points>`.
+    pub fn from_env_str(value: &str) -> Option<FaultPlan> {
+        let points = value.strip_prefix("abort-after=")?.parse().ok()?;
+        Some(FaultPlan::AbortMidShard { points })
+    }
+}
+
+/// Worker-side knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerConfig {
+    /// Optional injected failure (kill drills only).
+    pub fault: Option<FaultPlan>,
+}
+
+/// Runs the worker loop against the coordinator at `addr`
+/// (`host:port`), blocking until the coordinator shuts this worker down
+/// or the connection is lost.
+///
+/// # Errors
+///
+/// Returns an error if the coordinator cannot be reached (after a short
+/// connect-retry window), closes the connection early, or speaks a
+/// protocol this worker does not understand.
+///
+/// # Panics
+///
+/// Panics where the sweep machinery panics: IO failures under the shard
+/// store, or a shard directory whose manifest belongs to a different
+/// scenario.
+pub fn run_worker(addr: &str, config: WorkerConfig) -> std::io::Result<()> {
+    let stream = connect_with_retry(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let writer = Arc::new(Mutex::new(stream));
+
+    let spec_line = read_line(&mut reader)?;
+    let (scenario, hb_ms, base_dir) = decode_spec(&spec_line).ok_or_else(|| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("unintelligible spec line: {spec_line:?}"),
+        )
+    })?;
+    // The handshake proves the codec: the coordinator checks this
+    // fingerprint against its own before issuing any lease.
+    send(
+        &writer,
+        &FromWorker::Hello {
+            fingerprint: scenario.fingerprint(),
+        }
+        .encode(),
+    )?;
+
+    // Keep leases fresh while the main thread sweeps. The thread wakes
+    // often enough to notice shutdown promptly even at slow cadences.
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(hb_ms.clamp(10, 1_000));
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if send(&writer, &FromWorker::Heartbeat.encode()).is_err() {
+                    break; // connection gone; the main thread will notice
+                }
+            }
+        })
+    };
+
+    let result = lease_loop(&scenario, &base_dir, config, &mut reader, &writer);
+    stop.store(true, Ordering::Relaxed);
+    let _ = heartbeat.join();
+    result
+}
+
+fn lease_loop(
+    scenario: &bcc_lab::Scenario,
+    base_dir: &std::path::Path,
+    config: WorkerConfig,
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> std::io::Result<()> {
+    loop {
+        send(writer, &FromWorker::Request.encode())?;
+        let line = read_line(reader)?;
+        let reply = ToWorker::parse(&line).ok_or_else(|| {
+            std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unintelligible coordinator reply: {line:?}"),
+            )
+        })?;
+        match reply {
+            ToWorker::Lease { id, start, end } => {
+                let ids: Vec<usize> = (start..end).collect();
+                let shard_dir = ShardPlan::dir(base_dir, id);
+                if let Some(FaultPlan::AbortMidShard { points }) = config.fault {
+                    die_mid_shard(scenario, &shard_dir, &ids, points);
+                }
+                let result = run_sweep_subset(scenario, Some(&shard_dir), &ids);
+                let fingerprint = records_fingerprint(&result.records);
+                send(writer, &FromWorker::Complete { id, fingerprint }.encode())?;
+            }
+            ToWorker::Wait { ms } => {
+                std::thread::sleep(Duration::from_millis(ms.clamp(1, 1_000)));
+            }
+            ToWorker::Shutdown => return Ok(()),
+        }
+    }
+}
+
+/// The kill drill's scripted death: finish a prefix of the lease so the
+/// shard store holds real flushed records, tear the log the way a
+/// mid-`write(2)` kill would, and abort — no `complete`, no socket
+/// shutdown courtesy, no destructors.
+fn die_mid_shard(
+    scenario: &bcc_lab::Scenario,
+    shard_dir: &std::path::Path,
+    ids: &[usize],
+    points: usize,
+) -> ! {
+    let keep = points.min(ids.len());
+    let _ = run_sweep_subset(scenario, Some(shard_dir), &ids[..keep]);
+    let log_path = shard_dir.join("records.jsonl");
+    let mut log = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&log_path)
+        .unwrap_or_else(|e| panic!("cannot tear {}: {e}", log_path.display()));
+    log.write_all(b"{\"point_id\":9999999,\"n\":")
+        .expect("cannot write torn line");
+    log.flush().expect("cannot flush torn line");
+    std::process::abort();
+}
+
+fn connect_with_retry(addr: &str) -> std::io::Result<TcpStream> {
+    let mut last_err = None;
+    for _ in 0..100 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                // A worker abandoned by its coordinator should fail out,
+                // not block on read forever.
+                stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err(last_err.unwrap_or_else(|| ErrorKind::ConnectionRefused.into()))
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, line: &str) -> std::io::Result<()> {
+    let mut guard = writer.lock().expect("socket writer mutex poisoned");
+    guard.write_all(line.as_bytes())?;
+    guard.write_all(b"\n")?;
+    guard.flush()
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ErrorKind::UnexpectedEof.into());
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_parse_from_the_env_convention() {
+        assert_eq!(
+            FaultPlan::from_env_str("abort-after=3"),
+            Some(FaultPlan::AbortMidShard { points: 3 })
+        );
+        assert_eq!(
+            FaultPlan::from_env_str("abort-after=0"),
+            Some(FaultPlan::AbortMidShard { points: 0 })
+        );
+        assert!(FaultPlan::from_env_str("abort-after=").is_none());
+        assert!(FaultPlan::from_env_str("explode").is_none());
+        assert!(FaultPlan::from_env_str("").is_none());
+    }
+}

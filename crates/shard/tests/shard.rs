@@ -1,0 +1,260 @@
+//! End-to-end sharded-sweep tests: coordinator + workers against a
+//! single-process reference, including the kill-a-worker drill.
+//!
+//! The central assertion everywhere: [`bcc_lab::records_fingerprint`]
+//! over the merged records equals the single-process sweep's — the
+//! deterministic projection of every record, bit for bit, no matter how
+//! leases bounced or how a worker died.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bcc_lab::{records_fingerprint, PointRecord, Scenario, Workload};
+use bcc_shard::{merge_shards, run_worker, ShardConfig, ShardPlan, ShardServer, WorkerConfig};
+
+/// A fresh directory under the system temp dir (no tempfile crate in the
+/// hermetic workspace); removed by the returned guard.
+fn scratch_dir(tag: &str) -> (PathBuf, DirGuard) {
+    // bcc-lint: allow(no-global-mutable-state, reason = "scratch-dir uniquifier for parallel test processes; never observed by estimates")
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bcc-shard-test-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    (dir.clone(), DirGuard(dir))
+}
+
+struct DirGuard(PathBuf);
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn scenario(name: &str) -> Scenario {
+    Scenario::builder(name)
+        .workload(Workload::RankDistance { members: 2 })
+        .n(&[128, 256])
+        .k(&[4])
+        .rounds(&[6])
+        .seeds(&[1, 2, 3, 4])
+        .tolerance(0.35)
+        .initial_samples(128)
+        .max_samples(1 << 12)
+        .build()
+}
+
+fn test_config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        heartbeat_ms: 50,
+        lease_timeout_ms: 1_000,
+        wait_ms: 20,
+        stall_timeout_ms: 30_000,
+    }
+}
+
+/// Per-record bitwise comparison (sharper than the fingerprint alone
+/// when it fails): every field except the honest wall-clock one.
+fn assert_records_bitwise_equal(merged: &[PointRecord], reference: &[PointRecord]) {
+    assert_eq!(merged.len(), reference.len());
+    for (m, r) in merged.iter().zip(reference) {
+        assert_eq!(m.point_id, r.point_id);
+        assert_eq!(
+            m.estimate.to_bits(),
+            r.estimate.to_bits(),
+            "point {} estimate differs from the single-process run",
+            m.point_id
+        );
+        assert_eq!(m.noise_floor.to_bits(), r.noise_floor.to_bits());
+        assert_eq!(m.samples, r.samples);
+        assert_eq!(m.met_tolerance, r.met_tolerance);
+        assert_eq!(
+            (m.n, m.k, m.rounds, m.bandwidth, m.seed),
+            (r.n, r.k, r.rounds, r.bandwidth, r.seed)
+        );
+    }
+}
+
+#[test]
+fn two_workers_match_the_single_process_sweep_bitwise() {
+    let s = scenario("shard-clean");
+    let reference = s.sweep_ephemeral();
+    let reference_fp = records_fingerprint(&reference.records);
+
+    let (base, _guard) = scratch_dir("clean");
+    let server = ShardServer::bind(&s, &base, test_config(4));
+    assert_eq!(server.plan().len(), 4);
+    let addr = server.addr();
+    let outcome = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || run_worker(&addr, WorkerConfig::default()))
+            })
+            .collect();
+        let outcome = server.run();
+        for w in workers {
+            w.join()
+                .expect("worker thread panicked")
+                .expect("worker errored");
+        }
+        outcome
+    });
+
+    assert_eq!(outcome.fingerprint, reference_fp);
+    assert_records_bitwise_equal(&outcome.records, &reference.records);
+    assert_eq!(outcome.leases_issued, 4);
+    assert_eq!(outcome.lease_steals, 0);
+    assert!(outcome.workers_served >= 1, "at least one worker served");
+    assert_eq!(outcome.healed_lines, 0);
+    assert_eq!(outcome.resumed_records, 0);
+
+    // The merged directory is an ordinary run directory: re-running the
+    // scenario over it resumes every point and recomputes nothing.
+    let rerun = s.sweep_in(&base);
+    assert_eq!(rerun.resumed, s.grid().len());
+    assert_eq!(rerun.computed, 0);
+    assert_eq!(records_fingerprint(&rerun.records), reference_fp);
+
+    // The merged work counters equal a single-process sweep's: every
+    // point's deterministic work was counted exactly once, by whichever
+    // shard computed it. (Only work counters named by the sweep itself
+    // are compared; process-global deltas need a quiet process, which a
+    // multi-test binary is not.)
+    let sum_of = |snap: &bcc_obs::Snapshot, name: &str| {
+        snap.work
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert_eq!(
+        sum_of(&outcome.metrics, "lab.points_computed"),
+        sum_of(&reference.metrics, "lab.points_computed")
+    );
+}
+
+#[test]
+fn killed_worker_is_stolen_healed_and_bitwise_identical() {
+    let s = scenario("shard-drill");
+    let reference = s.sweep_ephemeral();
+    let reference_fp = records_fingerprint(&reference.records);
+
+    let (base, _guard) = scratch_dir("drill");
+    // Two shards of four points each: the faulty worker completes one
+    // point of shard 0, tears the log mid-line, and aborts.
+    let server = ShardServer::bind(&s, &base, test_config(2));
+    let addr = server.addr();
+    let outcome = std::thread::scope(|scope| {
+        let coordinator = scope.spawn(move || server.run());
+        // Phase 1: only the faulty worker exists, so it must be the one
+        // that leases shard 0. Wait for its death before starting the
+        // healthy worker — on one core nothing else is concurrent.
+        let status = std::process::Command::new(env!("CARGO_BIN_EXE_bcc-shard-worker"))
+            .arg(&addr)
+            .env("BCC_SHARD_FAULT", "abort-after=1")
+            .status()
+            .expect("cannot spawn faulty worker");
+        assert!(
+            !status.success(),
+            "the faulty worker is scripted to abort, not exit cleanly"
+        );
+        let torn_log = std::fs::read_to_string(ShardPlan::dir(&base, 0).join("records.jsonl"))
+            .expect("faulty worker must have left a shard log");
+        assert!(
+            !torn_log.ends_with('\n'),
+            "the faulty worker must leave a torn final line"
+        );
+        // Phase 2: a healthy worker steals the abandoned lease, heals
+        // the torn store, resumes the flushed record and finishes.
+        let healthy = scope.spawn(|| run_worker(&addr, WorkerConfig::default()));
+        let outcome = coordinator.join().expect("coordinator panicked");
+        healthy
+            .join()
+            .expect("healthy worker panicked")
+            .expect("healthy worker errored");
+        outcome
+    });
+
+    assert_eq!(outcome.fingerprint, reference_fp);
+    assert_records_bitwise_equal(&outcome.records, &reference.records);
+    assert!(
+        outcome.lease_steals >= 1,
+        "the dead worker's lease must be reclaimed"
+    );
+    assert!(
+        outcome.leases_issued >= 3,
+        "shard 0 must be issued twice (2 shards + 1 re-issue)"
+    );
+    assert_eq!(outcome.workers_served, 2);
+    assert!(
+        outcome.healed_lines >= 1,
+        "the torn line must be healed by the thief"
+    );
+    assert!(
+        outcome.resumed_records >= 1,
+        "the flushed record must resume, not recompute"
+    );
+}
+
+#[test]
+#[should_panic(expected = "belongs to a different scenario")]
+fn merge_refuses_a_shard_store_from_a_different_scenario() {
+    let ours = scenario("merge-ours");
+    let foreign = Scenario::builder("merge-foreign")
+        .workload(Workload::RankDistance { members: 3 })
+        .n(&[128, 256])
+        .k(&[4])
+        .rounds(&[6])
+        .seeds(&[1, 2, 3, 4])
+        .tolerance(0.35)
+        .initial_samples(128)
+        .max_samples(1 << 12)
+        .build();
+    let (base, _guard) = scratch_dir("foreign");
+    let plan = ShardPlan::cut(ours.grid().len(), 2);
+    // Fill both shard stores from the *foreign* scenario.
+    for (id, &(start, end)) in plan.ranges().iter().enumerate() {
+        let ids: Vec<usize> = (start..end).collect();
+        bcc_lab::run_sweep_subset(&foreign, Some(&ShardPlan::dir(&base, id)), &ids);
+    }
+    let _ = merge_shards(&ours, &base, &plan, &[0, 0]);
+}
+
+#[test]
+#[should_panic(expected = "does not cover exactly")]
+fn merge_refuses_an_incomplete_shard_store() {
+    let s = scenario("merge-short");
+    let (base, _guard) = scratch_dir("short");
+    let plan = ShardPlan::cut(s.grid().len(), 2);
+    let mut reported = Vec::new();
+    for (id, &(start, end)) in plan.ranges().iter().enumerate() {
+        // Shard 1 is one point short of its planned range.
+        let ids: Vec<usize> = (start..end - id).collect();
+        let result = bcc_lab::run_sweep_subset(&s, Some(&ShardPlan::dir(&base, id)), &ids);
+        reported.push(records_fingerprint(&result.records));
+    }
+    let _ = merge_shards(&s, &base, &plan, &reported);
+}
+
+#[test]
+#[should_panic(expected = "worker reported")]
+fn merge_refuses_a_store_that_disagrees_with_the_reported_fingerprint() {
+    let s = scenario("merge-tamper");
+    let (base, _guard) = scratch_dir("tamper");
+    let plan = ShardPlan::cut(s.grid().len(), 2);
+    let mut reported = Vec::new();
+    for (id, &(start, end)) in plan.ranges().iter().enumerate() {
+        let ids: Vec<usize> = (start..end).collect();
+        let result = bcc_lab::run_sweep_subset(&s, Some(&ShardPlan::dir(&base, id)), &ids);
+        reported.push(records_fingerprint(&result.records));
+    }
+    // Tamper: claim shard 1 reported a different fingerprint.
+    reported[1] ^= 1;
+    let _ = merge_shards(&s, &base, &plan, &reported);
+}
