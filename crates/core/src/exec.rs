@@ -47,16 +47,18 @@ use rand_chacha::ChaCha12Rng;
 use rayon::prelude::*;
 
 use bcc_obs::{Class, Span};
+use bcc_stats::smoothing;
 
 use crate::engine::{exact_mixture_comparison_mode, SpeakerStats};
 use crate::input::ProductInput;
 use crate::sample::{
     collect_sorted_keys, collect_sorted_wide_keys, merge_sorted_k_u64, merge_sorted_u64,
-    radix_sort_u64, sorted_support_union, sorted_tv_at_depth,
+    radix_sort_u64, sorted_depth_stats, sorted_support_union, sorted_tv_at_depth,
 };
 use crate::wide::exact_wide_comparison_mode;
 
 pub use crate::engine::ExecMode;
+pub use bcc_stats::smoothing::TvEstimator;
 
 /// Derives the seed of an independent child stream from a root seed and a
 /// stream index (a SplitMix64 step and finalizer).
@@ -88,6 +90,18 @@ pub enum Provenance {
         samples_per_side: usize,
         /// Distinct transcripts observed across all sides.
         support_seen: usize,
+        /// Distinct prefix groups in the mixture ∪ baseline union at
+        /// each depth `0 ..= horizon` — the depth-resolved analogue of
+        /// `support_seen` (whose value it reaches at the full horizon).
+        support_by_depth: Vec<usize>,
+        /// Per depth, the number of prefix groups whose **combined**
+        /// multiplicity across both sides is exactly 1, counted on the
+        /// mixture side — the Good–Turing unresolved-mass witnesses.
+        mixture_singletons_by_depth: Vec<usize>,
+        /// As above, counted on the baseline side.
+        baseline_singletons_by_depth: Vec<usize>,
+        /// Which TV estimator produced `mixture_tv_by_depth`.
+        estimator: TvEstimator,
     },
 }
 
@@ -140,24 +154,136 @@ impl DepthProfile {
         matches!(self.provenance, Provenance::Exact)
     }
 
-    /// The statistical resolution of the estimate: `0` for exact runs,
-    /// the plug-in histogram scale `sqrt(support / samples)` for sampled
-    /// runs — and [`f64::INFINITY`] for a sampled run with no samples.
-    /// Distances below this are indistinguishable from zero.
+    /// The statistical resolution of the estimate over the **whole**
+    /// profile: `0` for exact runs; for sampled runs the worst per-depth
+    /// floor, which (supports grow with depth) is
+    /// [`DepthProfile::noise_floor_at`] at the full horizon — the
+    /// plug-in histogram scale `sqrt(support / samples)` clamped to 1
+    /// (TV is bounded by 1, so a floor above 1 says nothing a floor of
+    /// exactly 1 does not). [`f64::INFINITY`] only for a sampled run
+    /// with no samples at all. Distances below this are
+    /// indistinguishable from zero.
     pub fn noise_floor(&self) -> f64 {
         match self.provenance {
             Provenance::Exact => 0.0,
+            Provenance::Sampled { .. } => self.noise_floor_at(self.horizon),
+        }
+    }
+
+    /// The depth-resolved noise floor at prefix depth `t`: the
+    /// statistical resolution of `mixture_tv_by_depth[t]` alone. Exact
+    /// runs resolve every depth perfectly (0). For plug-in sampled runs
+    /// this is `min(1, sqrt(support_t / samples))`; for smoothed
+    /// profiles ([`DepthProfile::smoothed`]) it is the Good–Turing scale
+    /// — the fluctuation of the *resolved* support plus the singleton
+    /// correction — never above the plug-in floor at the same depth.
+    /// [`f64::INFINITY`] only when there are no samples.
+    ///
+    /// Floors are nondecreasing in `t` (a deeper prefix never has fewer
+    /// distinct groups), so shallow depths of a profile whose full
+    /// horizon saturated can still be honestly resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > horizon`.
+    pub fn noise_floor_at(&self, t: u32) -> f64 {
+        assert!(
+            t <= self.horizon,
+            "depth {t} beyond horizon {}",
+            self.horizon
+        );
+        match &self.provenance {
+            Provenance::Exact => 0.0,
             Provenance::Sampled {
                 samples_per_side,
-                support_seen,
+                support_by_depth,
+                mixture_singletons_by_depth,
+                baseline_singletons_by_depth,
+                estimator,
+                ..
             } => {
-                if samples_per_side == 0 {
-                    f64::INFINITY
-                } else {
-                    (support_seen as f64 / samples_per_side as f64).sqrt()
+                if *samples_per_side == 0 {
+                    return f64::INFINITY;
+                }
+                let support = support_by_depth[t as usize];
+                let plugin = (support as f64 / *samples_per_side as f64).sqrt().min(1.0);
+                match estimator {
+                    TvEstimator::PlugIn => plugin,
+                    TvEstimator::Smoothed => {
+                        let n1 = mixture_singletons_by_depth[t as usize]
+                            + baseline_singletons_by_depth[t as usize];
+                        let resolved = support - n1;
+                        smoothing::smoothed_floor(
+                            resolved,
+                            *samples_per_side,
+                            self.singleton_correction_at(t),
+                        )
+                        .min(plugin)
+                    }
                 }
             }
         }
+    }
+
+    /// The deepest prefix depth whose noise floor meets `tolerance` —
+    /// what the estimate honestly resolved, even when the full horizon
+    /// saturated. Exact runs resolve everything (`horizon`); a sampled
+    /// run too starved to resolve even depth 0 reports 0.
+    pub fn resolved_horizon(&self, tolerance: f64) -> u32 {
+        match self.provenance {
+            Provenance::Exact => self.horizon,
+            Provenance::Sampled { .. } => (0..=self.horizon)
+                .rev()
+                .find(|&t| self.noise_floor_at(t) <= tolerance)
+                .unwrap_or(0),
+        }
+    }
+
+    /// The Good–Turing singleton correction at depth `t`: the exact
+    /// plug-in TV inflation contributed by combined singletons
+    /// ([`smoothing::singleton_correction`] over the mixture's `m·N`
+    /// draws and the baseline's `N`). Zero for exact runs.
+    fn singleton_correction_at(&self, t: u32) -> f64 {
+        match &self.provenance {
+            Provenance::Exact => 0.0,
+            Provenance::Sampled {
+                samples_per_side,
+                mixture_singletons_by_depth,
+                baseline_singletons_by_depth,
+                ..
+            } => {
+                let m = self.per_member_tv.len();
+                smoothing::singleton_correction(
+                    mixture_singletons_by_depth[t as usize],
+                    m * samples_per_side,
+                    baseline_singletons_by_depth[t as usize],
+                    *samples_per_side,
+                )
+            }
+        }
+    }
+
+    /// The Good–Turing smoothed view of this profile: every depth's
+    /// mixture TV is corrected by exactly the plug-in inflation its
+    /// combined singletons cause ([`smoothing::smoothed_tv`]), and the
+    /// provenance is retagged [`TvEstimator::Smoothed`] so
+    /// [`DepthProfile::noise_floor_at`] reports the smoothed scale. The
+    /// progress function and per-member distances stay plug-in — only
+    /// the headline mixture distance has a singleton decomposition.
+    /// Exact profiles need no smoothing and come back unchanged.
+    pub fn smoothed(&self) -> DepthProfile {
+        let mut out = self.clone();
+        if let Provenance::Sampled { estimator, .. } = &mut out.provenance {
+            *estimator = TvEstimator::Smoothed;
+        } else {
+            return out;
+        }
+        for t in 0..=self.horizon {
+            let correction = self.singleton_correction_at(t);
+            out.mixture_tv_by_depth[t as usize] =
+                smoothing::smoothed_tv(self.mixture_tv_by_depth[t as usize], correction);
+        }
+        out
     }
 }
 
@@ -717,6 +843,10 @@ fn profile_from_sorted_sides(
         })
         .collect();
     let support_seen = sorted_support_union(mixture_keys, base_keys);
+    // Unused low key bits are zero, so the deepest entry of the
+    // per-depth walk equals the full-key union above.
+    let depth_stats = sorted_depth_stats(mixture_keys, base_keys, horizon, bits_per_turn);
+    debug_assert_eq!(*depth_stats.support.last().expect("depth 0"), support_seen);
 
     DepthProfile {
         horizon,
@@ -727,6 +857,10 @@ fn profile_from_sorted_sides(
         provenance: Provenance::Sampled {
             samples_per_side: samples,
             support_seen,
+            support_by_depth: depth_stats.support,
+            mixture_singletons_by_depth: depth_stats.singletons_a,
+            baseline_singletons_by_depth: depth_stats.singletons_b,
+            estimator: TvEstimator::PlugIn,
         },
     }
 }
@@ -769,9 +903,11 @@ pub struct AdaptiveReport {
 /// Samples in seeded batches of geometrically growing budget — starting
 /// at `initial_samples`, at least doubling each batch, and jumping
 /// straight to the budget the observed support projects
-/// (`support_seen / tolerance²`) when that is larger — until
-/// [`DepthProfile::noise_floor`] is at most `tolerance` or the budget
-/// reaches `max_samples_per_side`.
+/// (`support_seen / tolerance²`, or the required depth's support under a
+/// [truncated target](AdaptiveEstimator::truncated_target)) when that is
+/// larger — until [`DepthProfile::noise_floor`] (or the floor at the
+/// required depth) is at most `tolerance` or the budget reaches
+/// `max_samples_per_side`.
 ///
 /// Batches are **incremental**: every side keeps its ChaCha stream and
 /// its sorted key array alive across batches, a grown budget draws only
@@ -802,6 +938,16 @@ pub struct AdaptiveEstimator {
     pub seed: u64,
     /// How per-side sampling executes within each batch.
     pub mode: ExecMode,
+    /// When set, the stopping rule and budget projection target the
+    /// deepest **resolvable** prefix instead of the full horizon: the
+    /// run stops once [`DepthProfile::noise_floor_at`] meets the
+    /// tolerance at the deepest depth whose observed support the hard
+    /// cap can resolve (`support_t ≤ tolerance² · max_samples_per_side`),
+    /// and the support projection uses that depth's support instead of
+    /// the full-horizon `support_seen` — so a saturated deep tail can
+    /// no longer force the budget to the cap. Off by default: the legacy
+    /// full-horizon rule is bitwise untouched.
+    pub truncated_target: bool,
 }
 
 impl AdaptiveEstimator {
@@ -831,7 +977,37 @@ impl AdaptiveEstimator {
             max_samples_per_side,
             seed,
             mode: ExecMode::Parallel,
+            truncated_target: false,
         }
+    }
+
+    /// Returns this estimator with the truncated-depth target switched
+    /// on (see [`AdaptiveEstimator::truncated_target`]).
+    pub fn with_truncated_target(mut self) -> Self {
+        self.truncated_target = true;
+        self
+    }
+
+    /// The deepest prefix depth the truncated target requires: the
+    /// deepest depth whose observed support is resolvable within the
+    /// hard cap (`support_t ≤ tolerance² · max_samples_per_side`).
+    /// `None` when the target is a legacy full-horizon one, the
+    /// tolerance is non-positive, or not even depth 0 qualifies.
+    fn required_depth(&self, profile: &DepthProfile) -> Option<u32> {
+        if !self.truncated_target || self.tolerance <= 0.0 {
+            return None;
+        }
+        let Provenance::Sampled {
+            ref support_by_depth,
+            ..
+        } = profile.provenance
+        else {
+            return None;
+        };
+        let resolvable = self.tolerance * self.tolerance * self.max_samples_per_side as f64;
+        (0..=profile.horizon)
+            .rev()
+            .find(|&t| support_by_depth[t as usize] as f64 <= resolvable)
     }
 
     /// [`Estimator::estimate`] plus the [`AdaptiveReport`] saying how the
@@ -1001,8 +1177,13 @@ impl AdaptiveEstimator {
                 &mixture,
             );
             drop(batch_span);
-            let floor = profile.noise_floor();
-            let met = floor <= self.tolerance;
+            // The truncated target asks only that the deepest
+            // cap-resolvable prefix meet the tolerance; the default asks
+            // the whole horizon to.
+            let met = match self.required_depth(&profile) {
+                Some(t_req) => profile.noise_floor_at(t_req) <= self.tolerance,
+                None => profile.noise_floor() <= self.tolerance,
+            };
             if met || samples >= self.max_samples_per_side {
                 let report = AdaptiveReport {
                     batches,
@@ -1039,10 +1220,21 @@ impl AdaptiveEstimator {
             // floor = sqrt(support / samples), so the support seen at this
             // budget projects the budget the tolerance needs. The support
             // itself can still grow, hence the loop; doubling guarantees
-            // progress when the projection stalls.
+            // progress when the projection stalls. A truncated target
+            // projects from the support at the deepest depth it actually
+            // requires — the full-horizon support may be inflated by
+            // depths no budget under the cap could ever resolve.
             let projected = match profile.provenance {
-                Provenance::Sampled { support_seen, .. } if self.tolerance > 0.0 => {
-                    (support_seen as f64 / (self.tolerance * self.tolerance)).ceil() as usize
+                Provenance::Sampled {
+                    support_seen,
+                    ref support_by_depth,
+                    ..
+                } if self.tolerance > 0.0 => {
+                    let support = match self.required_depth(&profile) {
+                        Some(t_req) => support_by_depth[t_req as usize],
+                        None => support_seen,
+                    };
+                    (support as f64 / (self.tolerance * self.tolerance)).ceil() as usize
                 }
                 _ => usize::MAX,
             };
@@ -1330,6 +1522,216 @@ mod tests {
                 samples_per_side, ..
             } => assert_eq!(samples_per_side, 400),
             Provenance::Exact => panic!("adaptive runs are sampled"),
+        }
+    }
+
+    #[test]
+    fn noise_floor_is_clamped_to_the_tv_bound() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        // A starved budget: the union support across three sides of 8
+        // samples each exceeds the per-side budget, so the unclamped
+        // plug-in scale sqrt(support / 8) would sit above 1 — vacuous
+        // for a distance bounded by 1.
+        let profile = SampledEstimator::new(8, 0xC1A).estimate_full(&p, &members, &baseline);
+        let Provenance::Sampled {
+            samples_per_side,
+            support_seen,
+            ..
+        } = profile.provenance
+        else {
+            panic!("sampled run");
+        };
+        assert!(
+            (support_seen as f64 / samples_per_side as f64).sqrt() > 1.0,
+            "want a saturated support for this test: {support_seen} over {samples_per_side}"
+        );
+        assert_eq!(profile.noise_floor(), 1.0, "clamped, not saturated");
+        for t in 0..=profile.horizon {
+            assert!(profile.noise_floor_at(t) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_sample_provenance_floors_stay_infinite() {
+        // Degenerate provenance (constructed directly; the estimators
+        // reject samples == 0): the floors must be +inf, not NaN or a
+        // clamped 1 pretending information exists.
+        let profile = DepthProfile {
+            horizon: 1,
+            mixture_tv_by_depth: vec![0.0, 0.0],
+            progress_by_depth: vec![0.0, 0.0],
+            per_member_tv: vec![0.0],
+            speaker_stats: Vec::new(),
+            provenance: Provenance::Sampled {
+                samples_per_side: 0,
+                support_seen: 0,
+                support_by_depth: vec![0, 0],
+                mixture_singletons_by_depth: vec![0, 0],
+                baseline_singletons_by_depth: vec![0, 0],
+                estimator: TvEstimator::PlugIn,
+            },
+        };
+        assert_eq!(profile.noise_floor(), f64::INFINITY);
+        assert_eq!(profile.noise_floor_at(0), f64::INFINITY);
+        assert_eq!(profile.resolved_horizon(0.5), 0);
+    }
+
+    #[test]
+    fn depth_floors_are_monotone_and_bound_the_headline_floor() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let profile = SampledEstimator::new(2_000, 0x0DD).estimate_full(&p, &members, &baseline);
+        for t in 1..=profile.horizon {
+            assert!(
+                profile.noise_floor_at(t) >= profile.noise_floor_at(t - 1),
+                "floors must be nondecreasing in depth"
+            );
+        }
+        assert_eq!(
+            profile.noise_floor(),
+            profile.noise_floor_at(profile.horizon),
+            "the headline floor is the deepest depth's"
+        );
+        // Depth 0 is a single group: essentially free to resolve.
+        assert!(profile.noise_floor_at(0) < 0.05);
+    }
+
+    #[test]
+    fn resolved_horizon_is_the_deepest_depth_meeting_the_tolerance() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let profile = SampledEstimator::new(64, 0xFAB).estimate_full(&p, &members, &baseline);
+        // Pick a tolerance strictly between the shallowest and deepest
+        // floors so the resolved horizon is a proper prefix.
+        let tol = (profile.noise_floor_at(0) + profile.noise_floor()) / 2.0;
+        let resolved = profile.resolved_horizon(tol);
+        assert!(resolved < profile.horizon, "want a truncating tolerance");
+        for t in 0..=resolved {
+            assert!(profile.noise_floor_at(t) <= tol);
+        }
+        assert!(profile.noise_floor_at(resolved + 1) > tol);
+        // Exact profiles resolve everything.
+        let exact = ExactEstimator::default().estimate_full(&p, &members, &baseline);
+        assert_eq!(exact.resolved_horizon(0.0), exact.horizon);
+    }
+
+    #[test]
+    fn smoothed_profiles_subtract_singletons_and_never_raise_the_floor() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        let plugin = SampledEstimator::new(64, 0x6007).estimate_full(&p, &members, &baseline);
+        let smoothed = plugin.smoothed();
+        let Provenance::Sampled { estimator, .. } = smoothed.provenance else {
+            panic!("sampled run");
+        };
+        assert_eq!(
+            estimator,
+            TvEstimator::Smoothed,
+            "provenance records the estimator"
+        );
+        for t in 0..=plugin.horizon {
+            let i = t as usize;
+            assert!(
+                smoothed.mixture_tv_by_depth[i] <= plugin.mixture_tv_by_depth[i] + 1e-15,
+                "smoothing only removes singleton inflation"
+            );
+            assert!(smoothed.mixture_tv_by_depth[i] >= 0.0);
+            assert!(
+                smoothed.noise_floor_at(t) <= plugin.noise_floor_at(t) + 1e-15,
+                "the smoothed floor never exceeds the plug-in floor"
+            );
+        }
+        // A partially resolved budget leaves the deepest depths
+        // singleton-inflated: the smoothed floor there must be strictly
+        // sharper than the plug-in one, not just no worse.
+        assert!(smoothed.noise_floor() < plugin.noise_floor());
+        // Exact profiles need no smoothing.
+        let exact = ExactEstimator::default().estimate_full(&p, &members, &baseline);
+        assert_eq!(
+            exact.smoothed().mixture_tv_by_depth,
+            exact.mixture_tv_by_depth
+        );
+    }
+
+    #[test]
+    fn truncated_target_meets_at_the_resolvable_prefix_with_less_budget() {
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        // A tolerance the full-horizon support cannot meet under this
+        // cap, while a shallow prefix can: the legacy rule caps out
+        // unmet, the truncated rule stops early and met.
+        let legacy = AdaptiveEstimator::new(0.3, 32, 512, 0x77);
+        let truncated = legacy.with_truncated_target();
+        let (lp, lr) = legacy.estimate_with_report(&p, &members, &baseline, 6);
+        let (tp, tr) = truncated.estimate_with_report(&p, &members, &baseline, 6);
+        assert!(!lr.met_tolerance, "full-horizon target is unreachable here");
+        assert_eq!(lr.samples_per_side, 512, "legacy spends the whole cap");
+        assert!(lp.noise_floor() > 0.3);
+        assert!(
+            tr.met_tolerance,
+            "the resolvable prefix meets the tolerance"
+        );
+        assert!(
+            tr.samples_per_side < lr.samples_per_side,
+            "truncated target must stop before the cap: {tr:?} vs {lr:?}"
+        );
+        assert!(tp.resolved_horizon(0.3) >= 1, "a nonempty prefix resolved");
+        // The truncated run is still bitwise the one-shot at its final
+        // budget — truncation changes when to stop, never the numbers.
+        let one_shot =
+            SampledEstimator::new(tr.samples_per_side, 0x77).estimate_full(&p, &members, &baseline);
+        for t in 0..tp.mixture_tv_by_depth.len() {
+            assert_eq!(
+                tp.mixture_tv_by_depth[t].to_bits(),
+                one_shot.mixture_tv_by_depth[t].to_bits(),
+                "depth {t}"
+            );
+        }
+        assert_eq!(tp.provenance, one_shot.provenance);
+    }
+
+    #[test]
+    fn truncated_projection_never_regresses_the_projected_work() {
+        // The budget-growth pin for the projection fix: the truncated
+        // target projects from the support at the depth it requires, so
+        // across a grid of tolerances it never spends more samples than
+        // the legacy full-horizon rule (it may take *more, smaller*
+        // growth steps — each growth is counted and cross-checked
+        // against the report, but work is what must not regress).
+        let p = reveal_protocol(2, 3, 6);
+        let (members, baseline) = family();
+        for (i, tol) in [0.5, 0.3, 0.2, 0.1].into_iter().enumerate() {
+            let legacy = AdaptiveEstimator::new(tol, 32, 1 << 12, 0xB0B ^ i as u64);
+            let truncated = legacy.with_truncated_target();
+            let growths_of = |est: &AdaptiveEstimator| {
+                let registry = bcc_obs::Registry::new();
+                let scope = registry.install();
+                let (_, report) = est.estimate_with_report(&p, &members, &baseline, 6);
+                drop(scope);
+                (
+                    registry
+                        .snapshot()
+                        .work_counter("exec.adaptive.budget_growths"),
+                    report,
+                )
+            };
+            let (legacy_growths, legacy_report) = growths_of(&legacy);
+            let (trunc_growths, trunc_report) = growths_of(&truncated);
+            assert_eq!(
+                legacy_growths as usize,
+                legacy_report.batches - 1,
+                "tol {tol}: the growth counter must match the report"
+            );
+            assert_eq!(trunc_growths as usize, trunc_report.batches - 1);
+            assert!(
+                trunc_report.samples_per_side <= legacy_report.samples_per_side,
+                "tol {tol}: truncated target budgeted more than legacy"
+            );
+            assert!(
+                trunc_report.samples_drawn <= legacy_report.samples_drawn,
+                "tol {tol}: truncated target drew more than legacy"
+            );
         }
     }
 

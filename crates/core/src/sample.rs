@@ -363,6 +363,84 @@ pub(crate) fn sorted_support_union(a: &[u64], b: &[u64]) -> usize {
     count
 }
 
+/// Per-depth resolution statistics over the union of two sorted key
+/// arrays: one entry per prefix depth `0..=horizon`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct DepthStats {
+    /// Distinct prefix groups in the union at each depth.
+    pub support: Vec<usize>,
+    /// Groups whose **combined** multiplicity across both arrays is
+    /// exactly 1, counted on the `a` side at each depth.
+    pub singletons_a: Vec<usize>,
+    /// As above, counted on the `b` side.
+    pub singletons_b: Vec<usize>,
+}
+
+/// Walks the two sorted arrays once per prefix depth `t·bits_per_turn`
+/// for `t in 0..=horizon`, collecting the union support and the combined
+/// singleton counts that drive the depth-resolved noise floors and the
+/// Good–Turing smoothing correction. At depth 0 every key falls in one
+/// group; unused low key bits are zero, so the deepest entry equals the
+/// full-key [`sorted_support_union`].
+pub(crate) fn sorted_depth_stats(
+    a: &[u64],
+    b: &[u64],
+    horizon: u32,
+    bits_per_turn: u32,
+) -> DepthStats {
+    let depths = horizon as usize + 1;
+    let mut stats = DepthStats {
+        support: Vec::with_capacity(depths),
+        singletons_a: Vec::with_capacity(depths),
+        singletons_b: Vec::with_capacity(depths),
+    };
+    for t in 0..=horizon {
+        let bits = t * bits_per_turn;
+        if bits == 0 {
+            let total = a.len() + b.len();
+            stats.support.push(usize::from(total > 0));
+            stats
+                .singletons_a
+                .push(usize::from(total == 1 && a.len() == 1));
+            stats
+                .singletons_b
+                .push(usize::from(total == 1 && b.len() == 1));
+            continue;
+        }
+        let shift = 64 - bits;
+        let group = |key: u64| key >> shift;
+        let (mut support, mut n1_a, mut n1_b) = (0usize, 0usize, 0usize);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let g = match (a.get(i).map(|&k| group(k)), b.get(j).map(|&k| group(k))) {
+                (Some(x), Some(y)) => x.min(y),
+                (Some(x), None) => x,
+                (None, Some(y)) => y,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let mut count_a = 0usize;
+            while i < a.len() && group(a[i]) == g {
+                count_a += 1;
+                i += 1;
+            }
+            let mut count_b = 0usize;
+            while j < b.len() && group(b[j]) == g {
+                count_b += 1;
+                j += 1;
+            }
+            support += 1;
+            if count_a + count_b == 1 {
+                n1_a += count_a;
+                n1_b += count_b;
+            }
+        }
+        stats.support.push(support);
+        stats.singletons_a.push(n1_a);
+        stats.singletons_b.push(n1_b);
+    }
+    stats
+}
+
 /// An estimated transcript distance with its provenance.
 #[derive(Debug, Clone)]
 pub struct SampledComparison {
@@ -588,6 +666,43 @@ mod tests {
             s.tv,
             s.noise_floor()
         );
+    }
+
+    #[test]
+    fn depth_stats_count_union_support_and_combined_singletons() {
+        // 2-bit turns, horizon 2. Keys place turn t's message at bits
+        // [64-2(t+1), 64-2t): build them by hand.
+        let key = |t0: u64, t1: u64| (t0 << 62) | (t1 << 60);
+        // a: two copies of (0,1), one (2,3); b: one (0,1), one (2,0).
+        let mut a = vec![key(0, 1), key(0, 1), key(2, 3)];
+        let mut b = vec![key(0, 1), key(2, 0)];
+        a.sort_unstable();
+        b.sort_unstable();
+        let stats = sorted_depth_stats(&a, &b, 2, 2);
+        // Depth 0: one group, everything in it.
+        assert_eq!(stats.support, vec![1, 2, 3]);
+        // Depth 1 groups: 0 (count 2+1) and 2 (count 1+1) — no
+        // singletons. Depth 2: (0,1) has 2+1, (2,3) has 1+0 (an `a`
+        // singleton), (2,0) has 0+1 (a `b` singleton).
+        assert_eq!(stats.singletons_a, vec![0, 0, 1]);
+        assert_eq!(stats.singletons_b, vec![0, 0, 1]);
+        // The deepest support equals the full-key union.
+        assert_eq!(stats.support[2], sorted_support_union(&a, &b));
+    }
+
+    #[test]
+    fn depth_stats_handle_empty_and_single_key_inputs() {
+        let empty = sorted_depth_stats(&[], &[], 3, 1);
+        assert_eq!(empty.support, vec![0, 0, 0, 0]);
+        assert_eq!(empty.singletons_a, vec![0, 0, 0, 0]);
+        let lone = sorted_depth_stats(&[1u64 << 63], &[], 1, 1);
+        assert_eq!(lone.support, vec![1, 1]);
+        assert_eq!(
+            lone.singletons_a,
+            vec![1, 1],
+            "a lone key is a singleton even at depth 0"
+        );
+        assert_eq!(lone.singletons_b, vec![0, 0]);
     }
 
     #[test]

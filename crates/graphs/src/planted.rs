@@ -36,6 +36,14 @@ pub fn sample_rand<R: Rng + ?Sized>(rng: &mut R, n: usize) -> DiGraph {
 pub fn sample_with_clique<R: Rng + ?Sized>(rng: &mut R, n: usize, clique: &[usize]) -> DiGraph {
     let mut g = DiGraph::random(rng, n);
     g.plant_clique(clique);
+    if let Some(obs) = bcc_obs::current() {
+        obs.add("graphs.planted.ac_samples", bcc_obs::Class::Work, 1);
+        obs.add(
+            "graphs.planted.clique_vertices",
+            bcc_obs::Class::Work,
+            clique.len() as u64,
+        );
+    }
     g
 }
 
@@ -49,6 +57,9 @@ pub fn sample_planted<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Plant
     let mut clique: Vec<usize> = index_sample(rng, n, k).into_iter().collect();
     clique.sort_unstable();
     let graph = sample_with_clique(rng, n, &clique);
+    if let Some(obs) = bcc_obs::current() {
+        obs.add("graphs.planted.ak_samples", bcc_obs::Class::Work, 1);
+    }
     PlantedInstance { graph, clique }
 }
 
@@ -215,5 +226,46 @@ mod tests {
             assert!(s.windows(2).all(|w| w[0] < w[1]));
             assert!(*s.last().unwrap() < 12);
         }
+    }
+
+    fn work_counter(snap: &bcc_obs::Snapshot, name: &str) -> u64 {
+        snap.work
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    #[test]
+    fn planted_samplers_count_their_draws_when_observed() {
+        let registry = bcc_obs::Registry::new();
+        let _scope = registry.install();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let _ = sample_planted(&mut rng, 16, 4);
+        }
+        let _ = sample_with_clique(&mut rng, 16, &[0, 1, 2, 3, 4]);
+        let snap = registry.snapshot();
+        // A_k draws one A_C each, so A_C counts the direct draw too.
+        assert_eq!(work_counter(&snap, "graphs.planted.ak_samples"), 3);
+        assert_eq!(work_counter(&snap, "graphs.planted.ac_samples"), 4);
+        assert_eq!(
+            work_counter(&snap, "graphs.planted.clique_vertices"),
+            3 * 4 + 5
+        );
+        // The underlying A_rand draws surface through the digraph counter.
+        assert!(work_counter(&snap, "graphs.edges_emitted") > 0);
+    }
+
+    #[test]
+    fn planted_samplers_are_silent_without_a_registry() {
+        // No registry installed on this thread: sampling must neither
+        // panic nor leak counters into a registry installed *afterwards*.
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = sample_planted(&mut rng, 16, 4);
+        let registry = bcc_obs::Registry::new();
+        let _scope = registry.install();
+        let snap = registry.snapshot();
+        assert_eq!(work_counter(&snap, "graphs.planted.ak_samples"), 0);
+        assert_eq!(work_counter(&snap, "graphs.planted.ac_samples"), 0);
     }
 }

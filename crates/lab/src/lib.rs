@@ -42,13 +42,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod jsonl;
 pub mod run;
 pub mod scenario;
 pub mod store;
 pub mod sweep;
 
-pub use run::{run_point, PointRecord};
+pub use analysis::{aggregate, render_json, render_text, write_aggregates, Aggregate};
+pub use run::{decode_depth_floors, encode_depth_floors, run_point, PointRecord};
 pub use scenario::{
     ParamGrid, Precision, Scenario, ScenarioBuilder, ScenarioPoint, Workload, MAX_TRANSCRIPT_TURNS,
 };

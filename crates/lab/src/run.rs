@@ -55,9 +55,21 @@ pub struct PointRecord {
     /// The budget the adaptive layer settled on (samples per side,
     /// trials, or timed repetitions).
     pub samples: u64,
-    /// Whether `noise_floor` met the scenario's tolerance (`false` means
-    /// the cap stopped the growth first).
+    /// Whether the scenario's tolerance was met — at the full horizon by
+    /// default, or at the deepest resolvable depth under
+    /// [`Precision::truncated_target`] (`false` means the cap stopped
+    /// the growth first).
     pub met_tolerance: bool,
+    /// The deepest transcript depth whose noise floor met the tolerance
+    /// ([`bcc_core::DepthProfile::resolved_horizon`]). Populated only
+    /// when the scenario's truncated-depth target is on (legacy records
+    /// stay byte-identical); `0` otherwise.
+    pub resolved_horizon: u32,
+    /// The per-depth noise floors, encoded by [`encode_depth_floors`]
+    /// (dash-separated `f64::to_bits` hex — bitwise-exact round trips).
+    /// Empty unless the scenario's truncated-depth target is on and the
+    /// point took a sampled route.
+    pub depth_floors: String,
     /// Wall-clock spent on the point, in milliseconds. Never replayed on
     /// resume.
     pub wall_ms: f64,
@@ -80,6 +92,51 @@ struct Outcome {
     noise_floor: f64,
     samples: u64,
     met_tolerance: bool,
+    resolved_horizon: u32,
+    depth_floors: String,
+}
+
+impl Outcome {
+    /// An outcome with no depth-resolved statistics attached (exact
+    /// walks, non-distance workloads, and legacy full-horizon targets).
+    fn flat(estimate: f64, noise_floor: f64, samples: u64, met_tolerance: bool) -> Outcome {
+        Outcome {
+            estimate,
+            noise_floor,
+            samples,
+            met_tolerance,
+            resolved_horizon: 0,
+            depth_floors: String::new(),
+        }
+    }
+}
+
+/// Encodes per-depth noise floors as dash-separated 16-digit hex
+/// `f64::to_bits` — bitwise-exact, and drawn from the store's safe
+/// character set so the string persists as a plain JSONL field.
+pub fn encode_depth_floors(floors: &[f64]) -> String {
+    let cells: Vec<String> = floors
+        .iter()
+        .map(|f| format!("{:016x}", f.to_bits()))
+        .collect();
+    cells.join("-")
+}
+
+/// Decodes [`encode_depth_floors`] output. `None` on malformed input;
+/// an empty string is the empty vector (no floors recorded).
+pub fn decode_depth_floors(encoded: &str) -> Option<Vec<f64>> {
+    if encoded.is_empty() {
+        return Some(Vec::new());
+    }
+    encoded
+        .split('-')
+        .map(|cell| {
+            if cell.len() != 16 {
+                return None;
+            }
+            u64::from_str_radix(cell, 16).ok().map(f64::from_bits)
+        })
+        .collect()
 }
 
 /// Runs one grid point of `scenario` and stamps the record.
@@ -107,8 +164,27 @@ pub fn run_point(scenario: &Scenario, point_id: usize, point: &ScenarioPoint) ->
         noise_floor: outcome.noise_floor,
         samples: outcome.samples,
         met_tolerance: outcome.met_tolerance,
+        resolved_horizon: outcome.resolved_horizon,
+        depth_floors: outcome.depth_floors,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
+}
+
+/// The depth-resolved half of a sampled outcome: the resolved horizon at
+/// the scenario tolerance plus the encoded per-depth floors. Only
+/// attached when the truncated-depth target is on — legacy scenarios
+/// must keep producing byte-identical records.
+fn depth_stats(profile: &bcc_core::DepthProfile, precision: &Precision) -> (u32, String) {
+    if !precision.truncated_target {
+        return (0, String::new());
+    }
+    let floors: Vec<f64> = (0..=profile.horizon)
+        .map(|t| profile.noise_floor_at(t))
+        .collect();
+    (
+        profile.resolved_horizon(precision.tolerance),
+        encode_depth_floors(&floors),
+    )
 }
 
 /// The toy-PRG coset family vs uniform under a transcript-dependent
@@ -141,18 +217,24 @@ fn rank_distance(point: &ScenarioPoint, members: usize, precision: &Precision) -
         .collect();
     let baseline = toy::uniform_input(n_speak, k);
 
-    let estimator = AdaptiveEstimator::new(
+    let mut estimator = AdaptiveEstimator::new(
         precision.tolerance,
         precision.initial_samples,
         precision.max_samples,
         derive_seed(root, 2),
     );
+    if precision.truncated_target {
+        estimator = estimator.with_truncated_target();
+    }
     let (profile, report) = estimator.estimate_with_report(&protocol, &family, &baseline, turns);
+    let (resolved_horizon, depth_floors) = depth_stats(&profile, precision);
     Outcome {
         estimate: profile.tv(),
         noise_floor: profile.noise_floor(),
         samples: report.samples_per_side as u64,
         met_tolerance: report.met_tolerance,
+        resolved_horizon,
+        depth_floors,
     }
 }
 
@@ -189,12 +271,12 @@ fn draw_secrets(rng: &mut StdRng, members: usize, k: u32) -> Vec<u64> {
 fn wide_messages(point: &ScenarioPoint, members: usize, precision: &Precision) -> Outcome {
     let (protocol, family, baseline) = wide_setup(point, members);
     let profile = WideExactEstimator::default().estimate_full(&protocol, &family, &baseline);
-    Outcome {
-        estimate: profile.tv(),
-        noise_floor: profile.noise_floor(),
-        samples: wide_walk_nodes(point.bandwidth, point.rounds),
-        met_tolerance: profile.noise_floor() <= precision.tolerance,
-    }
+    Outcome::flat(
+        profile.tv(),
+        profile.noise_floor(),
+        wide_walk_nodes(point.bandwidth, point.rounds),
+        profile.noise_floor() <= precision.tolerance,
+    )
 }
 
 /// The shared declarative half of the wide-message workloads: the masked
@@ -255,36 +337,52 @@ fn wide_setup(
 /// sampler ([`AdaptiveEstimator::estimate_wide_with_report`], per-side
 /// derived ChaCha streams, incremental batches) exactly when it does not.
 ///
-/// Sampled records report the estimator's honest `noise_floor()` — for
-/// deep wide horizons the transcript support can exceed any sample
-/// budget, so the floor may stay above the tolerance and the record then
-/// says `met_tolerance = false` at the cap rather than overstating its
-/// precision. Both routes are bitwise-deterministic from the point's
+/// Sampled records report the estimator's honest `noise_floor()` —
+/// clamped to the TV bound 1 — for deep wide horizons the transcript
+/// support can exceed any sample budget, so under the default
+/// full-horizon target the floor may stay above the tolerance and the
+/// record then says `met_tolerance = false` at the cap rather than
+/// overstating its precision. Under [`Precision::truncated_target`] the
+/// point instead meets the tolerance at the deepest resolvable depth,
+/// recording that depth as `resolved_horizon` along with every depth's
+/// floor. Both routes are bitwise-deterministic from the point's
 /// coordinates, so resume semantics are unchanged.
 fn wide_messages_sampled(point: &ScenarioPoint, members: usize, precision: &Precision) -> Outcome {
     if wide_walk_nodes(point.bandwidth, point.rounds) <= MAX_WIDE_NODES {
         if let Some(obs) = bcc_obs::current() {
             obs.add("lab.route_exact", bcc_obs::Class::Work, 1);
         }
-        return wide_messages(point, members, precision);
+        let mut outcome = wide_messages(point, members, precision);
+        if precision.truncated_target {
+            // The exact walk resolves every depth (floor 0 everywhere);
+            // no per-depth floors are worth persisting.
+            outcome.resolved_horizon = point.rounds;
+        }
+        return outcome;
     }
     if let Some(obs) = bcc_obs::current() {
         obs.add("lab.route_sampled", bcc_obs::Class::Work, 1);
     }
     let (protocol, family, baseline) = wide_setup(point, members);
-    let estimator = AdaptiveEstimator::new(
+    let mut estimator = AdaptiveEstimator::new(
         precision.tolerance,
         precision.initial_samples,
         precision.max_samples,
         derive_seed(point.stream_root(), 6),
     );
+    if precision.truncated_target {
+        estimator = estimator.with_truncated_target();
+    }
     let (profile, report) =
         estimator.estimate_wide_with_report(&protocol, &family, &baseline, point.rounds);
+    let (resolved_horizon, depth_floors) = depth_stats(&profile, precision);
     Outcome {
         estimate: profile.tv(),
         noise_floor: profile.noise_floor(),
         samples: report.samples_per_side as u64,
         met_tolerance: report.met_tolerance,
+        resolved_horizon,
+        depth_floors,
     }
 }
 
@@ -308,12 +406,7 @@ fn find_clique(point: &ScenarioPoint, precision: &Precision) -> Outcome {
         let half_width = (smoothed * (1.0 - smoothed) / trials as f64).sqrt();
         let met = half_width <= precision.tolerance;
         if met || trials >= precision.max_samples {
-            return Outcome {
-                estimate: stats.success_rate,
-                noise_floor: half_width,
-                samples: trials as u64,
-                met_tolerance: met,
-            };
+            return Outcome::flat(stats.success_rate, half_width, trials as u64, met);
         }
         trials = trials.saturating_mul(2).min(precision.max_samples);
     }
@@ -374,12 +467,12 @@ fn prg_throughput(point: &ScenarioPoint, precision: &Precision) -> Outcome {
         let timed = per_chunk * chunks;
         if met || reps >= cap {
             std::hint::black_box(sink);
-            return Outcome {
-                estimate: timed as f64 * out_bits / total_secs / 1e6,
-                noise_floor: rel_stderr,
-                samples: timed as u64,
-                met_tolerance: met,
-            };
+            return Outcome::flat(
+                timed as f64 * out_bits / total_secs / 1e6,
+                rel_stderr,
+                timed as u64,
+                met,
+            );
         }
         reps = reps.saturating_mul(2).min(cap);
     }
@@ -571,6 +664,80 @@ mod tests {
         assert_eq!(sampled.estimate.to_bits(), again.estimate.to_bits());
         assert_eq!(sampled.noise_floor.to_bits(), again.noise_floor.to_bits());
         assert_eq!(sampled.samples, again.samples);
+    }
+
+    #[test]
+    fn depth_floors_round_trip_bitwise() {
+        let floors = [0.0, 0.125, 1.0, f64::INFINITY, 0.3333333333333333];
+        let encoded = encode_depth_floors(&floors);
+        assert!(encoded.chars().all(|c| c.is_ascii_hexdigit() || c == '-'));
+        let back = decode_depth_floors(&encoded).expect("well-formed");
+        assert_eq!(back.len(), floors.len());
+        for (a, b) in floors.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(decode_depth_floors(""), Some(Vec::new()));
+        assert_eq!(decode_depth_floors("zz"), None);
+        assert_eq!(decode_depth_floors("3fd0-"), None, "short cell");
+    }
+
+    #[test]
+    fn truncated_target_turns_a_past_cliff_cap_out_into_a_met_point() {
+        // The acceptance drill: a past-cliff sampled point that caps out
+        // unmet under the legacy full-horizon target (its deep support
+        // dwarfs the budget) meets the tolerance at its resolvable
+        // prefix under the truncated target, with the depth floors and
+        // resolved horizon persisted — and the floor clamped to the TV
+        // bound either way.
+        let build = |truncated| {
+            Scenario::builder("t")
+                .workload(Workload::WideMessagesSampled { members: 2 })
+                .n(&[1024])
+                .k(&[4])
+                .rounds(&[14])
+                .bandwidth(&[2])
+                .tolerance(0.25)
+                .initial_samples(256)
+                .max_samples(1 << 12)
+                .truncated_target(truncated)
+                .build()
+        };
+        let p = ScenarioPoint {
+            n: 1024,
+            k: 4,
+            rounds: 14,
+            bandwidth: 2,
+            seed: 3,
+        };
+        let legacy = run_point(&build(false), 0, &p);
+        assert!(!legacy.met_tolerance, "full horizon is unresolvable here");
+        assert_eq!(legacy.samples, 1 << 12, "legacy burns to the cap");
+        assert!(
+            legacy.noise_floor <= 1.0,
+            "clamped: a TV floor above 1 is a bug"
+        );
+        assert_eq!(legacy.resolved_horizon, 0);
+        assert!(legacy.depth_floors.is_empty(), "legacy records unchanged");
+
+        let truncated = run_point(&build(true), 0, &p);
+        assert!(truncated.met_tolerance, "the resolvable prefix meets 0.25");
+        assert!(truncated.resolved_horizon > 0);
+        assert!(truncated.resolved_horizon <= 14);
+        // The resolvable-prefix target needs up to `support_t / tol²`
+        // samples, which for the *deepest* resolvable depth can be the
+        // whole cap — the strict budget saving is pinned in bcc-core's
+        // truncated-projection test; here the claim is it never costs
+        // more.
+        assert!(truncated.samples <= legacy.samples);
+        let floors = decode_depth_floors(&truncated.depth_floors).expect("persisted floors");
+        assert_eq!(floors.len(), 15, "one floor per depth 0..=rounds");
+        assert!(floors.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert!(floors[truncated.resolved_horizon as usize] <= 0.25);
+        // Deterministic, like every sampled route.
+        let again = run_point(&build(true), 0, &p);
+        assert_eq!(truncated.estimate.to_bits(), again.estimate.to_bits());
+        assert_eq!(truncated.depth_floors, again.depth_floors);
+        assert_eq!(truncated.resolved_horizon, again.resolved_horizon);
     }
 
     #[test]

@@ -127,6 +127,18 @@ pub struct Precision {
     pub initial_samples: usize,
     /// The hard per-point budget cap.
     pub max_samples: usize,
+    /// When set, sampled transcript-distance points target the deepest
+    /// **resolvable** depth instead of the full horizon
+    /// ([`bcc_core::AdaptiveEstimator::truncated_target`]): a point
+    /// whose deep support no budget can resolve stops once the
+    /// resolvable prefix meets the tolerance, records
+    /// `met_tolerance = true` with a nonzero `resolved_horizon`, and no
+    /// longer burns its way to the cap. Only the sampled distance
+    /// workloads ([`Workload::RankDistance`],
+    /// [`Workload::WideMessagesSampled`]) read it; off by default, and
+    /// the fingerprint emits it only when set so existing run
+    /// directories resume unchanged.
+    pub truncated_target: bool,
 }
 
 /// A protocol family plus input distributions, parameterized by a grid
@@ -199,10 +211,14 @@ pub enum Workload {
     /// `w`-bit-per-turn packed keys) exactly when it does not. In-budget
     /// records are exact (noise floor 0, budget = the reachable-node
     /// bound); past-budget records carry the sampler's honest
-    /// `noise_floor()` and its settled per-side sample budget. Deep wide
-    /// horizons have transcript supports that dwarf any sample budget, so
-    /// such points may report `met_tolerance = false` at the cap — the
-    /// floor is recorded, not hidden. Both routes are deterministic from
+    /// `noise_floor()` — clamped to the TV bound 1 — its per-depth
+    /// floors and `resolved_horizon`, and its settled per-side sample
+    /// budget. Deep wide horizons have transcript supports that dwarf
+    /// any sample budget, so under the default full-horizon target such
+    /// points report `met_tolerance = false` at the cap, floor recorded,
+    /// not hidden; under [`Precision::truncated_target`] they instead
+    /// meet the tolerance at the deepest resolvable depth and say so.
+    /// Both routes are deterministic from
     /// the point's coordinate-derived streams, so sweeps still resume
     /// bit-for-bit; the sampled route is pinned to the exact engines
     /// inside the budget by `crates/core/tests/differential.rs`.
@@ -266,6 +282,7 @@ impl Scenario {
                 tolerance: 0.25,
                 initial_samples: 1024,
                 max_samples: 1 << 17,
+                truncated_target: false,
             },
         }
     }
@@ -373,6 +390,11 @@ impl Scenario {
             ),
             ("max_samples", num(self.precision.max_samples as u64)),
         ];
+        // Emitted only when set: legacy fingerprints stay byte-identical,
+        // so existing run directories resume without a foreign-spec error.
+        if self.precision.truncated_target {
+            fields.push(("truncated_target", Value::Bool(true)));
+        }
         if self.pins_walk_depths() {
             let depths: Vec<u64> = self
                 .grid
@@ -472,6 +494,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Switches the truncated-depth target on or off (defaults to off —
+    /// see [`Precision::truncated_target`]). Only valid for the sampled
+    /// distance workloads.
+    pub fn truncated_target(mut self, on: bool) -> Self {
+        self.precision.truncated_target = on;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Panics
@@ -511,6 +541,16 @@ impl ScenarioBuilder {
             precision.initial_samples
         );
         assert!(!precision.tolerance.is_nan(), "tolerance is NaN");
+        assert!(
+            !precision.truncated_target
+                || matches!(
+                    workload,
+                    Workload::RankDistance { .. } | Workload::WideMessagesSampled { .. }
+                ),
+            "the truncated-depth target only applies to the sampled distance \
+             workloads (rank_distance, wide_messages_sampled), not {:?}",
+            workload.tag()
+        );
 
         match workload {
             Workload::RankDistance { members } => {
@@ -845,6 +885,40 @@ mod tests {
             .build();
         let sampled = build(&[6]);
         assert_ne!(exact.fingerprint(), sampled.fingerprint());
+    }
+
+    #[test]
+    fn truncated_target_is_fingerprinted_only_when_set() {
+        let build = |truncated| {
+            Scenario::builder("ws")
+                .workload(Workload::WideMessagesSampled { members: 2 })
+                .n(&[1024])
+                .k(&[4])
+                .rounds(&[14])
+                .bandwidth(&[2])
+                .truncated_target(truncated)
+                .build()
+        };
+        // Off: byte-identical to a spec that never heard of the flag, so
+        // existing run directories keep resuming.
+        assert!(!build(false).fingerprint().contains("truncated_target"));
+        assert!(build(true)
+            .fingerprint()
+            .contains("\"truncated_target\":true"));
+        assert_ne!(build(false).fingerprint(), build(true).fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies to the sampled distance")]
+    fn truncated_target_rejected_for_exact_workloads() {
+        let _ = Scenario::builder("w")
+            .workload(Workload::WideMessages { members: 2 })
+            .n(&[1024])
+            .k(&[4])
+            .rounds(&[6])
+            .bandwidth(&[2])
+            .truncated_target(true)
+            .build();
     }
 
     #[test]

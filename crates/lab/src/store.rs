@@ -139,9 +139,13 @@ impl RunStore {
     }
 }
 
-/// Serializes one record as a JSONL line (no trailing newline).
-pub fn encode_record(r: &PointRecord) -> String {
-    jsonl::write_object(&[
+/// The shared deterministic prefix of both record encodings. The
+/// depth-resolved fields ride at the end and only when populated
+/// (truncated-depth targets): legacy records stay byte-identical, so
+/// every pre-existing run directory keeps its exact log bytes and
+/// fingerprint.
+fn deterministic_fields(r: &PointRecord) -> Vec<(&'static str, Value)> {
+    let mut fields = vec![
         ("point_id", num(r.point_id)),
         ("n", num(r.n)),
         ("k", num(r.k)),
@@ -154,8 +158,19 @@ pub fn encode_record(r: &PointRecord) -> String {
         ("noise_floor", float_lenient(r.noise_floor)),
         ("samples", num(r.samples)),
         ("met_tolerance", Value::Bool(r.met_tolerance)),
-        ("wall_ms", float(r.wall_ms)),
-    ])
+    ];
+    if r.resolved_horizon != 0 || !r.depth_floors.is_empty() {
+        fields.push(("resolved_horizon", num(r.resolved_horizon)));
+        fields.push(("depth_floors", Value::Str(r.depth_floors.clone())));
+    }
+    fields
+}
+
+/// Serializes one record as a JSONL line (no trailing newline).
+pub fn encode_record(r: &PointRecord) -> String {
+    let mut fields = deterministic_fields(r);
+    fields.push(("wall_ms", float(r.wall_ms)));
+    jsonl::write_object(&fields)
 }
 
 /// Serializes one record *without* its `wall_ms` field — the record's
@@ -164,18 +179,7 @@ pub fn encode_record(r: &PointRecord) -> String {
 /// bit-for-bit (the shard merge's fingerprint-equality proof, resume
 /// drills) compares these lines instead of raw log bytes.
 pub fn encode_record_deterministic(r: &PointRecord) -> String {
-    jsonl::write_object(&[
-        ("point_id", num(r.point_id)),
-        ("n", num(r.n)),
-        ("k", num(r.k)),
-        ("rounds", num(r.rounds)),
-        ("bandwidth", num(r.bandwidth)),
-        ("seed", num(r.seed)),
-        ("estimate", float(r.estimate)),
-        ("noise_floor", float_lenient(r.noise_floor)),
-        ("samples", num(r.samples)),
-        ("met_tolerance", Value::Bool(r.met_tolerance)),
-    ])
+    jsonl::write_object(&deterministic_fields(r))
 }
 
 /// FNV-1a (64-bit) over the records' deterministic projections
@@ -245,6 +249,16 @@ pub fn decode_record(line: &str) -> Option<PointRecord> {
         noise_floor: fields.get("noise_floor")?.as_f64()?,
         samples: fields.get("samples")?.as_u64()?,
         met_tolerance: fields.get("met_tolerance")?.as_bool()?,
+        // Depth-resolved fields are absent from legacy records: default,
+        // don't refuse — old logs must keep decoding.
+        resolved_horizon: fields
+            .get("resolved_horizon")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as u32,
+        depth_floors: match fields.get("depth_floors") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => String::new(),
+        },
         wall_ms: fields.get("wall_ms")?.as_f64()?,
     })
 }
@@ -280,6 +294,8 @@ mod tests {
             noise_floor: 0.06,
             samples: 8192,
             met_tolerance: true,
+            resolved_horizon: 0,
+            depth_floors: String::new(),
             wall_ms: 12.75,
         }
     }
@@ -314,6 +330,49 @@ mod tests {
         assert_eq!(records_fingerprint([&a]), records_fingerprint([&b]));
         b.samples += 1;
         assert_ne!(records_fingerprint([&a]), records_fingerprint([&b]));
+    }
+
+    #[test]
+    fn depth_fields_are_emitted_only_when_populated() {
+        // Legacy records (no truncated target) must keep their exact
+        // bytes: the depth fields never appear, and the encoding is the
+        // historical one.
+        let legacy = record(1);
+        let line = encode_record(&legacy);
+        assert!(!line.contains("resolved_horizon"));
+        assert!(!line.contains("depth_floors"));
+
+        let mut truncated = record(1);
+        truncated.resolved_horizon = 4;
+        truncated.depth_floors = crate::run::encode_depth_floors(&[0.0, 0.25, 1.0]);
+        let line = encode_record(&truncated);
+        assert!(line.contains("\"resolved_horizon\":4"));
+        assert!(line.contains("\"depth_floors\":\""));
+        let decoded = decode_record(&line).expect("decodes");
+        assert_eq!(decoded, truncated);
+        // The deterministic projection carries them too: depth stats are
+        // part of what sharded runs must reproduce bitwise.
+        assert_ne!(
+            records_fingerprint([&legacy]),
+            records_fingerprint([&truncated])
+        );
+
+        // An exact-routed truncated cell: horizon without floors.
+        let mut exact_routed = record(2);
+        exact_routed.resolved_horizon = 10;
+        let decoded = decode_record(&encode_record(&exact_routed)).expect("empty floors decode");
+        assert_eq!(decoded, exact_routed);
+    }
+
+    #[test]
+    fn legacy_lines_without_depth_fields_still_decode() {
+        // A line written before the depth-resolved fields existed.
+        let line = "{\"point_id\":7,\"n\":64,\"k\":4,\"rounds\":8,\"bandwidth\":1,\
+                    \"seed\":3,\"estimate\":0.5,\"noise_floor\":0.1,\"samples\":128,\
+                    \"met_tolerance\":true,\"wall_ms\":1.5}";
+        let decoded = decode_record(line).expect("legacy decodes");
+        assert_eq!(decoded.resolved_horizon, 0);
+        assert!(decoded.depth_floors.is_empty());
     }
 
     #[test]

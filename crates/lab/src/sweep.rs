@@ -209,6 +209,10 @@ pub fn run_sweep_subset(scenario: &Scenario, dir: Option<&Path>, ids: &[usize]) 
         let path = dir.join("metrics.json");
         std::fs::write(&path, metrics.to_json())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        // The derived layer rides next to the raw log. A shard directory
+        // gets a partial-grid table (its own slice); the canonical table
+        // is rewritten by the merge over the full record set.
+        crate::analysis::write_aggregates(dir, scenario, &records);
     }
     // Persist any trace events this sweep contributed (no-op unless
     // tracing was enabled via `BCC_TRACE` or `bcc_obs::trace::install`).

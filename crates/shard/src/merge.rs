@@ -105,6 +105,10 @@ pub fn merge_shards(
     let fingerprint = records_fingerprint(&records);
     let metrics = merge_snapshots(&snapshots);
     write_canonical_store(base, &expected_manifest, &records);
+    // The derived aggregate table over the full canonical record set.
+    // The records are bitwise the single-process sweep's, so the table
+    // is byte-identical to the one that sweep would have written.
+    bcc_lab::write_aggregates(base, scenario, &records);
     MergeOutput {
         records,
         fingerprint,

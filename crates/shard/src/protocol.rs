@@ -171,12 +171,13 @@ pub fn encode_spec(scenario: &Scenario, heartbeat_ms: u64, base_dir: &Path) -> S
     let precision = scenario.precision();
     format!(
         "spec v={PROTOCOL_VERSION} name={} workload={tag} members={members} \
-         tol_bits={} initial={} max={} n={} k={} rounds={} bandwidth={} seeds={} \
-         hb_ms={heartbeat_ms} dir={}",
+         tol_bits={} initial={} max={} truncated={} n={} k={} rounds={} bandwidth={} \
+         seeds={} hb_ms={heartbeat_ms} dir={}",
         scenario.name(),
         precision.tolerance.to_bits(),
         precision.initial_samples,
         precision.max_samples,
+        u8::from(precision.truncated_target),
         join(&grid.n.iter().map(|&x| x as u64).collect::<Vec<_>>()),
         join(&grid.k.iter().map(|&x| u64::from(x)).collect::<Vec<_>>()),
         join(
@@ -223,6 +224,7 @@ pub fn decode_spec(line: &str) -> Option<(Scenario, u64, PathBuf)> {
     let mut tol_bits = None;
     let mut initial = None;
     let mut max = None;
+    let mut truncated = None;
     let mut axis_n = None;
     let mut axis_k = None;
     let mut axis_rounds = None;
@@ -239,6 +241,13 @@ pub fn decode_spec(line: &str) -> Option<(Scenario, u64, PathBuf)> {
             "tol_bits" => tol_bits = Some(value.parse::<u64>().ok()?),
             "initial" => initial = Some(value.parse::<usize>().ok()?),
             "max" => max = Some(value.parse::<usize>().ok()?),
+            "truncated" => {
+                truncated = Some(match value {
+                    "0" => false,
+                    "1" => true,
+                    _ => return None,
+                })
+            }
             "n" => axis_n = Some(parse_axis::<usize>(value)?),
             "k" => axis_k = Some(parse_axis::<u32>(value)?),
             "rounds" => axis_rounds = Some(parse_axis::<u32>(value)?),
@@ -270,6 +279,7 @@ pub fn decode_spec(line: &str) -> Option<(Scenario, u64, PathBuf)> {
         .tolerance(f64::from_bits(tol_bits?))
         .initial_samples(initial?)
         .max_samples(max?)
+        .truncated_target(truncated?)
         .build();
     Some((scenario, hb_ms?, PathBuf::from(dir)))
 }
@@ -335,6 +345,33 @@ mod tests {
             let (back, _, _) = decode_spec(&line).expect("decodes");
             assert_eq!(back, s, "workload {:?}", s.workload().tag());
         }
+    }
+
+    #[test]
+    fn spec_round_trips_the_truncated_target() {
+        let build = |truncated| {
+            Scenario::builder("proto-tr")
+                .workload(Workload::WideMessagesSampled { members: 2 })
+                .n(&[64])
+                .k(&[4])
+                .rounds(&[14])
+                .bandwidth(&[2])
+                .truncated_target(truncated)
+                .build()
+        };
+        for truncated in [false, true] {
+            let s = build(truncated);
+            let line = encode_spec(&s, 100, Path::new("d"));
+            assert!(line.contains(&format!("truncated={}", u8::from(truncated))));
+            let (back, _, _) = decode_spec(&line).expect("decodes");
+            assert_eq!(back, s);
+            assert_eq!(back.fingerprint(), s.fingerprint());
+        }
+        // A mangled flag is refused, not defaulted: a worker running the
+        // wrong stopping rule would fail the fingerprint proof anyway,
+        // but refusing at parse is the cheaper, louder failure.
+        let line = encode_spec(&build(true), 100, Path::new("d"));
+        assert!(decode_spec(&line.replace("truncated=1", "truncated=2")).is_none());
     }
 
     #[test]

@@ -203,6 +203,38 @@ fn killed_worker_is_stolen_healed_and_bitwise_identical() {
 }
 
 #[test]
+fn merged_aggregates_table_is_bitwise_the_single_process_sweeps() {
+    // The derived layer inherits the raw layer's determinism: a sharded
+    // run merges to byte-identical records, so the aggregates.json the
+    // merge derives must be byte-identical to the one a single-process
+    // sweep writes — including the embedded records fingerprint.
+    let s = scenario("agg-drill");
+    let (single, _single_guard) = scratch_dir("agg-single");
+    let _ = s.sweep_in(&single);
+    let reference =
+        std::fs::read_to_string(single.join("aggregates.json")).expect("sweep writes aggregates");
+
+    let (base, _guard) = scratch_dir("agg-sharded");
+    let plan = ShardPlan::cut(s.grid().len(), 3);
+    let mut reported = Vec::new();
+    for (id, &(start, end)) in plan.ranges().iter().enumerate() {
+        let ids: Vec<usize> = (start..end).collect();
+        let result = bcc_lab::run_sweep_subset(&s, Some(&ShardPlan::dir(&base, id)), &ids);
+        reported.push(records_fingerprint(&result.records));
+        // Each shard directory carries its own partial-grid table.
+        assert!(ShardPlan::dir(&base, id).join("aggregates.json").exists());
+    }
+    let outcome = merge_shards(&s, &base, &plan, &reported);
+    let merged =
+        std::fs::read_to_string(base.join("aggregates.json")).expect("merge writes aggregates");
+    assert_eq!(merged, reference, "derived tables must match byte for byte");
+    assert!(
+        merged.contains(&format!("{:016x}", outcome.fingerprint)),
+        "the table is tied to the canonical records fingerprint"
+    );
+}
+
+#[test]
 #[should_panic(expected = "belongs to a different scenario")]
 fn merge_refuses_a_shard_store_from_a_different_scenario() {
     let ours = scenario("merge-ours");

@@ -15,7 +15,10 @@
 //!   the function families the lemma experiments evaluate (majority,
 //!   threshold, parity, dictator, random);
 //! * [`sampling`] — empirical estimation with Hoeffding confidence bounds
-//!   for the Monte-Carlo side of the experiments.
+//!   for the Monte-Carlo side of the experiments;
+//! * [`smoothing`] — Good–Turing missing-mass correction for plug-in TV
+//!   estimates: singleton counts identify the unresolved mass, and the
+//!   smoothed estimator subtracts exactly the inflation it causes.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +28,8 @@ pub mod dist;
 pub mod fourier;
 pub mod info;
 pub mod sampling;
+pub mod smoothing;
 
 pub use boolfn::TruthTable;
 pub use dist::{tv_bernoulli, Dist};
+pub use smoothing::TvEstimator;
